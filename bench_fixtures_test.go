@@ -1,0 +1,347 @@
+package jkernel
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"testing"
+
+	"jkernel/internal/core"
+	"jkernel/internal/httpd"
+	"jkernel/internal/oskit"
+	"jkernel/internal/threads"
+	"jkernel/internal/vmkit"
+)
+
+// TestMain lets the oskit cross-process RPC servers re-execute this test
+// binary as their child.
+func TestMain(m *testing.M) {
+	oskit.MaybeRunChild()
+	os.Exit(m.Run())
+}
+
+// --- Table 1 / 4 / 6 fixture: a server domain exporting Svc, a client
+// domain with bytecode benchmark loops. --------------------------------
+
+const benchSvcIface = `
+.class Svc interface implements jk/kernel/Remote
+.method nop ()V
+.end
+.method add3 (III)I
+.end
+.method sink (LMsgS;)I
+.end
+.method sinkF (LMsgF;)I
+.end
+`
+
+// MsgS crosses by serialization; MsgF by fast copy. Both are chains of
+// nodes carrying a payload array, so "N objects of M bytes" shapes build
+// naturally.
+const benchMsgS = `
+.class MsgS implements jk/io/Serializable
+.field payload [B
+.field next LMsgS;
+`
+
+const benchMsgF = `
+.class MsgF implements jk/io/FastCopy
+.field payload [B
+.field next LMsgF;
+`
+
+const benchSvcImpl = `
+.class SvcImpl implements Svc
+.method nop ()V stack 2 locals 0
+  ret
+.end
+.method add3 (III)I stack 6 locals 0
+  load 1
+  load 2
+  iadd
+  load 3
+  iadd
+  retv
+.end
+.method sink (LMsgS;)I stack 2 locals 0
+  iconst 1
+  retv
+.end
+.method sinkF (LMsgF;)I stack 2 locals 0
+  iconst 1
+  retv
+.end
+`
+
+const benchClient = `
+.class LocalIface interface
+.method inop ()V
+.end
+`
+
+const benchClient2 = `
+.class LocalTarget implements LocalIface
+.method nop ()V stack 2 locals 0
+  ret
+.end
+.method inop ()V stack 2 locals 0
+  ret
+.end
+`
+
+const benchClient3 = `
+.class Bench
+.field static cap LSvc;
+.field static target LLocalTarget;
+.method static setup ()V stack 4 locals 0
+  sconst "svc"
+  invokestatic jk/kernel/Repository.lookup:(Ljk/lang/String;)Ljk/kernel/Capability;
+  cast Svc
+  putstatic Bench.cap:LSvc;
+  new LocalTarget
+  putstatic Bench.target:LLocalTarget;
+  ret
+.end
+.method static runRegular (I)V stack 8 locals 1
+loop:
+  load 0
+  ifz done
+  getstatic Bench.target:LLocalTarget;
+  invokevirtual LocalTarget.nop:()V
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+.method static runIface (I)V stack 8 locals 1
+loop:
+  load 0
+  ifz done
+  getstatic Bench.target:LLocalTarget;
+  invokeinterface LocalIface.inop:()V
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+.method static runLock (I)V stack 8 locals 1
+loop:
+  load 0
+  ifz done
+  getstatic Bench.target:LLocalTarget;
+  monitorenter
+  getstatic Bench.target:LLocalTarget;
+  monitorexit
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+.method static runLRMI (I)V stack 8 locals 1
+loop:
+  load 0
+  ifz done
+  getstatic Bench.cap:LSvc;
+  invokeinterface Svc.nop:()V
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+.method static runLRMI3 (I)V stack 10 locals 1
+loop:
+  load 0
+  ifz done
+  getstatic Bench.cap:LSvc;
+  iconst 1
+  iconst 2
+  iconst 3
+  invokeinterface Svc.add3:(III)I
+  pop
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+.method static baseline (I)V stack 8 locals 1
+loop:
+  load 0
+  ifz done
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+`
+
+// vmBench is the assembled two-domain fixture.
+type vmBench struct {
+	k      *core.Kernel
+	server *core.Domain
+	client *core.Domain
+	task   *core.Task
+	cap    *core.Capability
+}
+
+func mustBytes(src string) []byte {
+	b, err := vmkit.AssembleBytes(src)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// newVMBench builds the fixture under a profile. Callers must closeVMBench.
+func newVMBench(tb testing.TB, profile vmkit.Profile) *vmBench {
+	tb.Helper()
+	k := core.MustNew(core.Options{Profile: profile})
+	server, err := k.NewDomain(core.DomainConfig{
+		Name: "bench-server",
+		Classes: map[string][]byte{
+			"Svc":     mustBytes(benchSvcIface),
+			"SvcImpl": mustBytes(benchSvcImpl),
+			"MsgS":    mustBytes(benchMsgS),
+			"MsgF":    mustBytes(benchMsgF),
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sc, err := k.ShareClasses(server, "Svc", "MsgS", "MsgF")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	client, err := k.NewDomain(core.DomainConfig{
+		Name: "bench-client",
+		Classes: map[string][]byte{
+			"LocalIface":  mustBytes(benchClient),
+			"LocalTarget": mustBytes(benchClient2),
+			"Bench":       mustBytes(benchClient3),
+		},
+		Shared: []*core.SharedClass{sc},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	setup := k.NewTask(server, "setup")
+	target, err := server.NewInstance("SvcImpl")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cap, err := k.CreateVMCapability(server, target)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := k.Repository().Bind("svc", cap); err != nil {
+		tb.Fatal(err)
+	}
+	setup.Close()
+
+	task := k.NewTask(client, "bench")
+	if _, err := task.CallStatic("Bench.setup:()V"); err != nil {
+		tb.Fatal(err)
+	}
+	return &vmBench{k: k, server: server, client: client, task: task, cap: cap}
+}
+
+func (f *vmBench) close() { f.task.Close() }
+
+// run executes one of the Bench loops for n iterations.
+func (f *vmBench) run(tb testing.TB, method string, n int) {
+	tb.Helper()
+	if _, err := f.task.CallStatic("Bench."+method+":(I)V", vmkit.IntVal(int64(n))); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// buildChain constructs a chain of count MsgS/MsgF nodes with size-byte
+// payloads in the client domain (the caller side).
+func (f *vmBench) buildChain(tb testing.TB, class string, count, size int) *vmkit.Object {
+	tb.Helper()
+	var head *vmkit.Object
+	for i := 0; i < count; i++ {
+		node, err := f.client.NewInstance(class)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		payload, err := f.client.NS.NewArray("[B", size)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		node.Fields[node.Class.FieldByName("payload").Slot] = vmkit.RefVal(payload)
+		if head != nil {
+			node.Fields[node.Class.FieldByName("next").Slot] = vmkit.RefVal(head)
+		}
+		head = node
+	}
+	return head
+}
+
+// --- Table 5 fixture ------------------------------------------------------
+
+type table5Fixture struct {
+	k      *core.Kernel
+	bridge *httpd.Bridge
+	jws    *httpd.JWS
+	doc    []byte
+}
+
+func newTable5(tb testing.TB, docSize int) *table5Fixture {
+	tb.Helper()
+	doc := make([]byte, docSize)
+	for i := range doc {
+		doc[i] = byte('a' + i%26)
+	}
+	k := core.MustNew(core.Options{})
+	bridge, err := httpd.NewBridge(k)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := bridge.MountDocServlet("doc", "/", doc); err != nil {
+		tb.Fatal(err)
+	}
+	jws, err := httpd.NewJWS(k, doc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &table5Fixture{k: k, bridge: bridge, jws: jws, doc: doc}
+}
+
+func httpStaticHandler(f *table5Fixture, size int) http.Handler {
+	return httpd.StaticHandler(f.doc)
+}
+
+func sizeName(size int) string { return fmt.Sprintf("%dB", size) }
+
+// reportPagesPerSec converts the measured ns/op into the paper's
+// pages/second metric.
+func reportPagesPerSec(b *testing.B) {
+	b.StopTimer()
+	if e := b.Elapsed(); e > 0 && b.N > 0 {
+		b.ReportMetric(float64(b.N)/e.Seconds(), "pages/s")
+	}
+	b.StartTimer()
+}
+
+// goroutineIDProbe re-exports the threads registry gid parse for the
+// ablation bench.
+func goroutineIDProbe() int64 { return threads.GoroutineID() }

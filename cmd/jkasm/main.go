@@ -1,0 +1,53 @@
+// Command jkasm assembles VM assembly into binary class files, and
+// disassembles them back.
+//
+//	jkasm foo.jasm            # writes foo.jkc
+//	jkasm -d foo.jkc          # prints disassembly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"jkernel/internal/vmkit"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "disassemble a .jkc class file")
+	out := flag.String("o", "", "output path (default: input with .jkc)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jkasm [-d] [-o out] file")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *disasm {
+		def, err := vmkit.DecodeClass(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(vmkit.Disassemble(def))
+		return
+	}
+
+	def, err := vmkit.Assemble(string(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(path, ".jasm") + ".jkc"
+	}
+	if err := os.WriteFile(dst, vmkit.EncodeClass(def), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: class %s, %d methods\n", dst, def.Name, len(def.Methods))
+}

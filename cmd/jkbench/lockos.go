@@ -1,0 +1,8 @@
+package main
+
+import "runtime"
+
+// lockOS / unlockOS pin the calling goroutine to its OS thread, modelling
+// the JVM-era 1:1 thread mapping for Table 3.
+func lockOS()   { runtime.LockOSThread() }
+func unlockOS() { runtime.UnlockOSThread() }

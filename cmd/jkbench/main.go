@@ -1,0 +1,594 @@
+// Command jkbench regenerates the paper's evaluation tables (1-6) in their
+// original row/column format, alongside the published numbers, so shape
+// comparisons are direct. See EXPERIMENTS.md for the recorded results.
+//
+//	jkbench            # all tables
+//	jkbench -table 4   # one table
+//	jkbench -quick     # fewer iterations (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jkernel/internal/core"
+	"jkernel/internal/httpd"
+	"jkernel/internal/oskit"
+	"jkernel/internal/ukern"
+	"jkernel/internal/vmkit"
+)
+
+var (
+	tableFlag = flag.Int("table", 0, "run only this table (1-6); 0 = all")
+	quick     = flag.Bool("quick", false, "fewer iterations")
+)
+
+func main() {
+	oskit.MaybeRunChild()
+	flag.Parse()
+	run := func(n int, f func()) {
+		if *tableFlag == 0 || *tableFlag == n {
+			f()
+		}
+	}
+	run(1, table1)
+	run(2, table2)
+	run(3, table3)
+	run(4, table4)
+	run(5, table5)
+	run(6, table6)
+}
+
+func iters(base int) int {
+	if *quick {
+		return base / 10
+	}
+	return base
+}
+
+// measure times f(n) and returns µs per iteration.
+func measure(n int, f func(n int)) float64 {
+	f(n / 10) // warm-up
+	start := time.Now()
+	f(n)
+	return float64(time.Since(start).Microseconds()) / float64(n)
+}
+
+// measureEach times f once per iteration.
+func measureEach(n int, f func()) float64 {
+	return measure(n, func(n int) {
+		for i := 0; i < n; i++ {
+			f()
+		}
+	})
+}
+
+// --- shared VM fixture (same classes as bench_test.go) --------------------
+
+const (
+	svcIface = `
+.class Svc interface implements jk/kernel/Remote
+.method nop ()V
+.end
+.method add3 (III)I
+.end
+.method sink (LMsgS;)I
+.end
+.method sinkF (LMsgF;)I
+.end
+`
+	msgS = ".class MsgS implements jk/io/Serializable\n.field payload [B\n.field next LMsgS;\n"
+	msgF = ".class MsgF implements jk/io/FastCopy\n.field payload [B\n.field next LMsgF;\n"
+
+	svcImpl = `
+.class SvcImpl implements Svc
+.method nop ()V stack 2 locals 0
+  ret
+.end
+.method add3 (III)I stack 6 locals 0
+  load 1
+  load 2
+  iadd
+  load 3
+  iadd
+  retv
+.end
+.method sink (LMsgS;)I stack 2 locals 0
+  iconst 1
+  retv
+.end
+.method sinkF (LMsgF;)I stack 2 locals 0
+  iconst 1
+  retv
+.end
+`
+	clientIface  = ".class LocalIface interface\n.method inop ()V\n.end\n"
+	clientTarget = `
+.class LocalTarget implements LocalIface
+.method nop ()V stack 2 locals 0
+  ret
+.end
+.method inop ()V stack 2 locals 0
+  ret
+.end
+`
+	clientBench = `
+.class Bench
+.field static cap LSvc;
+.field static target LLocalTarget;
+.method static setup ()V stack 4 locals 0
+  sconst "svc"
+  invokestatic jk/kernel/Repository.lookup:(Ljk/lang/String;)Ljk/kernel/Capability;
+  cast Svc
+  putstatic Bench.cap:LSvc;
+  new LocalTarget
+  putstatic Bench.target:LLocalTarget;
+  ret
+.end
+.method static runRegular (I)V stack 8 locals 1
+loop:
+  load 0
+  ifz done
+  getstatic Bench.target:LLocalTarget;
+  invokevirtual LocalTarget.nop:()V
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+.method static runIface (I)V stack 8 locals 1
+loop:
+  load 0
+  ifz done
+  getstatic Bench.target:LLocalTarget;
+  invokeinterface LocalIface.inop:()V
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+.method static runLock (I)V stack 8 locals 1
+loop:
+  load 0
+  ifz done
+  getstatic Bench.target:LLocalTarget;
+  monitorenter
+  getstatic Bench.target:LLocalTarget;
+  monitorexit
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+.method static runLRMI (I)V stack 8 locals 1
+loop:
+  load 0
+  ifz done
+  getstatic Bench.cap:LSvc;
+  invokeinterface Svc.nop:()V
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+.method static runLRMI3 (I)V stack 10 locals 1
+loop:
+  load 0
+  ifz done
+  getstatic Bench.cap:LSvc;
+  iconst 1
+  iconst 2
+  iconst 3
+  invokeinterface Svc.add3:(III)I
+  pop
+  load 0
+  iconst 1
+  isub
+  store 0
+  jmp loop
+done:
+  ret
+.end
+`
+)
+
+func mustBytes(src string) []byte {
+	b, err := vmkit.AssembleBytes(src)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+type fixture struct {
+	k      *core.Kernel
+	client *core.Domain
+	task   *core.Task
+	cap    *core.Capability
+}
+
+func newFixture(profile vmkit.Profile) *fixture {
+	k := core.MustNew(core.Options{Profile: profile})
+	server, err := k.NewDomain(core.DomainConfig{
+		Name: "server",
+		Classes: map[string][]byte{
+			"Svc": mustBytes(svcIface), "SvcImpl": mustBytes(svcImpl),
+			"MsgS": mustBytes(msgS), "MsgF": mustBytes(msgF),
+		},
+	})
+	check(err)
+	sc, err := k.ShareClasses(server, "Svc", "MsgS", "MsgF")
+	check(err)
+	client, err := k.NewDomain(core.DomainConfig{
+		Name: "client",
+		Classes: map[string][]byte{
+			"LocalIface": mustBytes(clientIface), "LocalTarget": mustBytes(clientTarget),
+			"Bench": mustBytes(clientBench),
+		},
+		Shared: []*core.SharedClass{sc},
+	})
+	check(err)
+	setup := k.NewDetachedTask(server, "setup")
+	target, err := server.NewInstance("SvcImpl")
+	check(err)
+	cap, err := k.CreateVMCapability(server, target)
+	check(err)
+	check(k.Repository().Bind("svc", cap))
+	setup.Close()
+	task := k.NewDetachedTask(client, "bench")
+	_, err = task.CallStatic("Bench.setup:()V")
+	check(err)
+	return &fixture{k: k, client: client, task: task, cap: cap}
+}
+
+func (f *fixture) loop(method string) func(int) {
+	return func(n int) {
+		if _, err := f.task.CallStatic("Bench."+method+":(I)V", vmkit.IntVal(int64(n))); err != nil {
+			check(err)
+		}
+	}
+}
+
+func (f *fixture) chain(class string, count, size int) *vmkit.Object {
+	var head *vmkit.Object
+	for i := 0; i < count; i++ {
+		node, err := f.client.NewInstance(class)
+		check(err)
+		arr, err := f.client.NS.NewArray("[B", size)
+		check(err)
+		node.Fields[node.Class.FieldByName("payload").Slot] = vmkit.RefVal(arr)
+		if head != nil {
+			node.Fields[node.Class.FieldByName("next").Slot] = vmkit.RefVal(head)
+		}
+		head = node
+	}
+	return head
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jkbench:", err)
+		os.Exit(1)
+	}
+}
+
+// --- tables ----------------------------------------------------------------
+
+func table1() {
+	fmt.Println("Table 1. Cost of null method invocations (in µs)")
+	fmt.Println("  paper columns: MS-VM / Sun-VM on 200MHz Pentium-Pro;")
+	fmt.Println("  ours: profile vm-A (MS-VM cost shape) / vm-B (Sun-VM cost shape)")
+	fa := newFixture(vmkit.ProfileA)
+	fb := newFixture(vmkit.ProfileB)
+	n := iters(300000)
+	rows := []struct {
+		name           string
+		paperA, paperB float64
+		method         string
+	}{
+		{"Regular method invocation", 0.04, 0.03, "runRegular"},
+		{"Interface method invocation", 0.54, 0.05, "runIface"},
+		{"Acquire/release lock", 0.20, 1.91, "runLock"},
+		{"J-Kernel LRMI", 2.22, 5.41, "runLRMI"},
+	}
+	fmt.Printf("  %-30s %10s %10s %10s %10s\n", "Operation", "paper-MS", "paper-Sun", "vm-A", "vm-B")
+	for _, r := range rows {
+		nn := n
+		if r.method == "runLRMI" {
+			nn = iters(50000)
+		}
+		a := measure(nn, fa.loop(r.method))
+		b := measure(nn, fb.loop(r.method))
+		fmt.Printf("  %-30s %10.2f %10.2f %10.3f %10.3f\n", r.name, r.paperA, r.paperB, a, b)
+	}
+	// Thread info lookup is measured outside bytecode, as in the stubs.
+	la := measureEach(iters(2000000), func() { fa.k.VM.LookupThread(fa.task.Thread.ID) })
+	lb := measureEach(iters(2000000), func() { fb.k.VM.LookupThread(fb.task.Thread.ID) })
+	fmt.Printf("  %-30s %10.2f %10.2f %10.3f %10.3f\n", "Thread info lookup", 0.55, 0.29, la, lb)
+	fmt.Println()
+}
+
+func table2() {
+	fmt.Println("Table 2. Local RPC costs using standard OS mechanisms (in µs)")
+	fmt.Printf("  %-30s %10s %10s\n", "Form of RPC", "paper", "measured")
+
+	pipe, err := oskit.StartPipeServer()
+	check(err)
+	nt := measureEach(iters(20000), func() {
+		if _, err := pipe.RoundTrip([]byte{1}); err != nil {
+			check(err)
+		}
+	})
+	pipe.Close()
+	fmt.Printf("  %-30s %10.0f %10.2f\n", "NT-RPC (pipe, 2 processes)", 109.0, nt)
+
+	tcp, err := oskit.StartTCPServer()
+	check(err)
+	com := measureEach(iters(20000), func() {
+		if _, err := tcp.RoundTrip([]byte{1}); err != nil {
+			check(err)
+		}
+	})
+	tcp.Close()
+	fmt.Printf("  %-30s %10.0f %10.2f\n", "COM out-of-proc (TCP loopback)", 99.0, com)
+
+	srv := oskit.InProc()
+	var sink byte
+	inproc := measureEach(iters(20000000), func() { sink = srv.Null(1) })
+	_ = sink
+	fmt.Printf("  %-30s %10.2f %10.4f\n", "COM in-proc (interface call)", 0.03, inproc)
+
+	f := newFixture(vmkit.ProfileA)
+	lrmi := measure(iters(50000), f.loop("runLRMI"))
+	fmt.Printf("  %-30s %10.2f %10.2f   (for comparison)\n", "J-Kernel LRMI", 2.22, lrmi)
+	fmt.Println()
+}
+
+func table3() {
+	fmt.Println("Table 3. Cost of a double thread switch (in µs)")
+	fmt.Printf("  %-38s %8s %10s\n", "Configuration", "paper", "measured")
+	pinned := pingPongBench(true, iters(100000))
+	fmt.Printf("  %-38s %8.1f %10.2f\n", "OS threads (NT-base; JVM thread model)", 8.6, pinned)
+	green := pingPongBench(false, iters(500000))
+	fmt.Printf("  %-38s %8s %10.2f   (Go-native ablation)\n", "goroutines, unpinned", "-", green)
+	f := newFixture(vmkit.ProfileA)
+	lrmi := measure(iters(50000), f.loop("runLRMI"))
+	fmt.Printf("  %-38s %8s %10.2f   (what segments avoid paying)\n", "J-Kernel LRMI, for scale", "-", lrmi)
+	fmt.Println()
+}
+
+func pingPongBench(pin bool, n int) float64 {
+	ping := make(chan struct{})
+	pong := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		if pin {
+			// Lock the partner goroutine to its own OS thread.
+			lockOS()
+			defer unlockOS()
+		}
+		for {
+			select {
+			case <-ping:
+				pong <- struct{}{}
+			case <-done:
+				return
+			}
+		}
+	}()
+	if pin {
+		lockOS()
+		defer unlockOS()
+	}
+	us := measureEach(n, func() {
+		ping <- struct{}{}
+		<-pong
+	})
+	close(done)
+	return us
+}
+
+func table4() {
+	fmt.Println("Table 4. Cost of argument copying (in µs per LRMI)")
+	fmt.Println("  paper columns are MS-VM serialization / fast-copy")
+	f := newFixture(vmkit.ProfileA)
+	shapes := []struct {
+		name                string
+		count, size         int
+		paperSer, paperFast float64
+	}{
+		{"1 x 10 bytes", 1, 10, 104, 4.8},
+		{"1 x 100 bytes", 1, 100, 158, 7.7},
+		{"10 x 10 bytes", 10, 10, 193, 23.3},
+		{"1 x 1000 bytes", 1, 1000, 633, 19.2},
+	}
+	fmt.Printf("  %-16s %10s %10s %12s %12s\n", "Argument", "paper-ser", "paper-fast", "ser", "fast")
+	for _, s := range shapes {
+		ms := f.chain("MsgS", s.count, s.size)
+		mf := f.chain("MsgF", s.count, s.size)
+		n := iters(20000)
+		ser := measureEach(n, func() {
+			if _, err := f.cap.InvokeVM(f.task, "sink", ms); err != nil {
+				check(err)
+			}
+		})
+		fast := measureEach(n, func() {
+			if _, err := f.cap.InvokeVM(f.task, "sinkF", mf); err != nil {
+				check(err)
+			}
+		})
+		fmt.Printf("  %-16s %10.1f %10.1f %12.2f %12.2f\n", s.name, s.paperSer, s.paperFast, ser, fast)
+	}
+	fmt.Println()
+}
+
+func table5() {
+	fmt.Println("Table 5. HTTP server throughput (pages/second)")
+	fmt.Println("  8 concurrent clients over loopback TCP, in-memory documents")
+	fmt.Printf("  %-10s | %7s %7s %7s | %9s %9s %9s\n",
+		"page size", "p-IIS", "p-JWS", "p-IIS+JK", "static", "jws", "bridge")
+	paper := map[int][3]float64{
+		10:   {801, 122, 662},
+		100:  {790, 121, 640},
+		1000: {759, 96, 616},
+	}
+	for _, size := range []int{10, 100, 1000} {
+		doc := make([]byte, size)
+		for i := range doc {
+			doc[i] = byte('a' + i%26)
+		}
+
+		static := serveThroughput(httpd.StaticHandler(doc))
+
+		k := core.MustNew(core.Options{})
+		bridge, err := httpd.NewBridge(k)
+		check(err)
+		_, err = bridge.MountDocServlet("doc", "/", doc)
+		check(err)
+		br := serveThroughput(bridge)
+
+		k2 := core.MustNew(core.Options{})
+		jws, err := httpd.NewJWS(k2, doc)
+		check(err)
+		jt := jwsThroughput(jws)
+
+		p := paper[size]
+		fmt.Printf("  %-10s | %7.0f %7.0f %7.0f | %9.0f %9.0f %9.0f\n",
+			fmt.Sprintf("%d bytes", size), p[0], p[1], p[2], static, jt, br)
+	}
+	fmt.Println()
+}
+
+// serveThroughput measures pages/sec through a real loopback listener with
+// 8 concurrent keep-alive clients, like the paper's setup.
+func serveThroughput(h http.Handler) float64 {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	defer srv.Close()
+	url := "http://" + ln.Addr().String() + "/index.html"
+
+	dur := 600 * time.Millisecond
+	if *quick {
+		dur = 200 * time.Millisecond
+	}
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	stop := time.Now().Add(dur)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+			for time.Now().Before(stop) {
+				resp, err := client.Get(url)
+				if err != nil {
+					return
+				}
+				drain(resp)
+				total.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(total.Load()) / dur.Seconds()
+}
+
+func jwsThroughput(j *httpd.JWS) float64 {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go j.Serve(ln)
+	defer ln.Close()
+	url := "http://" + ln.Addr().String() + "/index.html"
+
+	dur := 600 * time.Millisecond
+	if *quick {
+		dur = 200 * time.Millisecond
+	}
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	stop := time.Now().Add(dur)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+			for time.Now().Before(stop) {
+				resp, err := client.Get(url)
+				if err != nil {
+					return
+				}
+				drain(resp)
+				total.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(total.Load()) / dur.Seconds()
+}
+
+func table6() {
+	fmt.Println("Table 6. Comparison with selected kernels (in µs)")
+	fmt.Printf("  %-34s %8s %10s\n", "System / operation", "paper", "measured")
+	k := ukern.NewKernel()
+
+	l4 := k.NewL4Pair()
+	v := measureEach(iters(200000), func() {
+		if _, err := l4.Call(1); err != nil {
+			check(err)
+		}
+	})
+	l4.Close()
+	fmt.Printf("  %-34s %8.2f %10.2f\n", "L4: round-trip IPC", 1.82, v)
+
+	exo := k.NewExoPair()
+	v = measureEach(iters(500000), func() {
+		if _, err := exo.Call(1); err != nil {
+			check(err)
+		}
+	})
+	fmt.Printf("  %-34s %8.2f %10.2f\n", "Exokernel: protected ctl transfer", 2.40, v)
+
+	eros := k.NewErosPair()
+	v = measureEach(iters(200000), func() {
+		if _, err := eros.Call(1); err != nil {
+			check(err)
+		}
+	})
+	eros.Close()
+	fmt.Printf("  %-34s %8.2f %10.2f\n", "Eros: round-trip IPC", 4.90, v)
+
+	f := newFixture(vmkit.ProfileA)
+	v = measure(iters(30000), f.loop("runLRMI3"))
+	fmt.Printf("  %-34s %8.2f %10.2f\n", "J-Kernel: invocation with 3 args", 3.77, v)
+	fmt.Println()
+}
+
+func drain(resp *http.Response) {
+	buf := make([]byte, 4096)
+	for {
+		if _, err := resp.Body.Read(buf); err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,54 @@
+// Command jkhttpd runs the extensible web server of the paper's §4: a
+// native front server hosting the J-Kernel bridge, with the CS314
+// toolchain servlets premounted and the admin upload surface open.
+//
+//	jkhttpd -addr :8080
+//
+// Endpoints:
+//
+//	GET    /status                      liveness (native servlet)
+//	POST   /cs314/compile               MiniC -> C3 assembly
+//	POST   /cs314/assemble?unit=N       C3 assembly -> object file
+//	POST   /cs314/link                  object bundle -> executable
+//	POST   /cs314/run                   executable -> program output
+//	POST   /admin/upload?name=&prefix=&main=   upload a VM servlet bundle
+//	DELETE /admin/servlet?name=         terminate a servlet domain
+//	GET    /admin/servlets              list mounted servlets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"jkernel"
+	"jkernel/servlet"
+	"jkernel/toolchain"
+)
+
+type statusServlet struct{}
+
+func (statusServlet) Service(req *servlet.Request) (*servlet.Response, error) {
+	return &servlet.Response{Status: 200, Body: []byte("jkhttpd: serving\n")}, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	k := jkernel.New(jkernel.Options{Stdout: os.Stdout})
+	bridge, err := servlet.NewBridge(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bridge.MountNative("status", "/status", statusServlet{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := toolchain.MountServlets(bridge); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jkhttpd listening on http://%s (servlets: %v)\n", *addr, bridge.Router.Names())
+	log.Fatal(http.ListenAndServe(*addr, bridge))
+}

@@ -1,0 +1,84 @@
+// Command jkrun loads class files into a fresh protection domain and runs
+// a static main method — a miniature "java" launcher for the vmkit world.
+//
+//	jkrun -main Hello.main Hello.jkc Util.jkc
+//
+// The entry method must have descriptor ()V or ()I.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"jkernel"
+	"jkernel/internal/vmkit"
+)
+
+func main() {
+	entry := flag.String("main", "", "entry point as Class.method (default: first class's main)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: jkrun [-main Class.method] file.jkc...")
+		os.Exit(2)
+	}
+
+	classes := map[string][]byte{}
+	first := ""
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		def, err := vmkit.DecodeClass(data)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		classes[def.Name] = data
+		if first == "" {
+			first = def.Name
+		}
+	}
+
+	k := jkernel.New(jkernel.Options{Stdout: os.Stdout})
+	d, err := k.NewDomain(jkernel.DomainConfig{
+		Name:    "main",
+		Classes: classes,
+		Output:  os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	className, methodName := first, "main"
+	if *entry != "" {
+		i := strings.LastIndexByte(*entry, '.')
+		if i < 0 {
+			log.Fatalf("bad -main %q (want Class.method)", *entry)
+		}
+		className, methodName = (*entry)[:i], (*entry)[i+1:]
+	}
+
+	task := k.NewTask(d, "main")
+	defer task.Close()
+	for _, desc := range []string{"()V", "()I"} {
+		cls, err := d.NS.Resolve(className)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cls.MethodBySig(methodName, desc) == nil {
+			continue
+		}
+		v, err := task.CallStatic(className + "." + methodName + ":" + desc)
+		if err != nil {
+			log.Fatalf("%s.%s: %v", className, methodName, err)
+		}
+		if desc == "()I" {
+			fmt.Println(v.I)
+		}
+		return
+	}
+	log.Fatalf("no %s.%s with descriptor ()V or ()I", className, methodName)
+}

@@ -1,0 +1,110 @@
+// CS314: the course toolchain that motivated the J-Kernel, as isolated
+// servlets. A MiniC program travels through the compiler, assembler, and
+// linker servlets — each in its own protection domain behind the bridge —
+// and finally runs on the C3 emulator servlet. Terminating the compiler
+// domain mid-course leaves the rest of the toolchain serving.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"jkernel"
+	"jkernel/servlet"
+	"jkernel/toolchain"
+)
+
+const program = `
+// Greatest common divisor, then a few Fibonacci numbers.
+func gcd(a, b) {
+  while (b != 0) {
+    var t = b;
+    b = a % b;
+    a = t;
+  }
+  return a;
+}
+
+func fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+
+func main() {
+  print(gcd(1071, 462));
+  var i = 0;
+  while (i < 8) {
+    print(fib(i));
+    i = i + 1;
+  }
+}
+`
+
+func main() {
+	k := jkernel.New(jkernel.Options{})
+	bridge, err := servlet.NewBridge(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := toolchain.MountServlets(bridge); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, bridge)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("toolchain server on", base)
+
+	post := func(path string, body []byte) []byte {
+		resp, err := http.Post(base+path, "text/plain", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			log.Fatalf("%s: %s: %s", path, resp.Status, out)
+		}
+		return out
+	}
+
+	// compile -> assemble -> link -> run, each hop a different domain.
+	asm := post("/cs314/compile", []byte(program))
+	fmt.Printf("compiled: %d lines of C3 assembly\n", strings.Count(string(asm), "\n"))
+
+	obj := post("/cs314/assemble?unit=prog", asm)
+	fmt.Printf("assembled: %d-byte object file\n", len(obj))
+
+	exe := post("/cs314/link", servlet.EncodeBundle(map[string][]byte{"prog": obj}))
+	fmt.Printf("linked: %d-byte executable\n", len(exe))
+
+	out := post("/cs314/run", exe)
+	fmt.Println("program output:")
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		fmt.Println("  ", line)
+	}
+
+	// Kill the compiler servlet; the rest of the toolchain still works —
+	// the failure isolation Jigsaw lacked.
+	if err := bridge.TerminateServlet("cs314-compile"); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/cs314/compile", "text/plain", strings.NewReader(program))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Println("compiler after termination:", resp.Status)
+
+	out = post("/cs314/run", exe)
+	fmt.Printf("runner still serving: %d output lines\n",
+		strings.Count(string(out), "\n"))
+}

@@ -1,0 +1,154 @@
+// Filesystem: the paper's §2 FileSystemInterface example rebuilt the
+// J-Kernel way. The file server hands each client a *capability* carrying
+// its access rights and root directory. Unlike the share-anything version,
+// access is revocable at any moment, file contents cross by copy (no
+// aliasing into the store), and terminating the server propagates failure
+// to every client.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+
+	"jkernel"
+)
+
+// FileStore is the server's private state. It is never shared: clients
+// only ever hold capabilities onto FileView objects.
+type FileStore struct {
+	files map[string][]byte
+}
+
+// FileView is the per-client interface object of §2: rights and root are
+// fixed at creation by the server.
+type FileView struct {
+	store             *FileStore
+	root              string
+	canRead, canWrite bool
+}
+
+// Open returns a copy of the file's contents.
+func (v *FileView) Open(name string) ([]byte, error) {
+	if !v.canRead {
+		return nil, errors.New("no read access")
+	}
+	data, ok := v.store.files[v.root+"/"+name]
+	if !ok {
+		return nil, fmt.Errorf("no file %q", name)
+	}
+	return data, nil // LRMI copies on the way out
+}
+
+// Write stores data under the client's root.
+func (v *FileView) Write(name string, data []byte) error {
+	if !v.canWrite {
+		return errors.New("no write access")
+	}
+	v.store.files[v.root+"/"+name] = data // LRMI copied on the way in
+	return nil
+}
+
+// List names the files under the client's root.
+func (v *FileView) List() (string, error) {
+	if !v.canRead {
+		return "", errors.New("no read access")
+	}
+	var names []string
+	for n := range v.store.files {
+		if strings.HasPrefix(n, v.root+"/") {
+			names = append(names, strings.TrimPrefix(n, v.root+"/"))
+		}
+	}
+	return strings.Join(names, ","), nil
+}
+
+func main() {
+	k := jkernel.New(jkernel.Options{})
+	fsDomain, err := k.NewDomain(jkernel.DomainConfig{Name: "filesystem"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, err := k.NewDomain(jkernel.DomainConfig{Name: "alice"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := k.NewDomain(jkernel.DomainConfig{Name: "bob"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	store := &FileStore{files: map[string][]byte{}}
+	// Per-client capabilities with different protection policies — "by
+	// specifying different values for accessRights and rootDirectory ...
+	// the file system can enforce different protection policies for
+	// different clients".
+	aliceCap, err := k.CreateNativeCapability(fsDomain,
+		&FileView{store: store, root: "alice", canRead: true, canWrite: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bobCap, err := k.CreateNativeCapability(fsDomain,
+		&FileView{store: store, root: "bob", canRead: true, canWrite: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store.files["bob/readme"] = []byte("bob's read-only data")
+
+	// Alice reads and writes in her subtree.
+	aliceTask := k.NewTask(alice, "alice")
+	var af struct {
+		Open  func(string) ([]byte, error)
+		Write func(string, []byte) error
+		List  func() (string, error)
+	}
+	if err := aliceCap.Bind(&af); err != nil {
+		log.Fatal(err)
+	}
+	if err := af.Write("notes", []byte("meet at noon")); err != nil {
+		log.Fatal(err)
+	}
+	data, _ := af.Open("notes")
+	fmt.Printf("alice reads her file: %q\n", data)
+
+	// The copy convention protects the store: mutating what Open returned
+	// does not change the server's copy.
+	data[0] = 'X'
+	again, _ := af.Open("notes")
+	fmt.Printf("store unaffected by client mutation: %q\n", again)
+	aliceTask.Close()
+
+	// Bob is read-only and rooted elsewhere: least privilege.
+	bobTask := k.NewTask(bob, "bob")
+	var bf struct {
+		Open  func(string) ([]byte, error)
+		Write func(string, []byte) error
+		List  func() (string, error)
+	}
+	if err := bobCap.Bind(&bf); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bf.Open("notes"); err != nil {
+		fmt.Println("bob cannot see alice's subtree:", err)
+	}
+	if err := bf.Write("readme", []byte("defaced")); err != nil {
+		fmt.Println("bob cannot write:", err)
+	}
+
+	// Revocation: the server cuts Bob off; his stub turns to stone.
+	bobCap.Revoke()
+	if _, err := bf.Open("readme"); err == jkernel.ErrRevoked {
+		fmt.Println("bob after revocation:", err)
+	}
+	bobTask.Close()
+
+	// Termination: the server dies; Alice's capability fails cleanly
+	// instead of leaving her holding zombie objects.
+	fsDomain.Terminate("maintenance")
+	aliceTask2 := k.NewTask(alice, "alice2")
+	defer aliceTask2.Close()
+	if _, err := aliceCap.Invoke("Open", "notes"); err == jkernel.ErrDomainTerminated {
+		fmt.Println("alice after server termination:", err)
+	}
+}

@@ -1,0 +1,120 @@
+package account
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicCharges(t *testing.T) {
+	m := NewMeter(ChargeCaller)
+	m.Alloc(1, 100)
+	m.Alloc(1, 50)
+	m.Steps(1, 7)
+	m.Class(2, 300)
+	s1 := m.Snapshot(1)
+	if s1.AllocBytes != 150 || s1.Steps != 7 {
+		t.Errorf("domain1 = %+v", s1)
+	}
+	if m.Snapshot(2).ClassBytes != 300 {
+		t.Errorf("domain2 = %+v", m.Snapshot(2))
+	}
+	if m.Snapshot(99) != (Stats{}) {
+		t.Error("unknown domain should be zero")
+	}
+}
+
+func TestCopyPolicies(t *testing.T) {
+	cases := []struct {
+		policy                 CopyPolicy
+		wantCaller, wantCallee int64
+	}{
+		{ChargeCaller, 101, 0},
+		{ChargeCallee, 0, 101},
+		{ChargeSplit, 51, 50},
+	}
+	for _, tc := range cases {
+		t.Run(tc.policy.String(), func(t *testing.T) {
+			m := NewMeter(tc.policy)
+			m.CrossCall(1, 2, 101)
+			if got := m.Snapshot(1).CopyBytes; got != tc.wantCaller {
+				t.Errorf("caller copy = %d, want %d", got, tc.wantCaller)
+			}
+			if got := m.Snapshot(2).CopyBytes; got != tc.wantCallee {
+				t.Errorf("callee copy = %d, want %d", got, tc.wantCallee)
+			}
+			if m.Snapshot(1).CrossCalls != 1 {
+				t.Error("cross call not counted")
+			}
+		})
+	}
+}
+
+// Conservation: whatever the policy, total copy charges equal total bytes.
+func TestCopyConservationProperty(t *testing.T) {
+	f := func(seed int64, policyRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		policy := CopyPolicy(policyRaw % 3)
+		m := NewMeter(policy)
+		var want int64
+		for i := 0; i < 50; i++ {
+			caller := int64(rng.Intn(4) + 1)
+			callee := int64(rng.Intn(4) + 5)
+			bytes := int64(rng.Intn(10000))
+			m.CrossCall(caller, callee, bytes)
+			want += bytes
+		}
+		return m.GrandTotal(func(s Stats) int64 { return s.CopyBytes }) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreezeStopsCharges(t *testing.T) {
+	m := NewMeter(ChargeCaller)
+	m.Alloc(1, 10)
+	m.Freeze(1)
+	m.Alloc(1, 10)
+	m.Steps(1, 10)
+	m.Class(1, 10)
+	s := m.Snapshot(1)
+	if s.AllocBytes != 10 || s.Steps != 0 || s.ClassBytes != 0 {
+		t.Errorf("frozen domain accrued charges: %+v", s)
+	}
+}
+
+func TestDomainsSorted(t *testing.T) {
+	m := NewMeter(ChargeCaller)
+	m.Alloc(3, 1)
+	m.Alloc(1, 1)
+	m.Alloc(2, 1)
+	ids := m.Domains()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Errorf("Domains() = %v", ids)
+	}
+}
+
+func TestConcurrentCharging(t *testing.T) {
+	m := NewMeter(ChargeSplit)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Alloc(1, 1)
+				m.CrossCall(1, 2, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Snapshot(1).AllocBytes; got != 8000 {
+		t.Errorf("alloc = %d, want 8000", got)
+	}
+	total := m.GrandTotal(func(s Stats) int64 { return s.CopyBytes })
+	if total != 16000 {
+		t.Errorf("copy total = %d, want 16000", total)
+	}
+}

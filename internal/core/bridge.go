@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"jkernel/internal/vmkit"
+)
+
+// This file bridges Go callers to VM capabilities and back: Go code (the
+// web server bridge, examples, tools) can perform LRMI on capabilities
+// whose targets are VM objects. Values convert at the boundary: integers,
+// floats, strings, byte slices, and capabilities; anything richer must be
+// expressed as a VM class and crosses under the normal calling convention.
+
+// CapabilityFromStub wraps a VM stub object in a Go handle.
+func (k *Kernel) CapabilityFromStub(stub *vmkit.Object) (*Capability, error) {
+	capClass := k.VM.SystemClass(vmkit.ClassCapability)
+	if stub == nil || !stub.Class.AssignableTo(capClass) {
+		return nil, fmt.Errorf("jkernel: not a capability stub")
+	}
+	f := capClass.FieldByName("gate")
+	g := k.gateByID(stub.Fields[f.Slot].I)
+	if g == nil {
+		return nil, fmt.Errorf("jkernel: stub's gate is gone")
+	}
+	return &Capability{g: g, Stub: stub}, nil
+}
+
+// IsVM reports whether the capability's target is a VM object.
+func (c *Capability) IsVM() bool { return c.Stub != nil }
+
+// InvokeVM performs an LRMI on a VM capability from Go code running under
+// task. The method is named by its simple name (it must be unambiguous
+// among the capability's remote methods). Go arguments convert to VM
+// values in the caller's domain; the result converts back.
+func (c *Capability) InvokeVM(task *Task, method string, args ...any) (any, error) {
+	g := c.g
+	k := g.k
+	if g.vmTarget.Load() == nil && !g.Revoked() {
+		return nil, fmt.Errorf("jkernel: InvokeVM on a native capability (use Invoke)")
+	}
+
+	idx := -1
+	for i, m := range g.methods {
+		if m.Name == method {
+			if idx >= 0 {
+				return nil, fmt.Errorf("jkernel: method %s is overloaded; use full signatures via VM code", method)
+			}
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchMethod, method)
+	}
+	m := g.methods[idx]
+	params, _, err := vmkit.ParseMethodDesc(m.Desc)
+	if err != nil {
+		return nil, err
+	}
+	if len(params) != len(args) {
+		return nil, fmt.Errorf("jkernel: %s wants %d args, got %d", method, len(params), len(args))
+	}
+
+	caller := task.Domain
+	boxed, err := caller.NS.NewArray("[Ljk/lang/Object;", len(args))
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range args {
+		o, err := goToVMBoxed(k, caller, a)
+		if err != nil {
+			return nil, fmt.Errorf("jkernel: argument %d of %s: %w", i, method, err)
+		}
+		boxed.Refs[i] = o
+	}
+
+	env := &vmkit.Env{VM: k.VM, NS: caller.NS, Thread: task.Thread}
+	ret, thrown := g.callVM(env, int64(idx), boxed)
+	if thrown != nil {
+		return nil, &ThrownVMError{Throwable: thrown}
+	}
+	return vmToGo(k, ret, m.RetDesc())
+}
+
+// goToVMBoxed converts a Go value into the boxed *Object form invoke0
+// expects, allocated in the caller's domain.
+func goToVMBoxed(k *Kernel, caller *Domain, a any) (*vmkit.Object, error) {
+	switch v := a.(type) {
+	case nil:
+		return nil, nil
+	case *Capability:
+		if v.Stub == nil {
+			return nil, fmt.Errorf("native capability cannot enter the VM")
+		}
+		return v.Stub, nil
+	case *vmkit.Object:
+		return v, nil
+	case int:
+		return boxVMInt(caller, int64(v))
+	case int64:
+		return boxVMInt(caller, v)
+	case byte:
+		return boxVMInt(caller, int64(v))
+	case bool:
+		if v {
+			return boxVMInt(caller, 1)
+		}
+		return boxVMInt(caller, 0)
+	case float64:
+		bc, err := caller.NS.Resolve(vmkit.ClassBoxFloat)
+		if err != nil {
+			return nil, err
+		}
+		o, ierr := vmkit.NewInstance(bc)
+		if ierr != nil {
+			return nil, ierr
+		}
+		o.Fields[bc.FieldByName("v").Slot] = vmkit.FloatVal(v)
+		return o, nil
+	case string:
+		return caller.NS.NewString(v)
+	case []byte:
+		arr, err := caller.NS.NewArray("[B", len(v))
+		if err != nil {
+			return nil, err
+		}
+		copy(arr.Bytes, v)
+		return arr, nil
+	default:
+		return nil, fmt.Errorf("unsupported Go type %T at the VM boundary", a)
+	}
+}
+
+func boxVMInt(caller *Domain, v int64) (*vmkit.Object, error) {
+	bc, err := caller.NS.Resolve(vmkit.ClassBoxInt)
+	if err != nil {
+		return nil, err
+	}
+	o, ierr := vmkit.NewInstance(bc)
+	if ierr != nil {
+		return nil, ierr
+	}
+	o.Fields[bc.FieldByName("v").Slot] = vmkit.IntVal(v)
+	return o, nil
+}
+
+// vmToGo converts a VM return value (already copied into the caller's
+// domain by callVM) to a Go value.
+func vmToGo(k *Kernel, v vmkit.Value, desc string) (any, error) {
+	if desc == "" {
+		return nil, nil
+	}
+	switch desc[0] {
+	case 'I', 'Z', 'B', 'C':
+		// callVM boxed it for the generic invoke0 return.
+		if v.R == nil {
+			return nil, fmt.Errorf("jkernel: null boxed result")
+		}
+		return v.R.Fields[v.R.Class.FieldByName("v").Slot].I, nil
+	case 'D':
+		if v.R == nil {
+			return nil, fmt.Errorf("jkernel: null boxed result")
+		}
+		return v.R.Fields[v.R.Class.FieldByName("v").Slot].F, nil
+	}
+	if v.R == nil {
+		return nil, nil
+	}
+	o := v.R
+	switch {
+	case o.Class.Name == vmkit.ClassString:
+		return vmkit.StringText(o), nil
+	case o.Class.Name == "[B":
+		out := make([]byte, len(o.Bytes))
+		copy(out, o.Bytes)
+		return out, nil
+	case o.Class.AssignableTo(k.VM.SystemClass(vmkit.ClassCapability)):
+		return k.CapabilityFromStub(o)
+	default:
+		// Opaque VM object: hand back the reference for VM-side use.
+		return o, nil
+	}
+}

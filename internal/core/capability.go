@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"jkernel/internal/vmkit"
+)
+
+// Gate is the kernel side of a capability: it holds the (revocable)
+// pointer to the target and performs the cross-domain calling convention.
+// Stubs — VM bytecode stubs and native reflect stubs alike — funnel every
+// invocation through their gate.
+type Gate struct {
+	k     *Kernel
+	id    int64
+	owner *Domain
+
+	// Exactly one of vmTarget/natTarget is used. Revocation nulls the
+	// pointer, making the target collectable regardless of who holds the
+	// stub (the paper's revoke semantics).
+	vmTarget  atomic.Pointer[vmkit.Object]
+	natTarget atomic.Pointer[nativeTarget]
+
+	// VM dispatch table: remote methods in stable order; sig -> index.
+	methods []*vmkit.Method
+	bySig   map[string]int
+	ifaces  []*vmkit.Class
+}
+
+// ID returns the gate id (the value stored in VM stubs' gate field).
+func (g *Gate) ID() int64 { return g.id }
+
+// Owner returns the creating domain.
+func (g *Gate) Owner() *Domain { return g.owner }
+
+// Revoked reports whether the gate has been revoked.
+func (g *Gate) Revoked() bool {
+	return g.vmTarget.Load() == nil && g.natTarget.Load() == nil
+}
+
+// revoke severs the target pointers.
+func (g *Gate) revoke() {
+	g.vmTarget.Store(nil)
+	g.natTarget.Store(nil)
+}
+
+// Capability is the Go-facing handle on a capability. For VM capabilities
+// Stub is the generated stub object that VM code receives; for native
+// capabilities Stub is nil and Invoke/Bind are the entry points.
+type Capability struct {
+	g    *Gate
+	Stub *vmkit.Object
+}
+
+// Gate exposes the underlying gate (read-only uses: id, owner).
+func (c *Capability) Gate() *Gate { return c.g }
+
+// Revoke severs the capability. All subsequent uses fail with
+// ErrRevoked / jk.kernel.RevokedException.
+func (c *Capability) Revoke() {
+	c.g.revoke()
+	c.g.k.Meter.RevokeCount(c.g.owner.ID, 1)
+}
+
+// Revoked reports whether the capability has been revoked.
+func (c *Capability) Revoked() bool { return c.g.Revoked() }
+
+// Owner returns the domain that created the capability.
+func (c *Capability) Owner() *Domain { return c.g.owner }
+
+// remoteInterfacesOf collects the interfaces of c (transitively) that
+// extend jk/kernel/Remote, excluding Remote itself.
+func remoteInterfacesOf(k *Kernel, c *vmkit.Class) []*vmkit.Class {
+	remote := k.VM.SystemClass(vmkit.IfaceRemote)
+	seen := map[*vmkit.Class]bool{}
+	var out []*vmkit.Class
+	var visit func(ifc *vmkit.Class)
+	visit = func(ifc *vmkit.Class) {
+		if seen[ifc] {
+			return
+		}
+		seen[ifc] = true
+		if ifc != remote && ifc.Implements(remote) {
+			out = append(out, ifc)
+		}
+		for _, super := range ifc.Interfaces {
+			visit(super)
+		}
+	}
+	for cl := c; cl != nil; cl = cl.Super {
+		for _, ifc := range cl.Interfaces {
+			visit(ifc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateVMCapability implements Capability.create for a VM target object:
+// it collects the target's remote interfaces, generates a stub class (as
+// bytecode, loaded through the full decode/verify/link pipeline), and
+// returns the stub object plus a Go handle. The capability is recorded as
+// created by domain d and is revoked when d terminates.
+func (k *Kernel) CreateVMCapability(d *Domain, target *vmkit.Object) (*Capability, error) {
+	if d.Terminated() {
+		return nil, ErrDomainTerminated
+	}
+	if target == nil || target.Class == nil {
+		return nil, fmt.Errorf("jkernel: nil capability target")
+	}
+	ifaces := remoteInterfacesOf(k, target.Class)
+	if len(ifaces) == 0 {
+		return nil, ErrNotRemote
+	}
+
+	// Collect remote methods in stable order; the target must implement
+	// every one of them concretely.
+	var methods []*vmkit.Method
+	bySig := map[string]int{}
+	for _, ifc := range ifaces {
+		for _, im := range ifc.Methods() {
+			if im.Owner.Name == vmkit.ClassObject || im.IsStatic() {
+				continue
+			}
+			sig := im.Sig()
+			if _, dup := bySig[sig]; dup {
+				continue
+			}
+			impl := target.Class.MethodBySig(im.Name, im.Desc)
+			if impl == nil || impl.Flags&vmkit.MAbstract != 0 {
+				return nil, fmt.Errorf("jkernel: target %s does not implement %s", target.Class.Name, sig)
+			}
+			bySig[sig] = len(methods)
+			methods = append(methods, impl)
+		}
+	}
+	sort.SliceStable(methods, func(i, j int) bool { return methods[i].Sig() < methods[j].Sig() })
+	for i, m := range methods {
+		bySig[m.Sig()] = i
+	}
+	if len(methods) == 0 {
+		return nil, ErrNotRemote
+	}
+
+	g := &Gate{k: k, id: k.nextGate.Add(1), owner: d, methods: methods, bySig: bySig, ifaces: ifaces}
+	g.vmTarget.Store(target)
+
+	stubDef := genStubClass(k, g, target.Class)
+	stubBytes := vmkit.EncodeClass(stubDef)
+	stubClass, err := d.NS.DefineClass(stubBytes)
+	if err != nil {
+		return nil, fmt.Errorf("jkernel: stub generation for %s: %w", target.Class.Name, err)
+	}
+	stub, ierr := vmkit.NewInstance(stubClass)
+	if ierr != nil {
+		return nil, ierr
+	}
+	gateField := stubClass.FieldByName("gate")
+	stub.Fields[gateField.Slot] = vmkit.IntVal(g.id)
+
+	k.gates.Store(g.id, g)
+	d.addGate(g)
+	return &Capability{g: g, Stub: stub}, nil
+}
+
+// capOps backs the jk/kernel/Capability natives with the kernel gate
+// table. Declared as a type alias target so vmkit needs no core import.
+type capOps Kernel
+
+func (c *capOps) kernel() *Kernel { return (*Kernel)(c) }
+
+func (c *capOps) gateOf(env *vmkit.Env, stub *vmkit.Object) (*Gate, *vmkit.Object) {
+	k := c.kernel()
+	capClass := k.VM.SystemClass(vmkit.ClassCapability)
+	if stub == nil || !stub.Class.AssignableTo(capClass) {
+		return nil, env.VM.Throwf(vmkit.ClassIllegalStateEx, "not a capability")
+	}
+	f := capClass.FieldByName("gate")
+	id := stub.Fields[f.Slot].I
+	g := k.gateByID(id)
+	if g == nil {
+		return nil, env.VM.Throwf(vmkit.ClassIllegalStateEx, "gate %d is gone", id)
+	}
+	return g, nil
+}
+
+// Revoke implements the VM-visible revoke(). Only code running in the
+// creating domain may revoke ("revoked at any time by the domain that
+// created it").
+func (c *capOps) Revoke(env *vmkit.Env, stub *vmkit.Object) *vmkit.Object {
+	k := c.kernel()
+	g, th := c.gateOf(env, stub)
+	if th != nil {
+		return th
+	}
+	cur := k.currentDomainOfThread(env.Thread)
+	if cur != g.owner {
+		return env.VM.Throwf(vmkit.ClassIllegalStateEx,
+			"only the creating domain may revoke (caller=%v owner=%v)", cur, g.owner)
+	}
+	g.revoke()
+	k.Meter.RevokeCount(g.owner.ID, 1)
+	return nil
+}
+
+func (c *capOps) IsRevoked(env *vmkit.Env, stub *vmkit.Object) (int64, *vmkit.Object) {
+	g, th := c.gateOf(env, stub)
+	if th != nil {
+		return 0, th
+	}
+	if g.Revoked() {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// currentDomainOfThread resolves the domain of the thread's controlling
+// segment.
+func (k *Kernel) currentDomainOfThread(t *vmkit.Thread) *Domain {
+	task := k.taskForThread(t)
+	if task == nil {
+		return nil
+	}
+	return k.domainByID(task.Chain.Current().Domain)
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"jkernel/internal/threads"
+	"jkernel/internal/vmkit"
+)
+
+// DomainConfig describes a new protection domain.
+type DomainConfig struct {
+	// Name must be unique within the kernel.
+	Name string
+	// Classes maps class names to binary class files loadable on demand:
+	// the domain's local classes.
+	Classes map[string][]byte
+	// Shared lists shared-class groups visible to this domain (the
+	// SharedClass capabilities it has been given).
+	Shared []*SharedClass
+	// Resolver, when set, is consulted after Classes, Shared, and the
+	// system classes — the user-defined tail of the paper's "class name
+	// resolvers".
+	Resolver vmkit.ResolverFunc
+	// Output receives the domain's System.println output.
+	Output io.Writer
+}
+
+// Domain is one protection domain: a namespace, a set of thread segments,
+// an account, and the capabilities it created.
+type Domain struct {
+	K    *Kernel
+	ID   int64
+	Name string
+	NS   *vmkit.Namespace
+
+	terminated atomic.Bool
+
+	mu      sync.Mutex
+	created []*Gate
+	segs    map[int64]*threads.Seg
+}
+
+// NewDomain creates a protection domain. Its namespace sees: the
+// interposed per-domain System and Thread classes, its local classes, the
+// shared classes it was granted, the safe system classes, and finally any
+// custom resolver.
+func (k *Kernel) NewDomain(cfg DomainConfig) (*Domain, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("jkernel: domain needs a name")
+	}
+	if _, exists := k.byName.Load(cfg.Name); exists {
+		return nil, fmt.Errorf("jkernel: domain %q already exists", cfg.Name)
+	}
+	d := &Domain{
+		K:    k,
+		ID:   k.nextDom.Add(1),
+		Name: cfg.Name,
+		segs: make(map[int64]*threads.Seg),
+	}
+
+	shared := map[string]*vmkit.Class{}
+	for _, sc := range cfg.Shared {
+		for _, c := range sc.Classes() {
+			if prev, dup := shared[c.Name]; dup && prev != c {
+				return nil, fmt.Errorf("jkernel: conflicting shared classes named %s", c.Name)
+			}
+			shared[c.Name] = c
+		}
+	}
+
+	boot := k.VM.BootResolver()
+	resolver := func(name string) (*vmkit.Resolution, error) {
+		// Interposed classes never resolve through sharing or bootstrap:
+		// each domain gets its own copy, defined eagerly below.
+		if src := vmkit.InterposedClassSource(name); src != "" {
+			b, err := vmkit.AssembleBytes(src)
+			if err != nil {
+				return nil, err
+			}
+			return &vmkit.Resolution{Bytes: b}, nil
+		}
+		if b, ok := cfg.Classes[name]; ok {
+			return &vmkit.Resolution{Bytes: b}, nil
+		}
+		if c, ok := shared[name]; ok {
+			return &vmkit.Resolution{Shared: c}, nil
+		}
+		if res, err := boot(name); res != nil || err != nil {
+			return res, err
+		}
+		if cfg.Resolver != nil {
+			return cfg.Resolver(name)
+		}
+		return nil, nil
+	}
+
+	ns := k.VM.NewNamespace(cfg.Name, resolver)
+	ns.OwnerID = d.ID
+	ns.Output = cfg.Output
+	ns.ThreadOps = &domainThreadOps{k: k, d: d}
+	d.NS = ns
+
+	// Define the interposed classes eagerly so the domain starts complete.
+	for _, name := range []string{vmkit.ClassSystem, vmkit.ClassThread} {
+		if _, err := ns.Resolve(name); err != nil {
+			return nil, fmt.Errorf("jkernel: interposing %s: %w", name, err)
+		}
+	}
+
+	k.domains.Store(d.ID, d)
+	k.byName.Store(cfg.Name, d)
+	return d, nil
+}
+
+// Terminated reports whether the domain has been terminated.
+func (d *Domain) Terminated() bool { return d.terminated.Load() }
+
+// Terminate ends the domain: every capability it created is revoked (so
+// its memory may be freed and failures propagate to clients as
+// RevokedException), its running segments are stopped, new LRMI in or out
+// is refused, and its account freezes. This is the paper's "clean
+// semantics of domain termination".
+func (d *Domain) Terminate(reason string) {
+	if !d.terminated.CompareAndSwap(false, true) {
+		return
+	}
+	d.mu.Lock()
+	gates := append([]*Gate(nil), d.created...)
+	segs := make([]*threads.Seg, 0, len(d.segs))
+	for _, s := range d.segs {
+		segs = append(segs, s)
+	}
+	d.mu.Unlock()
+
+	for _, g := range gates {
+		g.revoke()
+	}
+	d.K.Meter.RevokeCount(d.ID, int64(len(gates)))
+	for _, s := range segs {
+		s.Stop(terminationStopMsg + ": " + reason)
+	}
+	d.K.Meter.Freeze(d.ID)
+}
+
+// addGate records a gate created by this domain (revoked on termination).
+func (d *Domain) addGate(g *Gate) {
+	d.mu.Lock()
+	d.created = append(d.created, g)
+	d.mu.Unlock()
+}
+
+// CreatedCapabilities returns how many capabilities the domain created.
+func (d *Domain) CreatedCapabilities() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.created)
+}
+
+func (d *Domain) addSeg(s *threads.Seg) {
+	d.mu.Lock()
+	if d.segs == nil {
+		d.segs = make(map[int64]*threads.Seg)
+	}
+	d.segs[s.ID] = s
+	d.mu.Unlock()
+	// A segment entering a dead domain dies immediately.
+	if d.Terminated() {
+		s.Stop(terminationStopMsg)
+	}
+}
+
+func (d *Domain) removeSeg(s *threads.Seg) {
+	d.mu.Lock()
+	delete(d.segs, s.ID)
+	d.mu.Unlock()
+}
+
+// DefineClass loads bytecode into the domain's namespace directly (the
+// dynamic-upload path: servers feed uploaded servlet bytecode here).
+func (d *Domain) DefineClass(data []byte) (*vmkit.Class, error) {
+	if d.Terminated() {
+		return nil, ErrDomainTerminated
+	}
+	return d.NS.DefineClass(data)
+}
+
+// NewInstance allocates a zeroed instance of a domain class, resolving the
+// class through the domain's namespace if necessary.
+func (d *Domain) NewInstance(className string) (*vmkit.Object, error) {
+	if d.Terminated() {
+		return nil, ErrDomainTerminated
+	}
+	cls, err := d.NS.Resolve(className)
+	if err != nil {
+		return nil, err
+	}
+	return vmkit.NewInstance(cls)
+}
+
+// SetIntField stores an integer into a named instance field (a Go-side
+// convenience for initializing VM capability targets).
+func (d *Domain) SetIntField(obj *vmkit.Object, field string, v int64) error {
+	f := obj.Class.FieldByName(field)
+	if f == nil || f.Static {
+		return fmt.Errorf("jkernel: no instance field %s in %s", field, obj.Class.Name)
+	}
+	obj.Fields[f.Slot] = vmkit.IntVal(v)
+	return nil
+}
+
+// SetBytesField stores a fresh byte array into a named instance field.
+func (d *Domain) SetBytesField(obj *vmkit.Object, field string, data []byte) error {
+	f := obj.Class.FieldByName(field)
+	if f == nil || f.Static {
+		return fmt.Errorf("jkernel: no instance field %s in %s", field, obj.Class.Name)
+	}
+	arr, err := d.NS.NewArray("[B", len(data))
+	if err != nil {
+		return err
+	}
+	copy(arr.Bytes, data)
+	obj.Fields[f.Slot] = vmkit.RefVal(arr)
+	return nil
+}
+
+// SetStringField stores a String into a named instance field.
+func (d *Domain) SetStringField(obj *vmkit.Object, field string, s string) error {
+	f := obj.Class.FieldByName(field)
+	if f == nil || f.Static {
+		return fmt.Errorf("jkernel: no instance field %s in %s", field, obj.Class.Name)
+	}
+	str, err := d.NS.NewString(s)
+	if err != nil {
+		return err
+	}
+	obj.Fields[f.Slot] = vmkit.RefVal(str)
+	return nil
+}
+
+// Stats returns the domain's resource account snapshot.
+func (d *Domain) Stats() accountStats { return d.K.Meter.Snapshot(d.ID) }
+
+func (d *Domain) String() string { return fmt.Sprintf("domain[%d %s]", d.ID, d.Name) }
+
+// domainThreadOps gives the interposed jk/lang/Thread class its segment
+// semantics. Thread objects are per-domain and hold a segment id; since
+// non-capability objects cannot cross domains, a domain can only ever hold
+// Thread objects denoting its own segments.
+type domainThreadOps struct {
+	k *Kernel
+	d *Domain
+}
+
+func (ops *domainThreadOps) segOf(env *vmkit.Env, threadObj *vmkit.Object) (*threads.Seg, *vmkit.Object) {
+	f := threadObj.Class.FieldByName("id")
+	if f == nil {
+		return nil, env.VM.Throwf(vmkit.ClassIllegalStateEx, "not a thread object")
+	}
+	id := threadObj.Fields[f.Slot].I
+	v, ok := ops.k.segs.Load(id)
+	if !ok {
+		return nil, env.VM.Throwf(vmkit.ClassIllegalStateEx, "segment %d is gone", id)
+	}
+	seg := v.(*threads.Seg)
+	if seg.Domain != ops.d.ID {
+		// Unreachable if the copy rules hold; defense in depth.
+		return nil, env.VM.Throwf(vmkit.ClassIllegalStateEx, "segment belongs to another domain")
+	}
+	return seg, nil
+}
+
+func (ops *domainThreadOps) Current(env *vmkit.Env) (*vmkit.Object, *vmkit.Object) {
+	chain, _ := env.Thread.Data.(*threads.Chain)
+	if chain == nil {
+		return nil, env.VM.Throwf(vmkit.ClassIllegalStateEx, "thread has no segment chain")
+	}
+	seg := chain.Current()
+	tc, err := ops.d.NS.Resolve(vmkit.ClassThread)
+	if err != nil {
+		return nil, env.VM.Throwf(vmkit.ClassError, "%v", err)
+	}
+	o, ierr := vmkit.NewInstance(tc)
+	if ierr != nil {
+		return nil, env.VM.Throwf(vmkit.ClassError, "%v", ierr)
+	}
+	o.Fields[tc.FieldByName("id").Slot] = vmkit.IntVal(seg.ID)
+	return o, nil
+}
+
+func (ops *domainThreadOps) Stop(env *vmkit.Env, threadObj *vmkit.Object) *vmkit.Object {
+	seg, th := ops.segOf(env, threadObj)
+	if th != nil {
+		return th
+	}
+	seg.Stop("Thread.stop")
+	return nil
+}
+
+func (ops *domainThreadOps) Suspend(env *vmkit.Env, threadObj *vmkit.Object) *vmkit.Object {
+	seg, th := ops.segOf(env, threadObj)
+	if th != nil {
+		return th
+	}
+	seg.Suspend()
+	return nil
+}
+
+func (ops *domainThreadOps) Resume(env *vmkit.Env, threadObj *vmkit.Object) *vmkit.Object {
+	seg, th := ops.segOf(env, threadObj)
+	if th != nil {
+		return th
+	}
+	seg.Resume()
+	return nil
+}
+
+func (ops *domainThreadOps) SetPriority(env *vmkit.Env, threadObj *vmkit.Object, p int64) *vmkit.Object {
+	seg, th := ops.segOf(env, threadObj)
+	if th != nil {
+		return th
+	}
+	seg.SetPriority(p)
+	return nil
+}
+
+func (ops *domainThreadOps) GetPriority(env *vmkit.Env, threadObj *vmkit.Object) (int64, *vmkit.Object) {
+	seg, th := ops.segOf(env, threadObj)
+	if th != nil {
+		return 0, th
+	}
+	return seg.Priority(), nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRevoked is returned (native path) or thrown as
+// jk/kernel/RevokedException (VM path) when a revoked capability is used.
+// "All uses of a revoked capability throw an exception, ensuring the
+// correct propagation of failure."
+var ErrRevoked = errors.New("jkernel: capability revoked")
+
+// ErrDomainTerminated is returned when the capability's owning domain has
+// been terminated, or when a terminated domain attempts a call.
+var ErrDomainTerminated = errors.New("jkernel: domain terminated")
+
+// ErrNotRemote is returned when a target exposes no remote methods.
+var ErrNotRemote = errors.New("jkernel: target implements no remote interface")
+
+// ErrNoSuchMethod is returned when a capability is invoked with an unknown
+// method name.
+var ErrNoSuchMethod = errors.New("jkernel: no such remote method")
+
+// ErrNotEntered is returned when LRMI is attempted from a goroutine that
+// has not entered a domain via NewTask.
+var ErrNotEntered = errors.New("jkernel: goroutine has no task (call Kernel.NewTask first)")
+
+// RemoteError carries a failure out of a callee domain. Like the paper's
+// RemoteException, it is a *copy* of the failure: no callee objects leak to
+// the caller through the error path.
+type RemoteError struct {
+	// Class is the VM throwable class name or the Go error type name.
+	Class string
+	// Msg is the copied message text.
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Class == "" {
+		return fmt.Sprintf("jkernel: remote error: %s", e.Msg)
+	}
+	return fmt.Sprintf("jkernel: remote error (%s): %s", e.Class, e.Msg)
+}
+
+// CopyError reports an argument or result that may not cross a domain
+// boundary (not a capability, not copyable).
+type CopyError struct {
+	What string
+	Err  error
+}
+
+func (e *CopyError) Error() string {
+	return fmt.Sprintf("jkernel: cannot transfer %s: %v", e.What, e.Err)
+}
+
+func (e *CopyError) Unwrap() error { return e.Err }

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"jkernel/internal/vmkit"
+)
+
+// This file implements the VM-path LRMI: the code run by
+// Capability.invoke0 on behalf of generated stubs. The sequence matches
+// the paper's stub description: check revocation, look up the current
+// thread, switch to the creating domain's thread segment (two lock
+// acquire/release pairs: segment push and pop), copy every non-capability
+// argument into the callee domain, invoke the target method, copy the
+// result back, and restore the caller's segment.
+
+// Invoke0 implements vmkit.CapabilityOps.
+func (c *capOps) Invoke0(env *vmkit.Env, stub *vmkit.Object, idx int64, argsArr *vmkit.Object) (vmkit.Value, *vmkit.Object) {
+	g, th := c.gateOf(env, stub)
+	if th != nil {
+		return vmkit.Value{}, th
+	}
+	return g.callVM(env, idx, argsArr)
+}
+
+// callVM performs one cross-domain call on a VM-target gate.
+func (g *Gate) callVM(env *vmkit.Env, idx int64, argsArr *vmkit.Object) (vmkit.Value, *vmkit.Object) {
+	k := g.k
+	vm := k.VM
+
+	// Revocation and termination checks. Termination revokes all gates, so
+	// the revocation check alone propagates server death to clients.
+	target := g.vmTarget.Load()
+	if target == nil {
+		if g.owner.Terminated() {
+			return vmkit.Value{}, vm.Throwf(vmkit.ClassTerminatedEx, "domain %s terminated", g.owner.Name)
+		}
+		return vmkit.Value{}, vm.Throwf(vmkit.ClassRevokedEx, "capability %d revoked", g.id)
+	}
+	if idx < 0 || int(idx) >= len(g.methods) {
+		return vmkit.Value{}, vm.Throwf(vmkit.ClassIllegalStateEx, "bad method index %d", idx)
+	}
+	m := g.methods[idx]
+
+	// Thread info lookup (Table 1 row 3).
+	task := k.taskForThread(env.Thread)
+	if task == nil {
+		return vmkit.Value{}, vm.Throwf(vmkit.ClassIllegalStateEx, "thread not managed by the kernel")
+	}
+	callerDomain := k.domainByID(task.Chain.Current().Domain)
+	if callerDomain == nil {
+		return vmkit.Value{}, vm.Throwf(vmkit.ClassIllegalStateEx, "caller domain is gone")
+	}
+	if callerDomain.Terminated() {
+		return vmkit.Value{}, vm.Throwf(vmkit.ClassTerminatedEx, "calling domain %s terminated", callerDomain.Name)
+	}
+
+	// Unbox and copy arguments under the calling convention.
+	params, _, err := vmkit.ParseMethodDesc(m.Desc)
+	if err != nil {
+		return vmkit.Value{}, vm.Throwf(vmkit.ClassError, "%v", err)
+	}
+	var raw []*vmkit.Object
+	if argsArr != nil {
+		raw = argsArr.Refs
+	}
+	if len(raw) != len(params) {
+		return vmkit.Value{}, vm.Throwf(vmkit.ClassIllegalStateEx,
+			"method %s wants %d args, got %d", m.Sig(), len(params), len(raw))
+	}
+	ctx := &vmCopyCtx{k: k, dest: g.owner}
+	callArgs := make([]vmkit.Value, 1+len(params))
+	callArgs[0] = vmkit.RefVal(target)
+	for i, p := range params {
+		v, thr := unboxArg(vm, raw[i], p)
+		if thr != nil {
+			return vmkit.Value{}, thr
+		}
+		cv, thr := ctx.copyValue(v)
+		if thr != nil {
+			return vmkit.Value{}, thr
+		}
+		callArgs[1+i] = cv
+	}
+
+	// Segment switch: push the callee segment (lock pair #1). Buffered
+	// step charges flush at each switch so work lands on the right domain.
+	// Under the heavy-lock profile each pair pays the Sun-VM-style
+	// synchronization bookkeeping.
+	env.Thread.FlushAccounting()
+	vm.RecordHeavyLock(nil)
+	seg := task.Chain.Push(g.owner.ID)
+	k.segs.Store(seg.ID, seg)
+	g.owner.addSeg(seg)
+	prevDomain := env.Thread.DomainID
+	env.Thread.DomainID = g.owner.ID
+
+	ret, thrown := vm.Invoke(env.Thread, m, callArgs)
+
+	// Segment restore (lock pair #2).
+	env.Thread.FlushAccounting()
+	vm.RecordHeavyLock(nil)
+	env.Thread.DomainID = prevDomain
+	g.owner.removeSeg(seg)
+	k.segs.Delete(seg.ID)
+	task.Chain.Pop()
+
+	// Account the call: bytes copied in both directions so far.
+	defer func() {
+		k.Meter.CrossCall(callerDomain.ID, g.owner.ID, ctx.bytes)
+	}()
+
+	if thrown != nil {
+		return vmkit.Value{}, k.copyThrowable(callerDomain, thrown)
+	}
+
+	// Copy the result back into the caller's domain and box primitives for
+	// the generic invoke0 signature (the stub unboxes).
+	retCtx := &vmCopyCtx{k: k, dest: callerDomain}
+	out, thr := boxResult(k, callerDomain, retCtx, ret, m.RetDesc())
+	ctx.bytes += retCtx.bytes
+	if thr != nil {
+		return vmkit.Value{}, thr
+	}
+	return out, nil
+}
+
+// unboxArg converts a boxed invoke0 argument into the value expected by
+// the parameter descriptor, validating types (user code can call invoke0
+// directly, so the gate cannot trust the stub discipline).
+func unboxArg(vm *vmkit.VM, o *vmkit.Object, desc string) (vmkit.Value, *vmkit.Object) {
+	switch desc[0] {
+	case 'I', 'Z', 'B', 'C':
+		if o == nil || o.Class.Name != vmkit.ClassBoxInt {
+			return vmkit.Value{}, vm.Throwf(vmkit.ClassCastEx, "expected boxed int for %s", desc)
+		}
+		return o.Fields[o.Class.FieldByName("v").Slot], nil
+	case 'D':
+		if o == nil || o.Class.Name != vmkit.ClassBoxFloat {
+			return vmkit.Value{}, vm.Throwf(vmkit.ClassCastEx, "expected boxed float for %s", desc)
+		}
+		return o.Fields[o.Class.FieldByName("v").Slot], nil
+	default:
+		if o == nil {
+			return vmkit.Null(), nil
+		}
+		// Reference argument: the runtime class must satisfy the declared
+		// parameter type in the callee's namespace.
+		var want *vmkit.Class
+		var err error
+		if desc[0] == '[' {
+			want, err = o.Class.NS.Resolve(desc)
+		} else {
+			want, err = o.Class.NS.Resolve(desc[1 : len(desc)-1])
+		}
+		if err == nil && want != nil && !o.Class.AssignableTo(want) {
+			return vmkit.Value{}, vm.Throwf(vmkit.ClassCastEx, "%s is not a %s", o.Class.Name, desc)
+		}
+		return vmkit.RefVal(o), nil
+	}
+}
+
+// boxResult copies a return value to the caller domain and boxes
+// primitives for the generic Object-typed invoke0 return.
+func boxResult(k *Kernel, caller *Domain, ctx *vmCopyCtx, v vmkit.Value, desc string) (vmkit.Value, *vmkit.Object) {
+	if desc == "" {
+		return vmkit.Null(), nil
+	}
+	switch desc[0] {
+	case 'I', 'Z', 'B', 'C':
+		return boxPrim(k, caller, vmkit.ClassBoxInt, v)
+	case 'D':
+		return boxPrim(k, caller, vmkit.ClassBoxFloat, v)
+	default:
+		return ctx.copyValue(v)
+	}
+}
+
+func boxPrim(k *Kernel, caller *Domain, boxClassName string, v vmkit.Value) (vmkit.Value, *vmkit.Object) {
+	bc, err := caller.NS.Resolve(boxClassName)
+	if err != nil {
+		return vmkit.Value{}, k.VM.Throwf(vmkit.ClassError, "%v", err)
+	}
+	o, ierr := vmkit.NewInstance(bc)
+	if ierr != nil {
+		return vmkit.Value{}, k.VM.Throwf(vmkit.ClassError, "%v", ierr)
+	}
+	o.Fields[bc.FieldByName("v").Slot] = v
+	return vmkit.RefVal(o), nil
+}
+
+// copyThrowable transfers a callee exception to the caller. Bootstrap
+// (system) throwables cross as fresh instances of the same shared class
+// with a copied message; everything else is wrapped in RemoteException so
+// no callee objects leak through the error path.
+func (k *Kernel) copyThrowable(caller *Domain, thrown *vmkit.Object) *vmkit.Object {
+	cls := thrown.Class
+	msg := vmkit.ThrowableMessage(thrown)
+	if cls.Def != nil && cls.Def.Flags&vmkit.FlagSystem != 0 {
+		return k.VM.Throwf(cls.Name, "%s", msg)
+	}
+	return k.VM.Throwf(vmkit.ClassRemoteEx, "remote %s: %s", cls.Name, msg)
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"jkernel/internal/fastcopy"
+	"jkernel/internal/seri"
+	"jkernel/internal/threads"
+)
+
+// Native targets: Go objects exposed through the same capability model as
+// VM objects. The paper's system servlet is "a system servlet with access
+// to native methods"; this path is its generalization. Remote methods are
+// the exported methods of the target whose last result is error; stubs are
+// built with reflect.MakeFunc (the native analog of run-time bytecode
+// generation).
+
+// nativeTarget is a revocable reference to a Go object's method table.
+type nativeTarget struct {
+	recv    reflect.Value
+	methods map[string]reflect.Value
+}
+
+// CreateNativeCapability creates a capability, owned by d, for a Go target
+// object. The target's remote surface is its exported methods whose final
+// result is error; there must be at least one.
+func (k *Kernel) CreateNativeCapability(d *Domain, target any) (*Capability, error) {
+	if d.Terminated() {
+		return nil, ErrDomainTerminated
+	}
+	if target == nil {
+		return nil, fmt.Errorf("jkernel: nil capability target")
+	}
+	rv := reflect.ValueOf(target)
+	rt := rv.Type()
+	nt := &nativeTarget{recv: rv, methods: map[string]reflect.Value{}}
+	errType := reflect.TypeOf((*error)(nil)).Elem()
+	for i := 0; i < rt.NumMethod(); i++ {
+		m := rt.Method(i)
+		if !m.IsExported() {
+			continue
+		}
+		mt := m.Func.Type()
+		if mt.NumOut() == 0 || mt.Out(mt.NumOut()-1) != errType {
+			continue
+		}
+		nt.methods[m.Name] = rv.Method(i)
+	}
+	if len(nt.methods) == 0 {
+		return nil, ErrNotRemote
+	}
+	g := &Gate{k: k, id: k.nextGate.Add(1), owner: d}
+	g.natTarget.Store(nt)
+	k.gates.Store(g.id, g)
+	d.addGate(g)
+	return &Capability{g: g}, nil
+}
+
+// Methods returns the remote method names of a native capability, sorted
+// (empty for VM capabilities).
+func (c *Capability) Methods() []string {
+	nt := c.g.natTarget.Load()
+	if nt == nil {
+		return nil
+	}
+	names := make([]string, 0, len(nt.methods))
+	for n := range nt.methods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Invoke performs a cross-domain call on a native capability from the
+// calling goroutine's task. Results exclude the trailing error, which is
+// returned separately (copied — callee errors never leak callee objects).
+func (c *Capability) Invoke(name string, args ...any) ([]any, error) {
+	k := c.g.k
+
+	// Thread info lookup (the expensive native-path goroutine-id lookup).
+	task := k.currentTask()
+	if task == nil {
+		return nil, ErrNotEntered
+	}
+	return c.invokeFrom(task, name, args)
+}
+
+// InvokeFrom performs the call with an explicit task, the "optimized"
+// variant that skips the goroutine-id lookup (benchmarked as an ablation).
+func (c *Capability) InvokeFrom(task *Task, name string, args ...any) ([]any, error) {
+	return c.invokeFrom(task, name, args)
+}
+
+func (c *Capability) invokeFrom(task *Task, name string, args []any) ([]any, error) {
+	g := c.g
+	k := g.k
+
+	callerDomain := k.domainByID(task.Chain.Current().Domain)
+	if callerDomain == nil {
+		return nil, ErrNotEntered
+	}
+	if callerDomain.Terminated() {
+		return nil, ErrDomainTerminated
+	}
+	nt := g.natTarget.Load()
+	if nt == nil {
+		if g.owner.Terminated() {
+			return nil, ErrDomainTerminated
+		}
+		return nil, ErrRevoked
+	}
+	fn, ok := nt.methods[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchMethod, name)
+	}
+
+	// Copy arguments in (capabilities by reference).
+	var copied int64
+	ft := fn.Type()
+	if ft.NumIn() != len(args) && !ft.IsVariadic() {
+		return nil, fmt.Errorf("jkernel: %s wants %d args, got %d", name, ft.NumIn(), len(args))
+	}
+	in := make([]reflect.Value, len(args))
+	for i, a := range args {
+		ca, n, err := k.copyNative(a)
+		if err != nil {
+			return nil, &CopyError{What: fmt.Sprintf("argument %d of %s", i, name), Err: err}
+		}
+		copied += n
+		var want reflect.Type
+		if ft.IsVariadic() && i >= ft.NumIn()-1 {
+			want = ft.In(ft.NumIn() - 1).Elem()
+		} else {
+			want = ft.In(i)
+		}
+		rv, err := conform(ca, want)
+		if err != nil {
+			return nil, fmt.Errorf("jkernel: %s argument %d: %w", name, i, err)
+		}
+		in[i] = rv
+	}
+
+	// Segment switch (lock pair #1 on push, #2 on pop).
+	seg := task.Chain.Push(g.owner.ID)
+	k.segs.Store(seg.ID, seg)
+	g.owner.addSeg(seg)
+
+	out, callErr := safeCall(fn, in)
+
+	g.owner.removeSeg(seg)
+	k.segs.Delete(seg.ID)
+	task.Chain.Pop()
+
+	// The caller's segment may have been stopped or suspended while the
+	// callee ran; honor it at the boundary (the native safepoint).
+	if perr := task.Chain.Poll(); perr != nil {
+		return nil, perr
+	}
+
+	k.Meter.CrossCall(callerDomain.ID, g.owner.ID, copied)
+
+	if callErr != nil {
+		return nil, callErr
+	}
+
+	// Copy results out. The last result is the error.
+	results := make([]any, 0, len(out)-1)
+	for i := 0; i < len(out)-1; i++ {
+		cv, n, err := k.copyNative(out[i].Interface())
+		if err != nil {
+			return nil, &CopyError{What: fmt.Sprintf("result %d of %s", i, name), Err: err}
+		}
+		_ = n
+		results = append(results, cv)
+	}
+	errOut := out[len(out)-1]
+	if !errOut.IsNil() {
+		return results, copyErrorOut(errOut.Interface().(error))
+	}
+	return results, nil
+}
+
+// safeCall invokes fn, converting a callee panic into a RemoteError: a
+// crash in one component must not crash the others (failure isolation).
+func safeCall(fn reflect.Value, in []reflect.Value) (out []reflect.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = &RemoteError{Class: "panic", Msg: fmt.Sprint(r)}
+		}
+	}()
+	return fn.Call(in), nil
+}
+
+// copyErrorOut transfers a callee error to the caller. Kernel sentinel
+// errors keep their identity (so errors.Is works across domains); all
+// other errors cross as a copied RemoteError.
+func copyErrorOut(err error) error {
+	switch err {
+	case ErrRevoked, ErrDomainTerminated, ErrNotRemote, ErrNoSuchMethod, ErrNotEntered:
+		return err
+	}
+	if re, ok := err.(*RemoteError); ok {
+		return &RemoteError{Class: re.Class, Msg: re.Msg}
+	}
+	return &RemoteError{Class: fmt.Sprintf("%T", err), Msg: err.Error()}
+}
+
+// copyNative applies the calling convention to a Go value: capabilities by
+// reference, everything else deep-copied by the type's registered mode.
+func (k *Kernel) copyNative(v any) (any, int64, error) {
+	if v == nil {
+		return nil, 0, nil
+	}
+	if c, ok := v.(*Capability); ok {
+		return c, 8, nil
+	}
+	n := fastcopy.Sizeof(v)
+	switch k.copyModeFor(v) {
+	case copyModeSeri:
+		out, err := seri.Copy(k.seriReg, v)
+		return out, n, err
+	case copyModeFastGraph:
+		out, err := k.graphCop.Copy(v)
+		return out, n, err
+	default:
+		out, err := k.copier.Copy(v)
+		return out, n, err
+	}
+}
+
+// conform adapts a copied value to the parameter type, converting numeric
+// widths that the copy normalized.
+func conform(v any, want reflect.Type) (reflect.Value, error) {
+	if v == nil {
+		switch want.Kind() {
+		case reflect.Ptr, reflect.Interface, reflect.Slice, reflect.Map, reflect.Func, reflect.Chan:
+			return reflect.Zero(want), nil
+		}
+		return reflect.Value{}, fmt.Errorf("nil for non-nilable %v", want)
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Type().AssignableTo(want) {
+		return rv, nil
+	}
+	if rv.Type().ConvertibleTo(want) {
+		switch rv.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64, reflect.String:
+			return rv.Convert(want), nil
+		}
+	}
+	return reflect.Value{}, fmt.Errorf("%v is not assignable to %v", rv.Type(), want)
+}
+
+// Bind fills a struct of func fields with typed stubs for this capability:
+// the Go equivalent of casting a capability to a remote interface. Each
+// exported func field must name a remote method; its last result must be
+// error. Calls through the stub follow the full LRMI path.
+//
+//	var files struct {
+//	    Read  func(name string) ([]byte, error)
+//	    Write func(name string, data []byte) error
+//	}
+//	if err := cap.Bind(&files); err != nil { ... }
+//	data, err := files.Read("motd")
+func (c *Capability) Bind(stubStruct any) error {
+	pv := reflect.ValueOf(stubStruct)
+	if pv.Kind() != reflect.Ptr || pv.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("jkernel: Bind wants a pointer to a struct of funcs")
+	}
+	sv := pv.Elem()
+	st := sv.Type()
+	errType := reflect.TypeOf((*error)(nil)).Elem()
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		if f.Type.Kind() != reflect.Func {
+			continue
+		}
+		ft := f.Type
+		if ft.NumOut() == 0 || ft.Out(ft.NumOut()-1) != errType {
+			return fmt.Errorf("jkernel: stub %s must return error last", f.Name)
+		}
+		name := f.Name
+		stub := reflect.MakeFunc(ft, func(in []reflect.Value) []reflect.Value {
+			args := make([]any, len(in))
+			for j, v := range in {
+				args[j] = v.Interface()
+			}
+			results, err := c.Invoke(name, args...)
+			out := make([]reflect.Value, ft.NumOut())
+			for j := 0; j < ft.NumOut()-1; j++ {
+				if j < len(results) && results[j] != nil {
+					rv, cerr := conform(results[j], ft.Out(j))
+					if cerr != nil && err == nil {
+						err = cerr
+					}
+					if cerr == nil {
+						out[j] = rv
+						continue
+					}
+				}
+				out[j] = reflect.Zero(ft.Out(j))
+			}
+			if err != nil {
+				out[ft.NumOut()-1] = reflect.ValueOf(&err).Elem()
+			} else {
+				out[ft.NumOut()-1] = reflect.Zero(errType)
+			}
+			return out
+		})
+		sv.Field(i).Set(stub)
+	}
+	return nil
+}
+
+// EnterBaseDomain is a convenience for callers that need an anonymous
+// context: it creates a task for d on the current goroutine and returns a
+// cleanup func.
+func (k *Kernel) EnterBaseDomain(d *Domain, name string) (task *Task, cleanup func()) {
+	t := k.NewTask(d, name)
+	return t, t.Close
+}
+
+// currentChainDomain reports the calling goroutine's current domain id, or
+// -1 when unregistered (diagnostics).
+func (k *Kernel) currentChainDomain() int64 {
+	ch := threads.CurrentChain()
+	if ch == nil {
+		return -1
+	}
+	return ch.Current().Domain
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"jkernel/internal/vmkit"
+)
+
+// SharedClass is a capability-like handle on a group of classes that one
+// domain exports for others to bind (§3.1, "Class Name Resolvers"):
+// "After a domain has loaded new classes into the system, it can share
+// these classes with other domains ... by making a SharedClass capability
+// available to other domains."
+//
+// The paper's two safety rules are enforced at export time:
+//
+//  1. shared classes (and the classes they reach) may not have static
+//     fields, which would be uncontrolled cross-domain channels;
+//  2. sharing is transitively consistent — everything a shared class
+//     references must itself be shared (or be a system class), so symbolic
+//     resolution is namespace-independent.
+type SharedClass struct {
+	owner   *Domain
+	classes []*vmkit.Class
+}
+
+// ShareClasses exports the named classes (already loaded in d) together
+// with their transitive reference closure. The closure is computed over
+// superclasses, interfaces, field and method descriptors, and code
+// references; system classes terminate the walk.
+func (k *Kernel) ShareClasses(d *Domain, names ...string) (*SharedClass, error) {
+	if d.Terminated() {
+		return nil, ErrDomainTerminated
+	}
+	seen := map[*vmkit.Class]bool{}
+	var closure []*vmkit.Class
+	var visit func(c *vmkit.Class) error
+	visit = func(c *vmkit.Class) error {
+		if c == nil || seen[c] {
+			return nil
+		}
+		if c.IsArray() {
+			if ec := elemOfArray(c); ec != nil {
+				return visit(ec)
+			}
+			return nil
+		}
+		if c.Def != nil && c.Def.Flags&vmkit.FlagSystem != 0 {
+			return nil // system classes are shared with everyone already
+		}
+		seen[c] = true
+		// Rule 1: no statics anywhere in the closure.
+		for _, f := range c.Def.Fields {
+			if f.Static {
+				return fmt.Errorf("jkernel: shared class %s has static field %s", c.Name, f.Name)
+			}
+		}
+		closure = append(closure, c)
+		if err := visit(c.Super); err != nil {
+			return err
+		}
+		for _, i := range c.Interfaces {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+		// Referenced classes through descriptors and code.
+		for _, ref := range referencedClassNames(c.Def) {
+			rc := c.NS.Lookup(ref)
+			if rc == nil {
+				// Never resolved: force resolution so the closure is real.
+				var err error
+				rc, err = c.NS.Resolve(ref)
+				if err != nil {
+					return fmt.Errorf("jkernel: shared class %s references unresolvable %s: %w", c.Name, ref, err)
+				}
+			}
+			if err := visit(rc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, name := range names {
+		c, err := d.NS.Resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := visit(c); err != nil {
+			return nil, err
+		}
+	}
+	if len(closure) == 0 {
+		return nil, fmt.Errorf("jkernel: nothing to share (all named classes are system classes)")
+	}
+	sort.Slice(closure, func(i, j int) bool { return closure[i].Name < closure[j].Name })
+	return &SharedClass{owner: d, classes: closure}, nil
+}
+
+// Classes returns the classes in the shared group.
+func (s *SharedClass) Classes() []*vmkit.Class { return s.classes }
+
+// Owner returns the exporting domain.
+func (s *SharedClass) Owner() *Domain { return s.owner }
+
+// Names returns the class names in the group, sorted.
+func (s *SharedClass) Names() []string {
+	out := make([]string, len(s.classes))
+	for i, c := range s.classes {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func elemOfArray(c *vmkit.Class) *vmkit.Class {
+	e := c.Elem()
+	for len(e) > 0 && e[0] == '[' {
+		e = e[1:]
+	}
+	if len(e) > 1 && e[0] == 'L' {
+		return c.NS.Lookup(e[1 : len(e)-1])
+	}
+	return nil
+}
+
+// referencedClassNames extracts every class name a definition mentions:
+// field descriptors, method descriptors, and instruction operands.
+func referencedClassNames(def *vmkit.ClassDef) []string {
+	set := map[string]bool{}
+	addDesc := func(desc string) {
+		for len(desc) > 0 && desc[0] == '[' {
+			desc = desc[1:]
+		}
+		if len(desc) > 1 && desc[0] == 'L' {
+			set[desc[1:len(desc)-1]] = true
+		}
+	}
+	addMethodDesc := func(desc string) {
+		params, ret, err := vmkit.ParseMethodDesc(desc)
+		if err != nil {
+			return
+		}
+		for _, p := range params {
+			addDesc(p)
+		}
+		if ret != "" {
+			addDesc(ret)
+		}
+	}
+	for _, f := range def.Fields {
+		addDesc(f.Desc)
+	}
+	for i := range def.Methods {
+		m := &def.Methods[i]
+		addMethodDesc(m.Desc)
+		for _, e := range m.Excs {
+			set[e.Type] = true
+		}
+		for _, in := range m.Code {
+			switch in.Op {
+			case vmkit.OpNew, vmkit.OpCast, vmkit.OpInstOf:
+				if len(in.S) > 0 && in.S[0] == '[' {
+					addDesc(in.S)
+				} else {
+					set[in.S] = true
+				}
+			case vmkit.OpNewArr:
+				addDesc(in.S)
+			case vmkit.OpGetF, vmkit.OpPutF, vmkit.OpGetS, vmkit.OpPutS:
+				if fr, err := vmkit.ParseFieldRef(in.S); err == nil {
+					set[fr.Class] = true
+					addDesc(fr.Desc)
+				}
+			case vmkit.OpInvokeV, vmkit.OpInvokeI, vmkit.OpInvokeS:
+				if mr, err := vmkit.ParseMethodRef(in.S); err == nil {
+					set[mr.Class] = true
+					addMethodDesc(mr.Desc)
+				}
+			}
+		}
+	}
+	delete(set, def.Name)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"jkernel/internal/vmkit"
+)
+
+// genStubClass generates the bytecode for a capability stub class, the
+// run-time code generation of the paper's "Local-RMI stubs": create
+// "automatically generates a stub class at run-time for each target
+// class". The stub extends jk/kernel/Capability, implements every remote
+// interface of the target, and each method packs its arguments into an
+// object array and funnels through Capability.invoke0 — where the gate
+// checks revocation, switches thread segments, and applies the copying
+// calling convention.
+//
+// The generated class is emitted as binary bytecode and loaded through the
+// ordinary decode/verify/link pipeline, so the verifier checks the
+// generator's output like any other class.
+func genStubClass(k *Kernel, g *Gate, targetClass *vmkit.Class) *vmkit.ClassDef {
+	name := fmt.Sprintf("jk/stub/%s$%d", targetClass.Name, k.nextStub.Add(1))
+	def := &vmkit.ClassDef{
+		Name:  name,
+		Super: vmkit.ClassCapability,
+	}
+	for _, ifc := range g.ifaces {
+		def.Interfaces = append(def.Interfaces, ifc.Name)
+	}
+	for idx, m := range g.methods {
+		def.Methods = append(def.Methods, genStubMethod(idx, m))
+	}
+	return def
+}
+
+// genStubMethod emits one stub method forwarding to invoke0.
+func genStubMethod(idx int, m *vmkit.Method) vmkit.MethodDef {
+	params, ret, err := vmkit.ParseMethodDesc(m.Desc)
+	if err != nil {
+		panic(fmt.Sprintf("jkernel: gate method with bad descriptor %q", m.Desc))
+	}
+	var code []vmkit.Instr
+	emit := func(op vmkit.Opcode, operands ...any) {
+		in := vmkit.Instr{Op: op}
+		for _, o := range operands {
+			switch v := o.(type) {
+			case int:
+				in.I = int64(v)
+			case int64:
+				in.I = v
+			case string:
+				in.S = v
+			}
+		}
+		code = append(code, in)
+	}
+
+	// this, method index, fresh args array.
+	emit(vmkit.OpLoad, 0)
+	emit(vmkit.OpIConst, idx)
+	emit(vmkit.OpIConst, len(params))
+	emit(vmkit.OpNewArr, "[Ljk/lang/Object;")
+	for j, p := range params {
+		emit(vmkit.OpDup)
+		emit(vmkit.OpIConst, j)
+		emit(vmkit.OpLoad, 1+j)
+		switch p[0] {
+		case 'I', 'Z', 'B', 'C':
+			emit(vmkit.OpInvokeS, "jk/lang/Int.valueOf:(I)Ljk/lang/Int;")
+		case 'D':
+			emit(vmkit.OpInvokeS, "jk/lang/Float.valueOf:(D)Ljk/lang/Float;")
+		}
+		emit(vmkit.OpAStore)
+	}
+	emit(vmkit.OpInvokeV, "jk/kernel/Capability.invoke0:(I[Ljk/lang/Object;)Ljk/lang/Object;")
+
+	// Unbox / cast the result.
+	switch {
+	case ret == "":
+		emit(vmkit.OpPop)
+		emit(vmkit.OpRet)
+	case ret[0] == 'I' || ret[0] == 'Z' || ret[0] == 'B' || ret[0] == 'C':
+		emit(vmkit.OpCast, vmkit.ClassBoxInt)
+		emit(vmkit.OpInvokeV, "jk/lang/Int.intValue:()I")
+		emit(vmkit.OpRetV)
+	case ret[0] == 'D':
+		emit(vmkit.OpCast, vmkit.ClassBoxFloat)
+		emit(vmkit.OpInvokeV, "jk/lang/Float.floatValue:()D")
+		emit(vmkit.OpRetV)
+	case ret[0] == '[':
+		emit(vmkit.OpCast, ret)
+		emit(vmkit.OpRetV)
+	default: // L...;
+		emit(vmkit.OpCast, ret[1:len(ret)-1])
+		emit(vmkit.OpRetV)
+	}
+
+	return vmkit.MethodDef{
+		Name:     m.Name,
+		Desc:     m.Desc,
+		MaxStack: int32(8 + len(params)),
+		Code:     code,
+	}
+}

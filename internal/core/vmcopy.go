@@ -1,0 +1,674 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"jkernel/internal/vmkit"
+)
+
+// vmCopyCtx copies VM values between domains under the J-Kernel calling
+// convention (§3): capabilities by reference, primitives by value, and
+// every other object by deep copy — serialization for jk/io/Serializable
+// classes (through a real intermediate byte array, as in the paper),
+// direct field copy for jk/io/FastCopy classes, direct copy with a
+// cycle-tracking hash table for jk/io/FastCopyGraph. Strings and arrays
+// are always copyable. Anything else may not cross.
+type vmCopyCtx struct {
+	k     *Kernel
+	dest  *Domain
+	bytes int64
+	table map[*vmkit.Object]*vmkit.Object
+	depth int
+}
+
+// vmCopyMaxDepth converts runaway recursion (cycles in non-graph fast-copy
+// data) into an exception, matching fastcopy's behaviour on the Go path.
+const vmCopyMaxDepth = 256
+
+func (ctx *vmCopyCtx) throwf(class, format string, args ...any) *vmkit.Object {
+	return ctx.k.VM.Throwf(class, format, args...)
+}
+
+// copyValue transfers one value into ctx.dest.
+func (ctx *vmCopyCtx) copyValue(v vmkit.Value) (vmkit.Value, *vmkit.Object) {
+	switch v.K {
+	case vmkit.KInt, vmkit.KFloat:
+		ctx.bytes += 8
+		return v, nil
+	case vmkit.KRef:
+		if v.R == nil {
+			ctx.bytes += 8
+			return v, nil
+		}
+		o, th := ctx.copyObject(v.R)
+		if th != nil {
+			return vmkit.Value{}, th
+		}
+		return vmkit.RefVal(o), nil
+	default:
+		return vmkit.Value{}, ctx.throwf(vmkit.ClassError, "invalid value crossing domains")
+	}
+}
+
+// copyObject transfers one object into ctx.dest according to its class.
+func (ctx *vmCopyCtx) copyObject(o *vmkit.Object) (*vmkit.Object, *vmkit.Object) {
+	ctx.depth++
+	defer func() { ctx.depth-- }()
+	if ctx.depth > vmCopyMaxDepth {
+		return nil, ctx.throwf(vmkit.ClassRemoteEx,
+			"argument graph too deep or cyclic (declare jk/io/FastCopyGraph)")
+	}
+	k := ctx.k
+	cls := o.Class
+
+	// Capabilities pass by reference — the only objects that may.
+	capClass := k.VM.SystemClass(vmkit.ClassCapability)
+	if cls.AssignableTo(capClass) {
+		ctx.bytes += 8
+		return o, nil
+	}
+
+	// Arrays copy by value, recursively for reference arrays.
+	if cls.IsArray() {
+		return ctx.copyArray(o)
+	}
+
+	// Strings always copy (and their internal byte array copies with them,
+	// so no cross-domain aliasing of string internals can arise — the
+	// hazard of §2's domain-termination discussion).
+	if cls.Name == vmkit.ClassString {
+		ctx.bytes += int64(len(vmkit.StringText(o)))
+		s, err := ctx.dest.NS.NewString(vmkit.StringText(o))
+		if err != nil {
+			return nil, ctx.throwf(vmkit.ClassError, "%v", err)
+		}
+		return s, nil
+	}
+
+	// The class must be visible in the destination namespace, and it must
+	// be the *same* class — "two domains that share a class must also
+	// share other classes referenced by that class".
+	destCls, err := ctx.dest.NS.Resolve(cls.Name)
+	if err != nil || destCls != cls {
+		return nil, ctx.throwf(vmkit.ClassRemoteEx,
+			"class %s is not shared with domain %s", cls.Name, ctx.dest.Name)
+	}
+
+	fastGraph := k.VM.SystemClass(vmkit.IfaceFastCopyGraph)
+	fastCopy := k.VM.SystemClass(vmkit.IfaceFastCopy)
+	serializable := k.VM.SystemClass(vmkit.IfaceSerializable)
+
+	switch {
+	case cls.Implements(fastGraph):
+		if ctx.table == nil {
+			ctx.table = make(map[*vmkit.Object]*vmkit.Object)
+		}
+		if prev, ok := ctx.table[o]; ok {
+			return prev, nil
+		}
+		return ctx.copyFields(o, true)
+	case cls.Implements(fastCopy):
+		return ctx.copyFields(o, false)
+	case cls.Implements(serializable):
+		return ctx.copySerialized(o)
+	default:
+		return nil, ctx.throwf(vmkit.ClassRemoteEx,
+			"objects of %s cannot cross domains (not a capability, not Serializable/FastCopy)", cls.Name)
+	}
+}
+
+// copyFields is the fast-copy path: a fresh instance with each field
+// copied under the calling convention. When track is set the new object is
+// entered into the cycle table before fields copy, so cycles terminate.
+func (ctx *vmCopyCtx) copyFields(o *vmkit.Object, track bool) (*vmkit.Object, *vmkit.Object) {
+	dup, err := vmkit.NewInstance(o.Class)
+	if err != nil {
+		return nil, ctx.throwf(vmkit.ClassError, "%v", err)
+	}
+	dup.Owner = ctx.dest.ID
+	if track {
+		ctx.table[o] = dup
+	}
+	ctx.bytes += int64(16 + 8*len(o.Fields))
+	for i, fv := range o.Fields {
+		cv, th := ctx.copyValue(fv)
+		if th != nil {
+			return nil, th
+		}
+		dup.Fields[i] = cv
+	}
+	return dup, nil
+}
+
+// copyArray copies an array into the destination namespace.
+func (ctx *vmCopyCtx) copyArray(o *vmkit.Object) (*vmkit.Object, *vmkit.Object) {
+	dest := ctx.dest
+	dup, err := dest.NS.NewArray(o.Class.Name, o.Len())
+	if err != nil {
+		return nil, ctx.throwf(vmkit.ClassRemoteEx, "array %s: %v", o.Class.Name, err)
+	}
+	switch {
+	case o.Bytes != nil:
+		copy(dup.Bytes, o.Bytes)
+		ctx.bytes += int64(len(o.Bytes))
+	case o.Ints != nil:
+		copy(dup.Ints, o.Ints)
+		ctx.bytes += int64(8 * len(o.Ints))
+	case o.Floats != nil:
+		copy(dup.Floats, o.Floats)
+		ctx.bytes += int64(8 * len(o.Floats))
+	default:
+		for i, e := range o.Refs {
+			if e == nil {
+				continue
+			}
+			ce, th := ctx.copyObject(e)
+			if th != nil {
+				return nil, th
+			}
+			dup.Refs[i] = ce
+		}
+		ctx.bytes += int64(8 * len(o.Refs))
+	}
+	return dup, nil
+}
+
+// --- Serialization path -------------------------------------------------
+
+// copySerialized runs the object through a real byte-array intermediate:
+// encode the graph to bytes, then decode a fresh graph in the destination.
+// This is the J-Kernel's default (slow) copy path whose cost Table 4
+// measures against fast-copy.
+func (ctx *vmCopyCtx) copySerialized(o *vmkit.Object) (*vmkit.Object, *vmkit.Object) {
+	enc := &vmEncoder{k: ctx.k, handles: map[*vmkit.Object]uint64{}}
+	if th := enc.encodeObject(o); th != nil {
+		return nil, th
+	}
+	ctx.bytes += int64(len(enc.buf))
+	dec := &vmDecoder{k: ctx.k, dest: ctx.dest, buf: enc.buf, classes: enc.classes, caps: enc.caps}
+	out, th := dec.decodeObject()
+	if th != nil {
+		return nil, th
+	}
+	return out, nil
+}
+
+const (
+	vtagNull = iota
+	vtagInt
+	vtagFloat
+	vtagRef
+	vtagString
+	vtagArrB
+	vtagArrI
+	vtagArrD
+	vtagArrRef
+	vtagObject
+	vtagCap
+)
+
+// vmEncoder serializes a VM object graph. Class identities and capability
+// references travel in side tables (they are pointers, not data), while
+// all field and array content goes through the byte stream.
+type vmEncoder struct {
+	k       *Kernel
+	buf     []byte
+	handles map[*vmkit.Object]uint64
+	next    uint64
+	classes []*vmkit.Class
+	caps    []*vmkit.Object
+}
+
+func (e *vmEncoder) u(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *vmEncoder) i(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *vmEncoder) tag(t byte)  { e.buf = append(e.buf, t) }
+func (e *vmEncoder) f(v float64) { e.u(math.Float64bits(v)) }
+func (e *vmEncoder) str(s string) {
+	e.u(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// writeClassRef emits a class reference. The first mention of a class
+// writes a full class descriptor — name and declared fields — into the
+// stream, exactly as Java serialization writes ObjectStreamClass
+// descriptors; later mentions are back-references. The descriptor is the
+// fixed cost that dominates small-argument serialization in Table 4.
+func (e *vmEncoder) writeClassRef(c *vmkit.Class) {
+	for i, k := range e.classes {
+		if k == c {
+			e.u(uint64(i)*2 + 1) // back-reference: odd
+			return
+		}
+	}
+	e.classes = append(e.classes, c)
+	e.u(0) // new-class marker
+	e.str(c.Name)
+	fields := c.AllFields()
+	n := 0
+	for _, f := range fields {
+		if !f.Static {
+			n++
+		}
+	}
+	e.u(uint64(n))
+	for _, f := range fields {
+		if !f.Static {
+			e.str(f.Name)
+			e.str(f.Desc)
+		}
+	}
+}
+
+func (e *vmEncoder) encodeValue(v vmkit.Value) *vmkit.Object {
+	switch v.K {
+	case vmkit.KInt:
+		e.tag(vtagInt)
+		e.i(v.I)
+	case vmkit.KFloat:
+		e.tag(vtagFloat)
+		e.f(v.F)
+	case vmkit.KRef:
+		if v.R == nil {
+			e.tag(vtagNull)
+			return nil
+		}
+		return e.encodeObject(v.R)
+	default:
+		return e.k.VM.Throwf(vmkit.ClassError, "invalid value in serialization")
+	}
+	return nil
+}
+
+func (e *vmEncoder) encodeObject(o *vmkit.Object) *vmkit.Object {
+	if h, ok := e.handles[o]; ok {
+		e.tag(vtagRef)
+		e.u(h)
+		return nil
+	}
+	k := e.k
+	cls := o.Class
+
+	capClass := k.VM.SystemClass(vmkit.ClassCapability)
+	if cls.AssignableTo(capClass) {
+		e.tag(vtagCap)
+		e.u(uint64(len(e.caps)))
+		e.caps = append(e.caps, o)
+		return nil
+	}
+
+	e.handles[o] = e.next
+	e.next++
+
+	switch {
+	case cls.Name == vmkit.ClassString:
+		e.tag(vtagString)
+		text := vmkit.StringText(o)
+		e.u(uint64(len(text)))
+		e.buf = append(e.buf, text...)
+	case cls.IsArray():
+		switch {
+		case o.Bytes != nil:
+			// Element-wise with a per-element tag, like Java
+			// serialization's generic typed-stream writes — this is where
+			// the byte-array intermediate gets expensive (Table 4).
+			e.tag(vtagArrB)
+			e.u(uint64(len(o.Bytes)))
+			for _, x := range o.Bytes {
+				e.tag(vtagInt)
+				e.i(int64(x))
+			}
+		case o.Ints != nil:
+			e.tag(vtagArrI)
+			e.u(uint64(len(o.Ints)))
+			for _, x := range o.Ints {
+				e.i(x)
+			}
+		case o.Floats != nil:
+			e.tag(vtagArrD)
+			e.u(uint64(len(o.Floats)))
+			for _, x := range o.Floats {
+				e.f(x)
+			}
+		default:
+			e.tag(vtagArrRef)
+			e.writeClassRef(cls)
+			e.u(uint64(len(o.Refs)))
+			for _, el := range o.Refs {
+				if el == nil {
+					e.tag(vtagNull)
+					continue
+				}
+				if th := e.encodeObject(el); th != nil {
+					return th
+				}
+			}
+		}
+	default:
+		serializable := k.VM.SystemClass(vmkit.IfaceSerializable)
+		fastCopy := k.VM.SystemClass(vmkit.IfaceFastCopy)
+		fastGraph := k.VM.SystemClass(vmkit.IfaceFastCopyGraph)
+		if !cls.Implements(serializable) && !cls.Implements(fastCopy) && !cls.Implements(fastGraph) {
+			return k.VM.Throwf(vmkit.ClassRemoteEx, "%s is not serializable", cls.Name)
+		}
+		e.tag(vtagObject)
+		e.writeClassRef(cls)
+		e.u(uint64(len(o.Fields)))
+		for _, fv := range o.Fields {
+			if th := e.encodeValue(fv); th != nil {
+				return th
+			}
+		}
+	}
+	return nil
+}
+
+// vmDecoder rebuilds a graph in the destination domain.
+type vmDecoder struct {
+	k       *Kernel
+	dest    *Domain
+	buf     []byte
+	pos     int
+	objs    []*vmkit.Object
+	classes []*vmkit.Class
+	seen    []*vmkit.Class // classes whose descriptors have been read
+	caps    []*vmkit.Object
+}
+
+func (d *vmDecoder) fail(format string, args ...any) *vmkit.Object {
+	return d.k.VM.Throwf(vmkit.ClassRemoteEx, "deserialize: "+format, args...)
+}
+
+func (d *vmDecoder) tag() (byte, *vmkit.Object) {
+	if d.pos >= len(d.buf) {
+		return 0, d.fail("truncated stream")
+	}
+	t := d.buf[d.pos]
+	d.pos++
+	return t, nil
+}
+
+func (d *vmDecoder) u() (uint64, *vmkit.Object) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("bad uvarint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *vmDecoder) i() (int64, *vmkit.Object) {
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("bad varint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *vmDecoder) decodeValue() (vmkit.Value, *vmkit.Object) {
+	t, th := d.tag()
+	if th != nil {
+		return vmkit.Value{}, th
+	}
+	switch t {
+	case vtagInt:
+		v, th := d.i()
+		if th != nil {
+			return vmkit.Value{}, th
+		}
+		return vmkit.IntVal(v), nil
+	case vtagFloat:
+		v, th := d.u()
+		if th != nil {
+			return vmkit.Value{}, th
+		}
+		return vmkit.FloatVal(math.Float64frombits(v)), nil
+	case vtagNull:
+		return vmkit.Null(), nil
+	default:
+		d.pos--
+		o, th := d.decodeObject()
+		if th != nil {
+			return vmkit.Value{}, th
+		}
+		return vmkit.RefVal(o), nil
+	}
+}
+
+func (d *vmDecoder) str() (string, *vmkit.Object) {
+	n, th := d.u()
+	if th != nil {
+		return "", th
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return "", d.fail("string overruns stream")
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+// readClassRef parses a class reference: either a back-reference or a full
+// descriptor, which is resolved in the destination namespace, checked for
+// identity with the sender's class, and validated field-by-field — the
+// decode-side counterpart of Java's descriptor handling.
+func (d *vmDecoder) readClassRef() (*vmkit.Class, *vmkit.Object) {
+	v, th := d.u()
+	if th != nil {
+		return nil, th
+	}
+	if v%2 == 1 {
+		idx := v / 2
+		if idx >= uint64(len(d.seen)) {
+			return nil, d.fail("bad class back-reference %d", idx)
+		}
+		return d.seen[idx], nil
+	}
+	name, th := d.str()
+	if th != nil {
+		return nil, th
+	}
+	nf, th := d.u()
+	if th != nil {
+		return nil, th
+	}
+	destCls, err := d.dest.NS.Resolve(name)
+	if err != nil {
+		return nil, d.fail("class %s is not shared with domain %s", name, d.dest.Name)
+	}
+	srcIdx := len(d.seen)
+	if srcIdx >= len(d.classes) || d.classes[srcIdx] != destCls {
+		return nil, d.fail("class %s binds differently in domain %s", name, d.dest.Name)
+	}
+	// Validate every declared field against the descriptor.
+	for i := uint64(0); i < nf; i++ {
+		fname, th := d.str()
+		if th != nil {
+			return nil, th
+		}
+		fdesc, th := d.str()
+		if th != nil {
+			return nil, th
+		}
+		f := destCls.FieldByName(fname)
+		if f == nil || f.Desc != fdesc {
+			return nil, d.fail("class %s: incompatible field %s:%s", name, fname, fdesc)
+		}
+	}
+	d.seen = append(d.seen, destCls)
+	return destCls, nil
+}
+
+func (d *vmDecoder) decodeObject() (*vmkit.Object, *vmkit.Object) {
+	t, th := d.tag()
+	if th != nil {
+		return nil, th
+	}
+	switch t {
+	case vtagNull:
+		return nil, nil
+	case vtagRef:
+		h, th := d.u()
+		if th != nil {
+			return nil, th
+		}
+		if h >= uint64(len(d.objs)) {
+			return nil, d.fail("dangling handle %d", h)
+		}
+		return d.objs[h], nil
+	case vtagCap:
+		i, th := d.u()
+		if th != nil {
+			return nil, th
+		}
+		if i >= uint64(len(d.caps)) {
+			return nil, d.fail("dangling capability %d", i)
+		}
+		return d.caps[i], nil
+	case vtagString:
+		n, th := d.u()
+		if th != nil {
+			return nil, th
+		}
+		if n > uint64(len(d.buf)-d.pos) {
+			return nil, d.fail("string overruns stream")
+		}
+		s, err := d.dest.NS.NewString(string(d.buf[d.pos : d.pos+int(n)]))
+		d.pos += int(n)
+		if err != nil {
+			return nil, d.fail("%v", err)
+		}
+		d.objs = append(d.objs, s)
+		return s, nil
+	case vtagArrB, vtagArrI, vtagArrD:
+		n, th := d.u()
+		if th != nil {
+			return nil, th
+		}
+		var desc string
+		switch t {
+		case vtagArrB:
+			desc = "[B"
+		case vtagArrI:
+			desc = "[I"
+		default:
+			desc = "[D"
+		}
+		if n > 1<<26 {
+			return nil, d.fail("array too large: %d", n)
+		}
+		arr, err := d.dest.NS.NewArray(desc, int(n))
+		if err != nil {
+			return nil, d.fail("%v", err)
+		}
+		d.objs = append(d.objs, arr)
+		switch t {
+		case vtagArrB:
+			for j := range arr.Bytes {
+				tt, th := d.tag()
+				if th != nil {
+					return nil, th
+				}
+				if tt != vtagInt {
+					return nil, d.fail("expected element tag in byte array")
+				}
+				v, th := d.i()
+				if th != nil {
+					return nil, th
+				}
+				arr.Bytes[j] = byte(v)
+			}
+		case vtagArrI:
+			for j := range arr.Ints {
+				v, th := d.i()
+				if th != nil {
+					return nil, th
+				}
+				arr.Ints[j] = v
+			}
+		default:
+			for j := range arr.Floats {
+				v, th := d.u()
+				if th != nil {
+					return nil, th
+				}
+				arr.Floats[j] = math.Float64frombits(v)
+			}
+		}
+		return arr, nil
+	case vtagArrRef:
+		cls, th := d.readClassRef()
+		if th != nil {
+			return nil, th
+		}
+		n, th := d.u()
+		if th != nil {
+			return nil, th
+		}
+		if n > 1<<24 {
+			return nil, d.fail("array too large: %d", n)
+		}
+		arr, err := d.dest.NS.NewArray(cls.Name, int(n))
+		if err != nil {
+			return nil, d.fail("%v", err)
+		}
+		d.objs = append(d.objs, arr)
+		for j := range arr.Refs {
+			el, th := d.decodeObject()
+			if th != nil {
+				return nil, th
+			}
+			arr.Refs[j] = el
+		}
+		return arr, nil
+	case vtagObject:
+		cls, th := d.readClassRef()
+		if th != nil {
+			return nil, th
+		}
+		n, th := d.u()
+		if th != nil {
+			return nil, th
+		}
+		o, err := vmkit.NewInstance(cls)
+		if err != nil {
+			return nil, d.fail("%v", err)
+		}
+		o.Owner = d.dest.ID
+		if int(n) != len(o.Fields) {
+			return nil, d.fail("field count mismatch for %s", cls.Name)
+		}
+		d.objs = append(d.objs, o)
+		for j := range o.Fields {
+			v, th := d.decodeValue()
+			if th != nil {
+				return nil, th
+			}
+			o.Fields[j] = v
+		}
+		return o, nil
+	default:
+		return nil, d.fail("unknown tag %d", t)
+	}
+}
+
+// CopyValueBetween copies a VM value into dest under the calling
+// convention, returning the copy and the transfer size. Exposed for tests
+// and the bridge layers.
+func (k *Kernel) CopyValueBetween(dest *Domain, v vmkit.Value) (vmkit.Value, int64, error) {
+	ctx := &vmCopyCtx{k: k, dest: dest}
+	out, th := ctx.copyValue(v)
+	if th != nil {
+		return vmkit.Value{}, 0, &ThrownVMError{Throwable: th}
+	}
+	return out, ctx.bytes, nil
+}
+
+// ThrownVMError adapts a copy-path throwable to a Go error.
+type ThrownVMError struct{ Throwable *vmkit.Object }
+
+func (e *ThrownVMError) Error() string {
+	return fmt.Sprintf("jkernel: %s: %s", e.Throwable.Class.Name, vmkit.ThrowableMessage(e.Throwable))
+}

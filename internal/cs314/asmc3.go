@@ -1,0 +1,412 @@
+package cs314
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AssembleC3 translates C3 assembly into a relocatable object.
+//
+// Syntax, line oriented, '#' comments:
+//
+//	.text / .data            switch section (text is default)
+//	.global name             export a symbol
+//	label:                   define a symbol at the current location
+//	.word N                  (data) emit a 32-bit word
+//	.space N                 (data) emit N zero bytes
+//	add rd, rs, rt           R-type ops
+//	addi rd, rs, imm         also: li rd, imm (pseudo, expands as needed)
+//	lw rd, imm(rs) / sw rt, imm(rs)
+//	la rd, symbol            pseudo: lui+addi with relocations
+//	beq rs, rt, label        branches (pc-relative)
+//	jal label / jr rs / out rs / halt
+func AssembleC3(unit string, src string) (*Object, error) {
+	a := &c3asm{
+		obj:     &Object{Name: unit, Symbols: map[string]Symbol{}},
+		globals: map[string]bool{},
+	}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := a.line(line); err != nil {
+			return nil, fmt.Errorf("c3 asm %s:%d: %w", unit, ln+1, err)
+		}
+	}
+	if err := a.patchLocal(); err != nil {
+		return nil, err
+	}
+	for name := range a.globals {
+		sym, ok := a.obj.Symbols[name]
+		if !ok {
+			return nil, fmt.Errorf("c3 asm %s: .global %s has no definition", unit, name)
+		}
+		sym.Global = true
+		a.obj.Symbols[name] = sym
+	}
+	return a.obj, nil
+}
+
+type c3asm struct {
+	obj     *Object
+	inData  bool
+	globals map[string]bool
+	// local branch fixups: branches to labels in this unit resolve here;
+	// unresolved names become relocations for the linker.
+	branchFix []fix
+	jumpFix   []fix
+}
+
+type fix struct {
+	word  uint32
+	label string
+}
+
+func (a *c3asm) here() uint32 {
+	if a.inData {
+		return uint32(len(a.obj.Data))
+	}
+	return uint32(len(a.obj.Text))
+}
+
+func (a *c3asm) define(label string) error {
+	if _, dup := a.obj.Symbols[label]; dup {
+		return fmt.Errorf("duplicate label %q", label)
+	}
+	sec := SecText
+	if a.inData {
+		sec = SecData
+	}
+	a.obj.Symbols[label] = Symbol{Section: sec, Offset: a.here()}
+	return nil
+}
+
+func (a *c3asm) emit(w uint32) {
+	a.obj.Text = append(a.obj.Text, w)
+}
+
+func (a *c3asm) line(line string) error {
+	switch {
+	case line == ".text":
+		a.inData = false
+		return nil
+	case line == ".data":
+		a.inData = true
+		return nil
+	case strings.HasPrefix(line, ".global"):
+		name := strings.TrimSpace(strings.TrimPrefix(line, ".global"))
+		if name == "" {
+			return fmt.Errorf(".global needs a name")
+		}
+		a.globals[name] = true
+		return nil
+	case strings.HasSuffix(line, ":"):
+		return a.define(strings.TrimSuffix(line, ":"))
+	case strings.HasPrefix(line, ".word"):
+		if !a.inData {
+			return fmt.Errorf(".word outside .data")
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, ".word")), 0, 64)
+		if err != nil {
+			return err
+		}
+		var w [4]byte
+		w[0] = byte(n)
+		w[1] = byte(n >> 8)
+		w[2] = byte(n >> 16)
+		w[3] = byte(n >> 24)
+		a.obj.Data = append(a.obj.Data, w[:]...)
+		return nil
+	case strings.HasPrefix(line, ".space"):
+		if !a.inData {
+			return fmt.Errorf(".space outside .data")
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".space")))
+		if err != nil || n < 0 || n > 1<<20 {
+			return fmt.Errorf("bad .space %q", line)
+		}
+		a.obj.Data = append(a.obj.Data, make([]byte, n)...)
+		return nil
+	}
+	if a.inData {
+		return fmt.Errorf("instruction in .data: %q", line)
+	}
+	return a.instruction(line)
+}
+
+// reg parses "r4".
+func reg(tok string) (int, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) < 2 || tok[0] != 'r' {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return n, nil
+}
+
+func imm14(tok string) (int32, error) {
+	n, err := strconv.ParseInt(strings.TrimSpace(tok), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	if n < ImmMin || n > ImmMax {
+		return 0, fmt.Errorf("immediate %d out of range [%d,%d]", n, ImmMin, ImmMax)
+	}
+	return int32(n), nil
+}
+
+// memOperand parses "imm(rs)".
+func memOperand(tok string) (int32, int, error) {
+	tok = strings.TrimSpace(tok)
+	open := strings.IndexByte(tok, '(')
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	off := int32(0)
+	if open > 0 {
+		v, err := imm14(tok[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	rs, err := reg(tok[open+1 : len(tok)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, rs, nil
+}
+
+var rOps = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv, "rem": OpRem,
+	"and": OpAnd, "or": OpOr, "xor": OpXor, "shl": OpShl, "shr": OpShr, "slt": OpSlt,
+}
+
+var branchOps = map[string]Op{"beq": OpBeq, "bne": OpBne, "blt": OpBlt}
+
+func (a *c3asm) instruction(line string) error {
+	mnem := line
+	rest := ""
+	if sp := strings.IndexAny(line, " \t"); sp >= 0 {
+		mnem, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	args := splitArgs(rest)
+
+	if op, ok := rOps[mnem]; ok {
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rd, rs, rt", mnem)
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		rt, err := reg(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Encode(op, rd, rs, rt, 0))
+		return nil
+	}
+	if op, ok := branchOps[mnem]; ok {
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rs, rt, label", mnem)
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		rt, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		a.branchFix = append(a.branchFix, fix{word: a.here(), label: args[2]})
+		a.emit(Encode(op, rt, rs, rt, 0))
+		return nil
+	}
+
+	switch mnem {
+	case "addi":
+		if len(args) != 3 {
+			return fmt.Errorf("addi wants rd, rs, imm")
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		v, err := imm14(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Encode(OpAddi, rd, rs, 0, v))
+		return nil
+	case "lui":
+		if len(args) != 2 {
+			return fmt.Errorf("lui wants rd, imm")
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := imm14(args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(Encode(OpLui, rd, 0, 0, v))
+		return nil
+	case "li":
+		if len(args) != 2 {
+			return fmt.Errorf("li wants rd, imm")
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(args[1]), 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad immediate %q", args[1])
+		}
+		if n >= ImmMin && n <= ImmMax {
+			a.emit(Encode(OpAddi, rd, RegZero, 0, int32(n)))
+			return nil
+		}
+		if n < -(1<<27) || n >= 1<<27 {
+			return fmt.Errorf("li immediate %d out of range", n)
+		}
+		// addi sign-extends its immediate, so round the high part up when
+		// the low half's sign bit is set (the MIPS %hi/%lo adjustment).
+		hi, lo := splitHiLo(int32(n))
+		a.emit(Encode(OpLui, rd, 0, 0, hi))
+		a.emit(Encode(OpAddi, rd, rd, 0, lo))
+		return nil
+	case "la":
+		if len(args) != 2 {
+			return fmt.Errorf("la wants rd, symbol")
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		sym := strings.TrimSpace(args[1])
+		a.obj.Relocs = append(a.obj.Relocs,
+			Reloc{Kind: RelHi, Offset: a.here(), Symbol: sym},
+			Reloc{Kind: RelLo, Offset: a.here() + 1, Symbol: sym})
+		a.emit(Encode(OpLui, rd, 0, 0, 0))
+		a.emit(Encode(OpAddi, rd, rd, 0, 0))
+		return nil
+	case "lw", "sw":
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants reg, imm(rs)", mnem)
+		}
+		r1, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		off, rs, err := memOperand(args[1])
+		if err != nil {
+			return err
+		}
+		if mnem == "lw" {
+			a.emit(Encode(OpLw, r1, rs, 0, off))
+		} else {
+			a.emit(Encode(OpSw, r1, rs, r1, off))
+		}
+		return nil
+	case "jal":
+		if len(args) != 1 {
+			return fmt.Errorf("jal wants a label")
+		}
+		a.jumpFix = append(a.jumpFix, fix{word: a.here(), label: args[0]})
+		a.emit(EncodeJ(OpJal, 0))
+		return nil
+	case "jr":
+		if len(args) != 1 {
+			return fmt.Errorf("jr wants a register")
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(Encode(OpJr, 0, rs, 0, 0))
+		return nil
+	case "out":
+		if len(args) != 1 {
+			return fmt.Errorf("out wants a register")
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(Encode(OpOut, 0, rs, 0, 0))
+		return nil
+	case "halt":
+		a.emit(Encode(OpHalt, 0, 0, 0, 0))
+		return nil
+	case "nop":
+		a.emit(Encode(OpAdd, 0, 0, 0, 0))
+		return nil
+	}
+	return fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// splitHiLo decomposes v into hi/lo such that (hi << LuiShift) + signext(lo)
+// reconstructs v, compensating for addi's sign extension.
+func splitHiLo(v int32) (hi, lo int32) {
+	hi = (v + 1<<(immBits-1)) >> immBits
+	lo = v - hi<<immBits
+	return hi, lo
+}
+
+// patchLocal resolves branch/jump fixups against local labels; unresolved
+// names become linker relocations.
+func (a *c3asm) patchLocal() error {
+	for _, f := range a.branchFix {
+		if sym, ok := a.obj.Symbols[f.label]; ok && sym.Section == SecText {
+			off := int64(sym.Offset) - int64(f.word) - 1
+			if off < ImmMin || off > ImmMax {
+				return fmt.Errorf("branch to %q out of range", f.label)
+			}
+			a.obj.Text[f.word] |= uint32(int32(off)) & immMask
+			continue
+		}
+		// Branches must be local: pc-relative across units is fragile.
+		return fmt.Errorf("branch to undefined local label %q", f.label)
+	}
+	for _, f := range a.jumpFix {
+		if sym, ok := a.obj.Symbols[f.label]; ok && sym.Section == SecText {
+			a.obj.Text[f.word] |= sym.Offset & addrMask
+			// Still relocate: the unit may move when linked.
+			a.obj.Relocs = append(a.obj.Relocs, Reloc{Kind: RelJump, Offset: f.word, Symbol: f.label})
+			continue
+		}
+		a.obj.Relocs = append(a.obj.Relocs, Reloc{Kind: RelJump, Offset: f.word, Symbol: f.label})
+	}
+	return nil
+}

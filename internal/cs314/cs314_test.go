@@ -1,0 +1,405 @@
+package cs314
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func assemble(t *testing.T, unit, src string) *Object {
+	t.Helper()
+	o, err := AssembleC3(unit, src)
+	if err != nil {
+		t.Fatalf("assemble %s: %v", unit, err)
+	}
+	return o
+}
+
+func linkRun(t *testing.T, maxSteps int64, objs ...*Object) []int32 {
+	t.Helper()
+	exe, err := Link(objs...)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	out, err := RunProgram(exe, maxSteps)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func TestEncodeDecodeInstr(t *testing.T) {
+	w := Encode(OpAddi, 3, 7, 0, -42)
+	op, rd, rs, _, imm, _ := Decode(w)
+	if op != OpAddi || rd != 3 || rs != 7 || imm != -42 {
+		t.Errorf("decode = %v r%d r%d %d", op, rd, rs, imm)
+	}
+	j := EncodeJ(OpJal, 12345)
+	op2, _, _, _, _, addr := Decode(j)
+	if op2 != OpJal || addr != 12345 {
+		t.Errorf("jal decode = %v %d", op2, addr)
+	}
+}
+
+func TestAssembleAndRunBasics(t *testing.T) {
+	out := linkRun(t, 1000, assemble(t, "m", `
+.global main
+main:
+  li r5, 6
+  li r6, 7
+  mul r7, r5, r6
+  out r7
+  halt
+`))
+	if len(out) != 1 || out[0] != 42 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 = 55.
+	out := linkRun(t, 10000, assemble(t, "m", `
+.global main
+main:
+  li r5, 0      # sum
+  li r6, 1      # i
+  li r7, 11
+loop:
+  beq r6, r7, done
+  add r5, r5, r6
+  addi r6, r6, 1
+  beq r0, r0, loop
+done:
+  out r5
+  halt
+`))
+	if len(out) != 1 || out[0] != 55 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestDataSectionAndLa(t *testing.T) {
+	out := linkRun(t, 1000, assemble(t, "m", `
+.global main
+.data
+value:
+  .word 1234
+main2_pad:
+  .word 0
+.text
+main:
+  la r5, value
+  lw r6, 0(r5)
+  out r6
+  halt
+`))
+	if len(out) != 1 || out[0] != 1234 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestCrossUnitLinking(t *testing.T) {
+	lib := assemble(t, "lib", `
+.global double
+double:
+  add r1, r1, r1
+  jr r14
+`)
+	main := assemble(t, "main", `
+.global main
+main:
+  addi r13, r13, -4
+  sw r14, 0(r13)
+  li r1, 21
+  jal double
+  out r1
+  lw r14, 0(r13)
+  addi r13, r13, 4
+  jr r14
+`)
+	out := linkRun(t, 1000, main, lib)
+	if len(out) != 1 || out[0] != 42 {
+		t.Errorf("out = %v", out)
+	}
+	// Order independence.
+	out = linkRun(t, 1000, lib, main)
+	if len(out) != 1 || out[0] != 42 {
+		t.Errorf("out (lib first) = %v", out)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	undef := assemble(t, "m", `
+.global main
+main:
+  jal missing
+  halt
+`)
+	if _, err := Link(undef); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("undefined symbol: %v", err)
+	}
+	a := assemble(t, "a", ".global main\nmain:\n  halt\n")
+	b := assemble(t, "b", ".global main\nmain:\n  halt\n")
+	if _, err := Link(a, b); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate symbol: %v", err)
+	}
+	noMain := assemble(t, "n", ".global f\nf:\n  halt\n")
+	if _, err := Link(noMain); err == nil || !strings.Contains(err.Error(), "main") {
+		t.Errorf("missing main: %v", err)
+	}
+}
+
+func TestObjectCodecRoundTrip(t *testing.T) {
+	o := assemble(t, "rt", `
+.global main
+.global helper
+.data
+tbl:
+  .word 7
+  .space 8
+.text
+main:
+  la r5, tbl
+  jal helper
+  halt
+helper:
+  jr r14
+`)
+	dec, err := DecodeObject(EncodeObject(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(EncodeObject(dec)) != string(EncodeObject(o)) {
+		t.Error("object codec not stable")
+	}
+	if !dec.Symbols["main"].Global || dec.Symbols["tbl"].Global {
+		t.Error("global flags lost")
+	}
+	if _, err := DecodeObject([]byte("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestEmulatorFaults(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"div zero", ".global main\nmain:\n  li r5, 1\n  div r6, r5, r0\n  halt\n", "division by zero"},
+		{"oob store", ".global main\nmain:\n  li r5, -8\n  sw r5, 0(r5)\n  halt\n", "out of bounds"},
+		{"text store", ".global main\nmain:\n  li r5, 0\n  sw r5, 0(r5)\n  halt\n", "text segment"},
+		{"step limit", ".global main\nmain:\nl:\n  beq r0, r0, l\n", "step limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exe, err := Link(assemble(t, "m", tc.src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = RunProgram(exe, 1000)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("got %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func compileRun(t *testing.T, src string, maxSteps int64) []int32 {
+	t.Helper()
+	asm, err := CompileMiniC(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	obj, err := AssembleC3("prog", asm)
+	if err != nil {
+		t.Fatalf("assemble compiled code: %v\n%s", err, asm)
+	}
+	return linkRun(t, maxSteps, obj)
+}
+
+func TestMiniCArithmetic(t *testing.T) {
+	out := compileRun(t, `
+func main() {
+  print(2 + 3 * 4);
+  print((2 + 3) * 4);
+  print(10 / 3);
+  print(10 % 3);
+  print(-5 + 2);
+}
+`, 10000)
+	want := []int32{14, 20, 3, 1, -3}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMiniCControlFlow(t *testing.T) {
+	out := compileRun(t, `
+func main() {
+  var i = 0;
+  var sum = 0;
+  while (i < 10) {
+    i = i + 1;
+    if (i % 2 == 0) {
+      sum = sum + i;
+    } else {
+      sum = sum - 1;
+    }
+  }
+  print(sum);
+  if (sum >= 25 && sum <= 25) { print(1); }
+  if (sum != 25 || 0 == 0) { print(2); }
+  if (!(sum == 25)) { print(3); }
+}
+`, 100000)
+	// sum = (2+4+6+8+10) - 5 = 25
+	want := []int32{25, 1, 2}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMiniCFunctionsAndRecursion(t *testing.T) {
+	out := compileRun(t, `
+func fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+func max(a, b) {
+  if (a > b) { return a; }
+  return b;
+}
+func main() {
+  print(fib(15));
+  print(max(3, 9));
+  print(max(9, 3));
+}
+`, 5_000_000)
+	want := []int32{610, 9, 9}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMiniCErrors(t *testing.T) {
+	bad := []string{
+		"func main() { print(x); }",       // undefined variable
+		"func main() { x = 1; }",          // undeclared assignment
+		"func main() { print(1+); }",      // syntax
+		"func f(a,b,c,d,e) { return 0; }", // too many params
+		"func main() { ",                  // unterminated
+		"",                                // empty
+	}
+	for _, src := range bad {
+		if _, err := CompileMiniC(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+// Property: MiniC arithmetic agrees with Go on random expressions of the
+// shape ((a OP b) OP c) with guarded divisors.
+func TestQuickMiniCArithmeticAgreesWithGo(t *testing.T) {
+	type inputs struct {
+		A, B, C  int16
+		Op1, Op2 uint8
+	}
+	eval := func(op uint8, x, y int32) int32 {
+		switch op % 4 {
+		case 0:
+			return x + y
+		case 1:
+			return x - y
+		case 2:
+			return x * y
+		default:
+			if y == 0 {
+				return x
+			}
+			return x / y
+		}
+	}
+	opStr := func(op uint8, y int32) (string, int32) {
+		switch op % 4 {
+		case 0:
+			return "+", y
+		case 1:
+			return "-", y
+		case 2:
+			return "*", y
+		default:
+			if y == 0 {
+				return "+", 0 // mirror the guard
+			}
+			return "/", y
+		}
+	}
+	f := func(in inputs) bool {
+		a, b, c := int32(in.A), int32(in.B), int32(in.C)
+		op1, y1 := opStr(in.Op1, b)
+		want1 := eval(in.Op1, a, b)
+		if op1 == "+" && y1 == 0 && in.Op1%4 == 3 {
+			want1 = a
+		}
+		op2, y2 := opStr(in.Op2, c)
+		want := eval(in.Op2, want1, c)
+		if op2 == "+" && y2 == 0 && in.Op2%4 == 3 {
+			want = want1
+		}
+		src := "func main() { print((" +
+			itoa(a) + " " + op1 + " " + itoa(y1) + ") " + op2 + " " + itoa(y2) + "); }"
+		asm, err := CompileMiniC(src)
+		if err != nil {
+			return false
+		}
+		obj, err := AssembleC3("q", asm)
+		if err != nil {
+			return false
+		}
+		exe, err := Link(obj)
+		if err != nil {
+			return false
+		}
+		out, err := RunProgram(exe, 100000)
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		return out[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int32) string {
+	if v < 0 {
+		return "(0 - " + itoaU(-int64(v)) + ")"
+	}
+	return itoaU(int64(v))
+}
+
+func itoaU(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,132 @@
+package cs314
+
+import "fmt"
+
+// Link combines object files into an executable. Text sections concatenate
+// in argument order; data sections concatenate after the text (word
+// aligned) at DataBase. Relocations resolve first against the defining
+// object's own symbols, then against global symbols of any object. The
+// entry point is the global symbol "main".
+func Link(objs ...*Object) (*Executable, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("cs314: nothing to link")
+	}
+	type placed struct {
+		obj      *Object
+		textBase uint32 // word address
+		dataBase uint32 // byte offset within the linked data segment
+	}
+	var plan []placed
+	var textLen uint32
+	var dataLen uint32
+	for _, o := range objs {
+		plan = append(plan, placed{obj: o, textBase: textLen, dataBase: dataLen})
+		textLen += uint32(len(o.Text))
+		dataLen += uint32(len(o.Data))
+	}
+	dataBase := textLen * 4 // bytes; data follows text in the address space
+
+	// Global symbol table.
+	globals := map[string]addr{}
+	for _, p := range plan {
+		for name, s := range p.obj.Symbols {
+			if !s.Global {
+				continue
+			}
+			if _, dup := globals[name]; dup {
+				return nil, fmt.Errorf("cs314: duplicate global symbol %q", name)
+			}
+			globals[name] = addr{section: s.Section, value: linkAddr(s, p.textBase, dataBase+p.dataBase)}
+		}
+	}
+
+	resolve := func(p placed, name string) (addr, error) {
+		if s, ok := p.obj.Symbols[name]; ok {
+			return addr{section: s.Section, value: linkAddr(s, p.textBase, dataBase+p.dataBase)}, nil
+		}
+		if a, ok := globals[name]; ok {
+			return a, nil
+		}
+		return addr{}, fmt.Errorf("cs314: undefined symbol %q (from %s)", name, p.obj.Name)
+	}
+
+	exe := &Executable{
+		Text:     make([]uint32, 0, textLen),
+		DataBase: dataBase,
+		Data:     make([]byte, 0, dataLen),
+	}
+	for _, p := range plan {
+		exe.Text = append(exe.Text, p.obj.Text...)
+		exe.Data = append(exe.Data, p.obj.Data...)
+	}
+
+	for _, p := range plan {
+		for _, r := range p.obj.Relocs {
+			site := p.textBase + r.Offset
+			if int(site) >= len(exe.Text) {
+				return nil, fmt.Errorf("cs314: reloc site %d out of range in %s", r.Offset, p.obj.Name)
+			}
+			target, err := resolve(p, r.Symbol)
+			if err != nil {
+				return nil, err
+			}
+			w := exe.Text[site]
+			switch r.Kind {
+			case RelJump:
+				if target.section != SecText {
+					return nil, fmt.Errorf("cs314: jump to data symbol %q", r.Symbol)
+				}
+				w = w&^uint32(addrMask) | target.value&addrMask
+			case RelBranch:
+				if target.section != SecText {
+					return nil, fmt.Errorf("cs314: branch to data symbol %q", r.Symbol)
+				}
+				off := int64(target.value) - int64(site) - 1
+				if off < ImmMin || off > ImmMax {
+					return nil, fmt.Errorf("cs314: branch to %q out of range", r.Symbol)
+				}
+				w = w&^uint32(immMask) | uint32(int32(off))&immMask
+			case RelHi:
+				hi, _ := splitHiLo(int32(target.byteAddr()))
+				w = w&^uint32(immMask) | uint32(hi)&immMask
+			case RelLo:
+				_, lo := splitHiLo(int32(target.byteAddr()))
+				w = w&^uint32(immMask) | uint32(lo)&immMask
+			default:
+				return nil, fmt.Errorf("cs314: unknown reloc kind %d", r.Kind)
+			}
+			exe.Text[site] = w
+		}
+	}
+
+	main, ok := globals["main"]
+	if !ok || main.section != SecText {
+		return nil, fmt.Errorf("cs314: no global text symbol \"main\"")
+	}
+	exe.Entry = main.value
+	return exe, nil
+}
+
+// addr is a resolved symbol location: word address for text symbols, byte
+// address for data symbols.
+type addr struct {
+	section Section
+	value   uint32
+}
+
+// byteAddr converts to a byte address for la-style relocations.
+func (a addr) byteAddr() uint32 {
+	if a.section == SecText {
+		return a.value * 4
+	}
+	return a.value
+}
+
+// linkAddr computes a symbol's linked address: word address for text
+// symbols, byte address for data symbols.
+func linkAddr(s Symbol, textBase, dataByteBase uint32) uint32 {
+	if s.Section == SecText {
+		return textBase + s.Offset
+	}
+	return dataByteBase + s.Offset
+}

@@ -1,0 +1,829 @@
+package cs314
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MiniC is the course compiler: a small imperative language compiled to C3
+// assembly. Everything is a 32-bit int.
+//
+//	func name(a, b) { stmts }
+//	var x = expr;      x = expr;
+//	if (e) { .. } else { .. }      while (e) { .. }
+//	return e;          print(e);   f(a, b);
+//	operators: || && == != < <= > >= + - * / %  unary - !
+//
+// Calling convention: arguments in r1..r4, result in r1, r14 link, r13
+// stack. Locals live in the frame; expressions evaluate on a register
+// stack r5..r12 (deep expressions spill to an error, as in the course
+// original).
+
+// CompileMiniC compiles a source unit to C3 assembly text.
+func CompileMiniC(src string) (string, error) {
+	toks, err := lexMiniC(src)
+	if err != nil {
+		return "", err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return "", err
+	}
+	g := &codegen{}
+	if err := g.program(prog); err != nil {
+		return "", err
+	}
+	return g.out.String(), nil
+}
+
+// --- lexer ---------------------------------------------------------------
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNum
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var punct2 = []string{"||", "&&", "==", "!=", "<=", ">="}
+
+func lexMiniC(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNum, src[i:j], line})
+			i = j
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			j := i
+			for j < len(src) && (src[j] == '_' || src[j] >= 'a' && src[j] <= 'z' ||
+				src[j] >= 'A' && src[j] <= 'Z' || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		default:
+			matched := false
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				for _, p := range punct2 {
+					if two == p {
+						toks = append(toks, token{tokPunct, two, line})
+						i += 2
+						matched = true
+						break
+					}
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.IndexByte("(){};,=+-*/%<>!", c) >= 0 {
+				toks = append(toks, token{tokPunct, string(c), line})
+				i++
+				continue
+			}
+			return nil, fmt.Errorf("minic: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+// --- AST ------------------------------------------------------------------
+
+type funcDef struct {
+	name   string
+	params []string
+	body   []stmt
+}
+
+type stmt interface{ isStmt() }
+
+type (
+	varStmt struct {
+		name string
+		init expr
+	}
+	assignStmt struct {
+		name string
+		val  expr
+	}
+	ifStmt struct {
+		cond      expr
+		then, els []stmt
+	}
+	whileStmt struct {
+		cond expr
+		body []stmt
+	}
+	returnStmt struct{ val expr }
+	printStmt  struct{ val expr }
+	exprStmt   struct{ val expr }
+)
+
+func (varStmt) isStmt()    {}
+func (assignStmt) isStmt() {}
+func (ifStmt) isStmt()     {}
+func (whileStmt) isStmt()  {}
+func (returnStmt) isStmt() {}
+func (printStmt) isStmt()  {}
+func (exprStmt) isStmt()   {}
+
+type expr interface{ isExpr() }
+
+type (
+	numExpr struct{ v int32 }
+	varExpr struct{ name string }
+	binExpr struct {
+		op   string
+		l, r expr
+	}
+	unExpr struct {
+		op string
+		e  expr
+	}
+	callExpr struct {
+		name string
+		args []expr
+	}
+)
+
+func (numExpr) isExpr()  {}
+func (varExpr) isExpr()  {}
+func (binExpr) isExpr()  {}
+func (unExpr) isExpr()   {}
+func (callExpr) isExpr() {}
+
+// --- parser ----------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(f string, a ...any) error {
+	return fmt.Errorf("minic: line %d: %s", p.peek().line, fmt.Sprintf(f, a...))
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("minic: line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseProgram() ([]*funcDef, error) {
+	var funcs []*funcDef
+	for p.peek().kind != tokEOF {
+		f, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		funcs = append(funcs, f)
+	}
+	if len(funcs) == 0 {
+		return nil, fmt.Errorf("minic: empty program")
+	}
+	return funcs, nil
+}
+
+func (p *parser) parseFunc() (*funcDef, error) {
+	if err := p.expect("func"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, p.errf("expected function name")
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &funcDef{name: name.text}
+	for p.peek().text != ")" {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected parameter name")
+		}
+		f.params = append(f.params, t.text)
+		if p.peek().text == "," {
+			p.next()
+		}
+	}
+	p.next() // ")"
+	if len(f.params) > 4 {
+		return nil, p.errf("more than 4 parameters in %s", f.name)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for p.peek().text != "}" {
+		if p.peek().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.next() // "}"
+	return out, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.peek()
+	switch {
+	case t.text == "var":
+		p.next()
+		name := p.next()
+		if name.kind != tokIdent {
+			return nil, p.errf("expected variable name")
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return varStmt{name: name.text, init: e}, p.expect(";")
+	case t.text == "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []stmt
+		if p.peek().text == "else" {
+			p.next()
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ifStmt{cond: cond, then: then, els: els}, nil
+	case t.text == "while":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return whileStmt{cond: cond, body: body}, nil
+	case t.text == "return":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return returnStmt{val: e}, p.expect(";")
+	case t.text == "print":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return printStmt{val: e}, p.expect(";")
+	case t.kind == tokIdent && p.toks[p.pos+1].text == "=":
+		name := p.next().text
+		p.next() // "="
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return assignStmt{name: name, val: e}, p.expect(";")
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return exprStmt{val: e}, p.expect(";")
+	}
+}
+
+// Precedence climbing.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek().text
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = binExpr{op: op, l: lhs, r: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	switch p.peek().text {
+	case "-":
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unExpr{op: "-", e: e}, nil
+	case "!":
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unExpr{op: "!", e: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNum:
+		n, err := strconv.ParseInt(t.text, 10, 32)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return numExpr{v: int32(n)}, nil
+	case t.kind == tokIdent:
+		if p.peek().text == "(" {
+			p.next()
+			var args []expr
+			for p.peek().text != ")" {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.peek().text == "," {
+					p.next()
+				}
+			}
+			p.next() // ")"
+			if len(args) > 4 {
+				return nil, p.errf("more than 4 arguments to %s", t.text)
+			}
+			return callExpr{name: t.text, args: args}, nil
+		}
+		return varExpr{name: t.text}, nil
+	case t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	default:
+		return nil, fmt.Errorf("minic: line %d: unexpected %q", t.line, t.text)
+	}
+}
+
+// --- code generation --------------------------------------------------------
+
+const (
+	firstScratch = 5
+	lastScratch  = 12
+)
+
+type codegen struct {
+	out    strings.Builder
+	fn     *funcDef
+	locals map[string]int32 // frame offsets (bytes from sp)
+	frame  int32
+	label  int
+	reg    int // next free scratch register
+}
+
+func (g *codegen) emitf(f string, a ...any) {
+	fmt.Fprintf(&g.out, f+"\n", a...)
+}
+
+func (g *codegen) newLabel(hint string) string {
+	g.label++
+	return fmt.Sprintf("%s_%s_%d", g.fn.name, hint, g.label)
+}
+
+func (g *codegen) push() (int, error) {
+	if g.reg > lastScratch {
+		return 0, fmt.Errorf("minic: expression too deep in %s", g.fn.name)
+	}
+	r := g.reg
+	g.reg++
+	return r, nil
+}
+
+func (g *codegen) pop() { g.reg-- }
+
+func (g *codegen) program(funcs []*funcDef) error {
+	g.emitf(".text")
+	for _, f := range funcs {
+		g.emitf(".global %s", f.name)
+	}
+	for _, f := range funcs {
+		if err := g.function(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectLocals assigns frame slots to params and var declarations.
+func collectLocals(f *funcDef) map[string]int32 {
+	locals := map[string]int32{}
+	off := int32(0)
+	add := func(name string) {
+		if _, ok := locals[name]; !ok {
+			locals[name] = off
+			off += 4
+		}
+	}
+	for _, p := range f.params {
+		add(p)
+	}
+	var walk func(ss []stmt)
+	walk = func(ss []stmt) {
+		for _, s := range ss {
+			switch v := s.(type) {
+			case varStmt:
+				add(v.name)
+			case ifStmt:
+				walk(v.then)
+				walk(v.els)
+			case whileStmt:
+				walk(v.body)
+			}
+		}
+	}
+	walk(f.body)
+	return locals
+}
+
+func (g *codegen) function(f *funcDef) error {
+	g.fn = f
+	g.locals = collectLocals(f)
+	g.frame = int32(len(g.locals))*4 + 4 // locals + saved ra
+	g.reg = firstScratch
+
+	g.emitf("%s:", f.name)
+	g.emitf("  addi r%d, r%d, %d", RegSP, RegSP, -g.frame)
+	g.emitf("  sw r%d, %d(r%d)", RegRA, g.frame-4, RegSP)
+	for i, p := range f.params {
+		g.emitf("  sw r%d, %d(r%d)", RegRV+i, g.locals[p], RegSP)
+	}
+	for _, s := range f.body {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	// Implicit return 0.
+	g.emitf("  addi r%d, r0, 0", RegRV)
+	g.epilogue()
+	return nil
+}
+
+func (g *codegen) epilogue() {
+	g.emitf("  lw r%d, %d(r%d)", RegRA, g.frame-4, RegSP)
+	g.emitf("  addi r%d, r%d, %d", RegSP, RegSP, g.frame)
+	g.emitf("  jr r%d", RegRA)
+}
+
+func (g *codegen) stmt(s stmt) error {
+	switch v := s.(type) {
+	case varStmt:
+		return g.store(v.name, v.init)
+	case assignStmt:
+		if _, ok := g.locals[v.name]; !ok {
+			return fmt.Errorf("minic: assignment to undeclared %q in %s", v.name, g.fn.name)
+		}
+		return g.store(v.name, v.val)
+	case returnStmt:
+		r, err := g.expr(v.val)
+		if err != nil {
+			return err
+		}
+		g.emitf("  add r%d, r%d, r0", RegRV, r)
+		g.pop()
+		g.epilogue()
+		return nil
+	case printStmt:
+		r, err := g.expr(v.val)
+		if err != nil {
+			return err
+		}
+		g.emitf("  out r%d", r)
+		g.pop()
+		return nil
+	case exprStmt:
+		r, err := g.expr(v.val)
+		if err != nil {
+			return err
+		}
+		_ = r
+		g.pop()
+		return nil
+	case ifStmt:
+		r, err := g.expr(v.cond)
+		if err != nil {
+			return err
+		}
+		elseL := g.newLabel("else")
+		endL := g.newLabel("endif")
+		g.emitf("  beq r%d, r0, %s", r, elseL)
+		g.pop()
+		for _, s := range v.then {
+			if err := g.stmt(s); err != nil {
+				return err
+			}
+		}
+		g.emitf("  beq r0, r0, %s", endL)
+		g.emitf("%s:", elseL)
+		for _, s := range v.els {
+			if err := g.stmt(s); err != nil {
+				return err
+			}
+		}
+		g.emitf("%s:", endL)
+		return nil
+	case whileStmt:
+		topL := g.newLabel("loop")
+		endL := g.newLabel("endloop")
+		g.emitf("%s:", topL)
+		r, err := g.expr(v.cond)
+		if err != nil {
+			return err
+		}
+		g.emitf("  beq r%d, r0, %s", r, endL)
+		g.pop()
+		for _, s := range v.body {
+			if err := g.stmt(s); err != nil {
+				return err
+			}
+		}
+		g.emitf("  beq r0, r0, %s", topL)
+		g.emitf("%s:", endL)
+		return nil
+	default:
+		return fmt.Errorf("minic: unknown statement %T", s)
+	}
+}
+
+func (g *codegen) store(name string, e expr) error {
+	r, err := g.expr(e)
+	if err != nil {
+		return err
+	}
+	off, ok := g.locals[name]
+	if !ok {
+		return fmt.Errorf("minic: unknown variable %q in %s", name, g.fn.name)
+	}
+	g.emitf("  sw r%d, %d(r%d)", r, off, RegSP)
+	g.pop()
+	return nil
+}
+
+// expr evaluates e into a fresh scratch register (left pushed).
+func (g *codegen) expr(e expr) (int, error) {
+	switch v := e.(type) {
+	case numExpr:
+		r, err := g.push()
+		if err != nil {
+			return 0, err
+		}
+		g.emitf("  li r%d, %d", r, v.v)
+		return r, nil
+	case varExpr:
+		off, ok := g.locals[v.name]
+		if !ok {
+			return 0, fmt.Errorf("minic: unknown variable %q in %s", v.name, g.fn.name)
+		}
+		r, err := g.push()
+		if err != nil {
+			return 0, err
+		}
+		g.emitf("  lw r%d, %d(r%d)", r, off, RegSP)
+		return r, nil
+	case unExpr:
+		r, err := g.expr(v.e)
+		if err != nil {
+			return 0, err
+		}
+		switch v.op {
+		case "-":
+			g.emitf("  sub r%d, r0, r%d", r, r)
+		case "!":
+			// r = (r == 0) ? 1 : 0  via slt on unsigned trick: use beq.
+			t := g.newLabel("notz")
+			e := g.newLabel("notend")
+			g.emitf("  beq r%d, r0, %s", r, t)
+			g.emitf("  addi r%d, r0, 0", r)
+			g.emitf("  beq r0, r0, %s", e)
+			g.emitf("%s:", t)
+			g.emitf("  addi r%d, r0, 1", r)
+			g.emitf("%s:", e)
+		}
+		return r, nil
+	case binExpr:
+		return g.binop(v)
+	case callExpr:
+		return g.call(v)
+	default:
+		return 0, fmt.Errorf("minic: unknown expression %T", e)
+	}
+}
+
+func (g *codegen) binop(v binExpr) (int, error) {
+	rl, err := g.expr(v.l)
+	if err != nil {
+		return 0, err
+	}
+	rr, err := g.expr(v.r)
+	if err != nil {
+		return 0, err
+	}
+	emitCmp := func(branchOp string, swap bool) {
+		a, b := rl, rr
+		if swap {
+			a, b = rr, rl
+		}
+		t := g.newLabel("cmpt")
+		e := g.newLabel("cmpe")
+		g.emitf("  %s r%d, r%d, %s", branchOp, a, b, t)
+		g.emitf("  addi r%d, r0, 0", rl)
+		g.emitf("  beq r0, r0, %s", e)
+		g.emitf("%s:", t)
+		g.emitf("  addi r%d, r0, 1", rl)
+		g.emitf("%s:", e)
+	}
+	switch v.op {
+	case "+":
+		g.emitf("  add r%d, r%d, r%d", rl, rl, rr)
+	case "-":
+		g.emitf("  sub r%d, r%d, r%d", rl, rl, rr)
+	case "*":
+		g.emitf("  mul r%d, r%d, r%d", rl, rl, rr)
+	case "/":
+		g.emitf("  div r%d, r%d, r%d", rl, rl, rr)
+	case "%":
+		g.emitf("  rem r%d, r%d, r%d", rl, rl, rr)
+	case "<":
+		g.emitf("  slt r%d, r%d, r%d", rl, rl, rr)
+	case ">":
+		g.emitf("  slt r%d, r%d, r%d", rl, rr, rl)
+	case "<=":
+		emitCmp("blt", true) // rl = (rr < rl), then invert: rl <= rr
+		g.emitf("  addi r%d, r0, 1", RegAT)
+		g.emitf("  sub r%d, r%d, r%d", rl, RegAT, rl)
+	case ">=":
+		emitCmp("blt", false) // rl = (rl < rr), then invert
+		g.emitf("  addi r%d, r0, 1", RegAT)
+		g.emitf("  sub r%d, r%d, r%d", rl, RegAT, rl)
+	case "==":
+		emitCmp("beq", false)
+	case "!=":
+		emitCmp("bne", false)
+	case "&&":
+		// Both non-zero: normalize then AND.
+		t1 := g.newLabel("andl")
+		g.emitf("  beq r%d, r0, %s", rl, t1)
+		g.emitf("  addi r%d, r0, 1", rl)
+		g.emitf("%s:", t1)
+		t2 := g.newLabel("andr")
+		g.emitf("  beq r%d, r0, %s", rr, t2)
+		g.emitf("  addi r%d, r0, 1", rr)
+		g.emitf("%s:", t2)
+		g.emitf("  and r%d, r%d, r%d", rl, rl, rr)
+	case "||":
+		g.emitf("  or r%d, r%d, r%d", rl, rl, rr)
+		t := g.newLabel("orl")
+		g.emitf("  beq r%d, r0, %s", rl, t)
+		g.emitf("  addi r%d, r0, 1", rl)
+		g.emitf("%s:", t)
+	default:
+		return 0, fmt.Errorf("minic: unknown operator %q", v.op)
+	}
+	g.pop() // rr
+	return rl, nil
+}
+
+// call saves live scratch registers across the call, marshals arguments
+// into r1..r4, and retrieves the result from r1.
+func (g *codegen) call(v callExpr) (int, error) {
+	// Evaluate arguments onto the register stack.
+	base := g.reg
+	for _, a := range v.args {
+		if _, err := g.expr(a); err != nil {
+			return 0, err
+		}
+	}
+	// Save scratch r5..(reg-1) to the stack (everything live, including
+	// the argument temporaries, survives in callee-unclobbered memory).
+	live := g.reg - firstScratch
+	save := int32(live) * 4
+	if save > 0 {
+		g.emitf("  addi r%d, r%d, %d", RegSP, RegSP, -save)
+		for i := 0; i < live; i++ {
+			g.emitf("  sw r%d, %d(r%d)", firstScratch+i, int32(i)*4, RegSP)
+		}
+	}
+	// Marshal arguments from their saved slots into r1..r4.
+	for i := range v.args {
+		slot := int32(base-firstScratch+i) * 4
+		g.emitf("  lw r%d, %d(r%d)", RegRV+i, slot, RegSP)
+	}
+	g.emitf("  jal %s", v.name)
+	// Restore scratch below the arg temporaries.
+	for i := 0; i < base-firstScratch; i++ {
+		g.emitf("  lw r%d, %d(r%d)", firstScratch+i, int32(i)*4, RegSP)
+	}
+	if save > 0 {
+		g.emitf("  addi r%d, r%d, %d", RegSP, RegSP, save)
+	}
+	// Drop the argument temporaries from the register stack; push result.
+	g.reg = base
+	r, err := g.push()
+	if err != nil {
+		return 0, err
+	}
+	g.emitf("  add r%d, r%d, r0", r, RegRV)
+	return r, nil
+}

@@ -1,0 +1,236 @@
+package cs314
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Object is a relocatable object file: one text section (words), one data
+// section (bytes), exported symbols, and relocations against symbols that
+// the linker resolves.
+type Object struct {
+	Name    string
+	Text    []uint32
+	Data    []byte
+	Symbols map[string]Symbol
+	Relocs  []Reloc
+}
+
+// Section discriminates symbol homes.
+type Section uint8
+
+// Sections.
+const (
+	SecText Section = iota
+	SecData
+)
+
+// Symbol is a named location. Only Global symbols resolve across units;
+// local labels stay private to their object file.
+type Symbol struct {
+	Section Section
+	Offset  uint32 // word offset in text; byte offset in data
+	Global  bool
+}
+
+// RelocKind tells the linker how to patch.
+type RelocKind uint8
+
+const (
+	// RelJump patches a 26-bit absolute word address (jal).
+	RelJump RelocKind = iota
+	// RelBranch patches a 14-bit pc-relative word offset (beq/bne/blt).
+	RelBranch
+	// RelHi patches a lui immediate with the high bits of a byte address.
+	RelHi
+	// RelLo patches an addi immediate with the low bits of a byte address.
+	RelLo
+)
+
+// Reloc is one patch site in the text section.
+type Reloc struct {
+	Kind   RelocKind
+	Offset uint32 // word index into Text
+	Symbol string
+}
+
+// Executable is a linked program image.
+type Executable struct {
+	Entry    uint32 // word address of the entry point
+	Text     []uint32
+	DataBase uint32 // byte address where Data is loaded
+	Data     []byte
+}
+
+const (
+	objMagic = "C3O1"
+	exeMagic = "C3X1"
+)
+
+// EncodeObject serializes an object file.
+func EncodeObject(o *Object) []byte {
+	var b []byte
+	u := func(v uint64) { b = binary.AppendUvarint(b, v) }
+	str := func(s string) { u(uint64(len(s))); b = append(b, s...) }
+	b = append(b, objMagic...)
+	str(o.Name)
+	u(uint64(len(o.Text)))
+	for _, w := range o.Text {
+		b = binary.LittleEndian.AppendUint32(b, w)
+	}
+	u(uint64(len(o.Data)))
+	b = append(b, o.Data...)
+	names := make([]string, 0, len(o.Symbols))
+	for n := range o.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	u(uint64(len(names)))
+	for _, n := range names {
+		s := o.Symbols[n]
+		str(n)
+		flags := byte(s.Section)
+		if s.Global {
+			flags |= 0x80
+		}
+		b = append(b, flags)
+		u(uint64(s.Offset))
+	}
+	u(uint64(len(o.Relocs)))
+	for _, r := range o.Relocs {
+		b = append(b, byte(r.Kind))
+		u(uint64(r.Offset))
+		str(r.Symbol)
+	}
+	return b
+}
+
+type byteReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *byteReader) fail(f string, a ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(f, a...)
+	}
+}
+
+func (r *byteReader) u() uint64 {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if r.err != nil || r.pos+n > len(r.b) {
+		r.fail("truncated")
+		return make([]byte, n)
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *byteReader) str() string {
+	n := r.u()
+	if n > 1<<16 {
+		r.fail("string too long")
+		return ""
+	}
+	return string(r.bytes(int(n)))
+}
+
+// DecodeObject parses an object file.
+func DecodeObject(data []byte) (*Object, error) {
+	r := &byteReader{b: data}
+	if string(r.bytes(4)) != objMagic {
+		return nil, fmt.Errorf("cs314: bad object magic")
+	}
+	o := &Object{Symbols: map[string]Symbol{}}
+	o.Name = r.str()
+	nt := r.u()
+	if nt > 1<<22 {
+		return nil, fmt.Errorf("cs314: text too large")
+	}
+	o.Text = make([]uint32, nt)
+	for i := range o.Text {
+		o.Text[i] = binary.LittleEndian.Uint32(r.bytes(4))
+	}
+	nd := r.u()
+	if nd > 1<<24 {
+		return nil, fmt.Errorf("cs314: data too large")
+	}
+	o.Data = append([]byte(nil), r.bytes(int(nd))...)
+	ns := r.u()
+	for i := uint64(0); i < ns && r.err == nil; i++ {
+		name := r.str()
+		flags := r.bytes(1)[0]
+		off := uint32(r.u())
+		o.Symbols[name] = Symbol{
+			Section: Section(flags & 0x7f),
+			Offset:  off,
+			Global:  flags&0x80 != 0,
+		}
+	}
+	nr := r.u()
+	for i := uint64(0); i < nr && r.err == nil; i++ {
+		kind := RelocKind(r.bytes(1)[0])
+		off := uint32(r.u())
+		sym := r.str()
+		o.Relocs = append(o.Relocs, Reloc{Kind: kind, Offset: off, Symbol: sym})
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("cs314: decode object: %w", r.err)
+	}
+	return o, nil
+}
+
+// EncodeExecutable serializes an executable image.
+func EncodeExecutable(e *Executable) []byte {
+	var b []byte
+	b = append(b, exeMagic...)
+	b = binary.LittleEndian.AppendUint32(b, e.Entry)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Text)))
+	for _, w := range e.Text {
+		b = binary.LittleEndian.AppendUint32(b, w)
+	}
+	b = binary.LittleEndian.AppendUint32(b, e.DataBase)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Data)))
+	b = append(b, e.Data...)
+	return b
+}
+
+// DecodeExecutable parses an executable image.
+func DecodeExecutable(data []byte) (*Executable, error) {
+	r := &byteReader{b: data}
+	if string(r.bytes(4)) != exeMagic {
+		return nil, fmt.Errorf("cs314: bad executable magic")
+	}
+	e := &Executable{}
+	e.Entry = binary.LittleEndian.Uint32(r.bytes(4))
+	nt := binary.LittleEndian.Uint32(r.bytes(4))
+	if nt > 1<<22 {
+		return nil, fmt.Errorf("cs314: text too large")
+	}
+	e.Text = make([]uint32, nt)
+	for i := range e.Text {
+		e.Text[i] = binary.LittleEndian.Uint32(r.bytes(4))
+	}
+	e.DataBase = binary.LittleEndian.Uint32(r.bytes(4))
+	nd := binary.LittleEndian.Uint32(r.bytes(4))
+	if nd > 1<<24 {
+		return nil, fmt.Errorf("cs314: data too large")
+	}
+	e.Data = append([]byte(nil), r.bytes(int(nd))...)
+	if r.err != nil {
+		return nil, fmt.Errorf("cs314: decode executable: %w", r.err)
+	}
+	return e, nil
+}

@@ -1,0 +1,136 @@
+package cs314
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jkernel/internal/httpd"
+)
+
+// The CS314 servlets: each tool wrapped as an httpd.Servlet so the
+// extensible web server can host the course toolchain with one protection
+// domain per component. A bug (or termination) in, say, the compiler
+// servlet leaves the assembler and linker running — the failure-isolation
+// property whose absence in Jigsaw "made the introduction of new features
+// during the course very difficult".
+
+// CompilerServlet compiles MiniC source (request body) to C3 assembly.
+type CompilerServlet struct{}
+
+// Service implements httpd.Servlet.
+func (CompilerServlet) Service(req *httpd.Request) (*httpd.Response, error) {
+	asm, err := CompileMiniC(string(req.Body))
+	if err != nil {
+		return &httpd.Response{Status: 422, Body: []byte(err.Error())}, nil
+	}
+	return &httpd.Response{Status: 200, Body: []byte(asm)}, nil
+}
+
+// AssemblerServlet assembles C3 assembly (request body) into an object
+// file. The unit name comes from ?unit=.
+type AssemblerServlet struct{}
+
+// Service implements httpd.Servlet.
+func (AssemblerServlet) Service(req *httpd.Request) (*httpd.Response, error) {
+	unit := "unit"
+	if q := req.Query; q != "" {
+		for _, kv := range strings.Split(q, "&") {
+			if v, ok := strings.CutPrefix(kv, "unit="); ok {
+				unit = v
+			}
+		}
+	}
+	obj, err := AssembleC3(unit, string(req.Body))
+	if err != nil {
+		return &httpd.Response{Status: 422, Body: []byte(err.Error())}, nil
+	}
+	return &httpd.Response{Status: 200, Body: EncodeObject(obj)}, nil
+}
+
+// LinkerServlet links a bundle of object files (request body: the httpd
+// bundle format) into an executable.
+type LinkerServlet struct{}
+
+// Service implements httpd.Servlet.
+func (LinkerServlet) Service(req *httpd.Request) (*httpd.Response, error) {
+	bundle, err := httpd.DecodeBundle(req.Body)
+	if err != nil {
+		return &httpd.Response{Status: 400, Body: []byte(err.Error())}, nil
+	}
+	names := make([]string, 0, len(bundle))
+	for n := range bundle {
+		names = append(names, n)
+	}
+	// Deterministic link order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	var objs []*Object
+	for _, n := range names {
+		o, err := DecodeObject(bundle[n])
+		if err != nil {
+			return &httpd.Response{Status: 422, Body: []byte(fmt.Sprintf("%s: %v", n, err))}, nil
+		}
+		objs = append(objs, o)
+	}
+	exe, err := Link(objs...)
+	if err != nil {
+		return &httpd.Response{Status: 422, Body: []byte(err.Error())}, nil
+	}
+	return &httpd.Response{Status: 200, Body: EncodeExecutable(exe)}, nil
+}
+
+// RunnerServlet executes an executable image (request body) on the
+// emulator and returns its output, one integer per line.
+type RunnerServlet struct {
+	// MaxSteps bounds execution (default 10M) so student infinite loops
+	// cannot wedge the grading server.
+	MaxSteps int64
+}
+
+// Service implements httpd.Servlet.
+func (r RunnerServlet) Service(req *httpd.Request) (*httpd.Response, error) {
+	exe, err := DecodeExecutable(req.Body)
+	if err != nil {
+		return &httpd.Response{Status: 400, Body: []byte(err.Error())}, nil
+	}
+	max := r.MaxSteps
+	if max == 0 {
+		max = 10_000_000
+	}
+	out, err := RunProgram(exe, max)
+	var b strings.Builder
+	for _, v := range out {
+		b.WriteString(strconv.FormatInt(int64(v), 10))
+		b.WriteByte('\n')
+	}
+	if err != nil {
+		fmt.Fprintf(&b, "fault: %v\n", err)
+		return &httpd.Response{Status: 422, Body: []byte(b.String())}, nil
+	}
+	return &httpd.Response{Status: 200, Body: []byte(b.String())}, nil
+}
+
+// MountAll mounts the four course servlets on a bridge under /cs314/.
+func MountAll(b *httpd.Bridge) error {
+	mounts := []struct {
+		name, prefix string
+		s            httpd.Servlet
+	}{
+		{"cs314-compile", "/cs314/compile", CompilerServlet{}},
+		{"cs314-assemble", "/cs314/assemble", AssemblerServlet{}},
+		{"cs314-link", "/cs314/link", LinkerServlet{}},
+		{"cs314-run", "/cs314/run", RunnerServlet{}},
+	}
+	for _, m := range mounts {
+		if _, err := b.MountNative(m.name, m.prefix, m.s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

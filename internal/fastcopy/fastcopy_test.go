@@ -1,0 +1,238 @@
+package fastcopy
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+type Inner struct {
+	N int
+	B []byte
+}
+
+type Outer struct {
+	Name   string
+	I      *Inner
+	Vals   []int
+	Lookup map[string]*Inner
+}
+
+type Ring struct {
+	V    int
+	Next *Ring
+}
+
+func TestCopyTree(t *testing.T) {
+	c := New()
+	src := &Outer{
+		Name: "x",
+		I:    &Inner{N: 1, B: []byte("abc")},
+		Vals: []int{1, 2, 3},
+		Lookup: map[string]*Inner{
+			"a": {N: 2, B: []byte("def")},
+		},
+	}
+	out, err := c.Copy(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*Outer)
+	if !reflect.DeepEqual(got, src) {
+		t.Fatalf("copy differs: %#v", got)
+	}
+	if got == src || got.I == src.I || got.Lookup["a"] == src.Lookup["a"] {
+		t.Error("copy aliases source pointers")
+	}
+	got.I.B[0] = 'Z'
+	if src.I.B[0] == 'Z' {
+		t.Error("copy aliases byte slice")
+	}
+}
+
+func TestCycleWithoutTableFails(t *testing.T) {
+	a := &Ring{V: 1}
+	a.Next = a
+	_, err := New().Copy(a)
+	if err == nil || !strings.Contains(err.Error(), "depth limit") {
+		t.Fatalf("expected depth-limit error, got %v", err)
+	}
+}
+
+func TestCycleWithTableSucceeds(t *testing.T) {
+	a := &Ring{V: 1}
+	b := &Ring{V: 2, Next: a}
+	a.Next = b
+	out, err := New(WithCycleTable()).Copy(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*Ring)
+	if got.V != 1 || got.Next.V != 2 || got.Next.Next != got {
+		t.Error("cycle not preserved")
+	}
+	if got == a {
+		t.Error("copy aliases source")
+	}
+}
+
+func TestSharedSubobjectWithTable(t *testing.T) {
+	shared := &Inner{N: 7}
+	type two struct{ A, B *Inner }
+	out, err := New(WithCycleTable()).Copy(&two{A: shared, B: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*two)
+	if got.A != got.B {
+		t.Error("aliasing lost with cycle table enabled")
+	}
+}
+
+func TestSharedSubobjectWithoutTableDuplicates(t *testing.T) {
+	// Without the table the paper's fast path copies shared objects twice:
+	// documented behaviour, verified here.
+	shared := &Inner{N: 7}
+	type two struct{ A, B *Inner }
+	out, err := New().Copy(&two{A: shared, B: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*two)
+	if got.A == got.B {
+		t.Error("expected duplicated copies without cycle table")
+	}
+	if got.A.N != 7 || got.B.N != 7 {
+		t.Error("values lost")
+	}
+}
+
+type token struct{ id int }
+
+func (t *token) String() string { return "token" }
+
+func TestCapabilityPassesByReference(t *testing.T) {
+	capv := &token{id: 1}
+	pred := func(v any) bool { _, ok := v.(*token); return ok }
+	type msg struct {
+		Data []byte
+		Cap  *token
+	}
+	out, err := New(WithCapabilityFunc(pred)).Copy(&msg{Data: []byte("d"), Cap: capv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*msg)
+	if got.Cap != capv {
+		t.Error("capability was copied; must pass by reference")
+	}
+	if &got.Data[0] == &[]byte("d")[0] {
+		t.Error("data should be fresh")
+	}
+}
+
+func TestFuncAndChanRejected(t *testing.T) {
+	type bad1 struct{ F func() }
+	type bad2 struct{ C chan int }
+	if _, err := New().Copy(&bad1{F: func() {}}); err == nil {
+		t.Error("func field accepted")
+	}
+	if _, err := New().Copy(&bad2{C: make(chan int)}); err == nil {
+		t.Error("chan field accepted")
+	}
+}
+
+func TestUnexportedFieldsZeroed(t *testing.T) {
+	type mixed struct {
+		Public int
+		secret int
+	}
+	out, err := New().Copy(&mixed{Public: 1, secret: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*mixed)
+	if got.Public != 1 {
+		t.Error("exported field lost")
+	}
+	if got.secret != 0 {
+		t.Error("unexported field leaked across boundary")
+	}
+}
+
+func TestNilHandling(t *testing.T) {
+	c := New()
+	if out, err := c.Copy(nil); err != nil || out != nil {
+		t.Errorf("Copy(nil) = %v, %v", out, err)
+	}
+	var p *Inner
+	out, err := c.Copy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(*Inner) != nil {
+		t.Error("nil pointer should stay nil")
+	}
+}
+
+func TestSizeofEstimates(t *testing.T) {
+	if n := Sizeof([]byte("12345")); n != 5 {
+		t.Errorf("Sizeof(5 bytes) = %d", n)
+	}
+	if n := Sizeof("abc"); n != 3 {
+		t.Errorf("Sizeof(string) = %d", n)
+	}
+	if n := Sizeof(nil); n != 0 {
+		t.Errorf("Sizeof(nil) = %d", n)
+	}
+	type s struct {
+		A int64
+		B []byte
+	}
+	if n := Sizeof(&s{A: 1, B: make([]byte, 10)}); n != 8+8+10 {
+		t.Errorf("Sizeof(struct) = %d", n)
+	}
+}
+
+// Property: copies with the cycle table are deep-equal and alias-free for
+// random list structures.
+func TestQuickDeepEqualNoAlias(t *testing.T) {
+	c := New(WithCycleTable())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 1
+		head := &Ring{V: rng.Int()}
+		cur := head
+		all := []*Ring{head}
+		for i := 0; i < n; i++ {
+			nxt := &Ring{V: rng.Int()}
+			cur.Next = nxt
+			cur = nxt
+			all = append(all, nxt)
+		}
+		if rng.Intn(2) == 0 {
+			cur.Next = all[rng.Intn(len(all))]
+		}
+		out, err := c.Copy(head)
+		if err != nil {
+			return false
+		}
+		got := out.(*Ring)
+		a, b := head, got
+		for i := 0; i < 3*n+3; i++ {
+			if a == nil || b == nil {
+				return a == nil && b == nil
+			}
+			if a.V != b.V || a == b {
+				return false
+			}
+			a, b = a.Next, b.Next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,322 @@
+package httpd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"jkernel/internal/core"
+	"jkernel/internal/vmkit"
+)
+
+// servletIfaceSrc is the shared VM servlet interface — the contract every
+// uploaded VM servlet implements. service(method, pathAndQuery, body)
+// returns the response body; richer responses use the native API.
+const servletIfaceSrc = `
+.class jk/servlet/Servlet interface implements jk/kernel/Remote
+.method service (Ljk/lang/String;Ljk/lang/String;[B)[B
+.end
+`
+
+// Bridge is the ISAPI-extension analog: it lives in the front server's
+// process, receives requests, and forwards them through LRMI to servlet
+// domains. It also exposes the admin surface for uploading and terminating
+// servlets.
+type Bridge struct {
+	K      *core.Kernel
+	Router *Router
+
+	system    *core.Domain // hosts the bridge's own task contexts
+	www       *core.Domain // defines the shared servlet interface
+	servletSC *core.SharedClass
+
+	// taskPool recycles detached bridge tasks so per-request cost is the
+	// LRMI, not task setup ("the Java code runs in the same thread as IIS
+	// uses to invoke the bridge" — and that thread context is reused).
+	taskPool sync.Pool
+}
+
+// NewBridge wires a bridge into kernel k.
+func NewBridge(k *core.Kernel) (*Bridge, error) {
+	RegisterTypes(k)
+	system, err := k.NewDomain(core.DomainConfig{Name: "www-bridge"})
+	if err != nil {
+		return nil, err
+	}
+	iface, err := vmkit.AssembleBytes(servletIfaceSrc)
+	if err != nil {
+		return nil, err
+	}
+	www, err := k.NewDomain(core.DomainConfig{
+		Name:    "www-system",
+		Classes: map[string][]byte{"jk/servlet/Servlet": iface},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc, err := k.ShareClasses(www, "jk/servlet/Servlet")
+	if err != nil {
+		return nil, err
+	}
+	b := &Bridge{
+		K:         k,
+		Router:    &Router{},
+		system:    system,
+		www:       www,
+		servletSC: sc,
+	}
+	b.taskPool.New = func() any {
+		return k.NewDetachedTask(system, "bridge-req")
+	}
+	return b, nil
+}
+
+// ServletInterface returns the shared jk/servlet/Servlet group, for
+// domains created outside the bridge.
+func (b *Bridge) ServletInterface() *core.SharedClass { return b.servletSC }
+
+// MountNative runs a Go servlet in its own domain and mounts it.
+func (b *Bridge) MountNative(name, prefix string, s Servlet) (*core.Domain, error) {
+	d, err := b.K.NewDomain(core.DomainConfig{Name: "servlet-" + name})
+	if err != nil {
+		return nil, err
+	}
+	cap, err := b.K.CreateNativeCapability(d, &nativeServletAdapter{s: s})
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Router.Mount(name, prefix, cap, d, false); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// UploadVM creates a fresh domain, loads the uploaded class bundle into
+// it, instantiates mainClass (which must implement jk/servlet/Servlet),
+// and mounts it at prefix. This is the paper's servlet upload: arbitrary
+// user bytecode, fully isolated.
+func (b *Bridge) UploadVM(name, prefix, mainClass string, bundle map[string][]byte) (*core.Domain, error) {
+	d, err := b.K.NewDomain(core.DomainConfig{
+		Name:    "servlet-" + name,
+		Classes: bundle,
+		Shared:  []*core.SharedClass{b.servletSC},
+	})
+	if err != nil {
+		return nil, err
+	}
+	cls, err := d.NS.Resolve(mainClass)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: servlet class: %w", err)
+	}
+	obj, ierr := vmkit.NewInstance(cls)
+	if ierr != nil {
+		return nil, ierr
+	}
+	cap, err := b.K.CreateVMCapability(d, obj)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: servlet capability: %w", err)
+	}
+	if err := b.Router.Mount(name, prefix, cap, d, true); err != nil {
+		d.Terminate("mount failed")
+		return nil, err
+	}
+	return d, nil
+}
+
+// TerminateServlet unmounts the servlet and terminates its domain. Clients
+// in mid-call observe RevokedException; the server itself is unaffected —
+// replacement without restarting the server, which Jigsaw could not do.
+func (b *Bridge) TerminateServlet(name string) error {
+	rt := b.Router.Unmount(name)
+	if rt == nil {
+		return fmt.Errorf("httpd: no servlet %q", name)
+	}
+	rt.domain.Terminate("servlet terminated by admin")
+	return nil
+}
+
+// ServeHTTP is the front-server hook (http.Handler). Admin endpoints live
+// under /admin/; everything else routes to servlets.
+func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/admin/") {
+		b.serveAdmin(w, r)
+		return
+	}
+	rt := b.Router.Lookup(r.URL.Path)
+	if rt == nil {
+		http.NotFound(w, r)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<22))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Enter the bridge domain for the duration of the request: the Java
+	// code runs "in the same thread as IIS uses to invoke the bridge".
+	task := b.taskPool.Get().(*core.Task)
+	defer b.taskPool.Put(task)
+
+	if rt.isVM {
+		out, err := rt.cap.InvokeVM(task, "service", r.Method, r.URL.RequestURI(), body)
+		if err != nil {
+			servletError(w, err)
+			return
+		}
+		data, _ := out.([]byte)
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+		return
+	}
+
+	req := &Request{
+		Method:  r.Method,
+		Path:    r.URL.Path,
+		Query:   r.URL.RawQuery,
+		Headers: flattenHeader(r.Header),
+		Body:    body,
+	}
+	results, err := rt.cap.InvokeFrom(task, "Service", req)
+	if err != nil {
+		servletError(w, err)
+		return
+	}
+	resp, _ := results[0].(*Response)
+	if resp == nil {
+		http.Error(w, "servlet returned no response", http.StatusBadGateway)
+		return
+	}
+	for k, v := range resp.Headers {
+		w.Header().Set(k, v)
+	}
+	status := resp.Status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp.Body)))
+	w.WriteHeader(status)
+	w.Write(resp.Body)
+}
+
+// servletError maps kernel failures onto HTTP statuses: a dead or revoked
+// servlet is a gateway failure, not a server crash.
+func servletError(w http.ResponseWriter, err error) {
+	switch {
+	case err == core.ErrRevoked || err == core.ErrDomainTerminated:
+		http.Error(w, "servlet unavailable: "+err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, "servlet failed: "+err.Error(), http.StatusBadGateway)
+	}
+}
+
+// serveAdmin handles upload and termination.
+//
+//	POST   /admin/upload?name=N&prefix=/p&main=Class   body: class bundle
+//	DELETE /admin/servlet?name=N
+//	GET    /admin/servlets
+func (b *Bridge) serveAdmin(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/admin/upload":
+		q := r.URL.Query()
+		name, prefix, main := q.Get("name"), q.Get("prefix"), q.Get("main")
+		if name == "" || prefix == "" || main == "" {
+			http.Error(w, "need name, prefix, main", http.StatusBadRequest)
+			return
+		}
+		raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<22))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		bundle, err := DecodeBundle(raw)
+		if err != nil {
+			http.Error(w, "bad bundle: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if _, err := b.UploadVM(name, prefix, main, bundle); err != nil {
+			http.Error(w, "upload rejected: "+err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		fmt.Fprintf(w, "servlet %s mounted at %s\n", name, prefix)
+
+	case r.Method == http.MethodDelete && r.URL.Path == "/admin/servlet":
+		name := r.URL.Query().Get("name")
+		if err := b.TerminateServlet(name); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(w, "servlet %s terminated\n", name)
+
+	case r.Method == http.MethodGet && r.URL.Path == "/admin/servlets":
+		for _, n := range b.Router.Names() {
+			fmt.Fprintln(w, n)
+		}
+
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func flattenHeader(h http.Header) map[string]string {
+	out := make(map[string]string, len(h))
+	for k, vs := range h {
+		if len(vs) > 0 {
+			out[k] = vs[0]
+		}
+	}
+	return out
+}
+
+// EncodeBundle packs class files for upload: repeated
+// [name-len][name][data-len][data], little-endian u32 lengths.
+func EncodeBundle(bundle map[string][]byte) []byte {
+	var out []byte
+	u32 := func(n int) {
+		out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	}
+	for name, data := range bundle {
+		u32(len(name))
+		out = append(out, name...)
+		u32(len(data))
+		out = append(out, data...)
+	}
+	return out
+}
+
+// DecodeBundle unpacks an uploaded class bundle.
+func DecodeBundle(raw []byte) (map[string][]byte, error) {
+	out := map[string][]byte{}
+	for len(raw) > 0 {
+		if len(raw) < 4 {
+			return nil, fmt.Errorf("truncated bundle")
+		}
+		n := binary.LittleEndian.Uint32(raw)
+		raw = raw[4:]
+		if uint32(len(raw)) < n {
+			return nil, fmt.Errorf("truncated name")
+		}
+		name := string(raw[:n])
+		raw = raw[n:]
+		if len(raw) < 4 {
+			return nil, fmt.Errorf("truncated bundle")
+		}
+		dn := binary.LittleEndian.Uint32(raw)
+		raw = raw[4:]
+		if uint32(len(raw)) < dn {
+			return nil, fmt.Errorf("truncated class data")
+		}
+		data := append([]byte(nil), raw[:dn]...)
+		raw = raw[dn:]
+		out[name] = data
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty bundle")
+	}
+	return out, nil
+}

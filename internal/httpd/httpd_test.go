@@ -1,0 +1,249 @@
+package httpd
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"jkernel/internal/core"
+	"jkernel/internal/vmkit"
+)
+
+func newLocalListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func newBridge(t *testing.T) (*core.Kernel, *Bridge) {
+	t.Helper()
+	k := core.MustNew(core.Options{})
+	b, err := NewBridge(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, b
+}
+
+type helloServlet struct{ greeting string }
+
+func (h *helloServlet) Service(req *Request) (*Response, error) {
+	return &Response{
+		Status: 200,
+		Body:   []byte(h.greeting + " " + req.Path),
+	}, nil
+}
+
+type crashServlet struct{}
+
+func (c *crashServlet) Service(req *Request) (*Response, error) {
+	panic("servlet bug")
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	return res, string(body)
+}
+
+func TestNativeServletRoundTrip(t *testing.T) {
+	_, b := newBridge(t)
+	if _, err := b.MountNative("hello", "/hello", &helloServlet{greeting: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	res, body := get(t, b, "/hello/world")
+	if res.StatusCode != 200 || body != "hi /hello/world" {
+		t.Errorf("got %d %q", res.StatusCode, body)
+	}
+	res, _ = get(t, b, "/nope")
+	if res.StatusCode != 404 {
+		t.Errorf("unrouted path: %d", res.StatusCode)
+	}
+}
+
+func TestServletCrashIsolated(t *testing.T) {
+	_, b := newBridge(t)
+	if _, err := b.MountNative("boom", "/boom", &crashServlet{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MountNative("ok", "/ok", &helloServlet{greeting: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	res, body := get(t, b, "/boom")
+	if res.StatusCode != http.StatusBadGateway {
+		t.Errorf("crash status = %d (%s)", res.StatusCode, body)
+	}
+	// The server and the other servlet live on.
+	res, _ = get(t, b, "/ok")
+	if res.StatusCode != 200 {
+		t.Errorf("healthy servlet harmed by sibling crash: %d", res.StatusCode)
+	}
+}
+
+func TestVMDocServlet(t *testing.T) {
+	_, b := newBridge(t)
+	doc := []byte("<html>doc body</html>")
+	if _, err := b.MountDocServlet("doc", "/doc", doc); err != nil {
+		t.Fatal(err)
+	}
+	res, body := get(t, b, "/doc/index.html")
+	if res.StatusCode != 200 || body != string(doc) {
+		t.Errorf("got %d %q", res.StatusCode, body)
+	}
+}
+
+func TestUploadTerminateReplaceCycle(t *testing.T) {
+	_, b := newBridge(t)
+	mk := func(msg string) []byte {
+		src := fmt.Sprintf(`
+.class UserServlet implements jk/servlet/Servlet
+.method service (Ljk/lang/String;Ljk/lang/String;[B)[B stack 4 locals 0
+  sconst %q
+  invokevirtual jk/lang/String.getBytes:()[B
+  retv
+.end
+`, msg)
+		data, err := vmkit.AssembleBytes(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	// Upload v1 through the admin HTTP surface, like a real user.
+	bundle := EncodeBundle(map[string][]byte{"UserServlet": mk("version one")})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost,
+		"/admin/upload?name=user&prefix=/user&main=UserServlet", bytes.NewReader(bundle))
+	b.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+	if _, body := get(t, b, "/user"); body != "version one" {
+		t.Fatalf("v1 body = %q", body)
+	}
+
+	// Terminate it; requests now fail but the server survives.
+	rec = httptest.NewRecorder()
+	b.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/admin/servlet?name=user", nil))
+	if rec.Code != 200 {
+		t.Fatalf("terminate: %d", rec.Code)
+	}
+	if res, _ := get(t, b, "/user"); res.StatusCode != 404 {
+		t.Errorf("after terminate: %d, want 404 (unmounted)", res.StatusCode)
+	}
+
+	// Hot-replace with v2 — no server restart, fresh domain.
+	bundle = EncodeBundle(map[string][]byte{"UserServlet": mk("version two")})
+	rec = httptest.NewRecorder()
+	b.ServeHTTP(rec, httptest.NewRequest(http.MethodPost,
+		"/admin/upload?name=user2&prefix=/user&main=UserServlet", bytes.NewReader(bundle)))
+	if rec.Code != 200 {
+		t.Fatalf("re-upload: %d %s", rec.Code, rec.Body.String())
+	}
+	if _, body := get(t, b, "/user"); body != "version two" {
+		t.Errorf("v2 body = %q", body)
+	}
+}
+
+func TestUploadRejectsBadBytecode(t *testing.T) {
+	_, b := newBridge(t)
+	// Type-confused servlet: returns an int where [B is declared.
+	src := `
+.class EvilServlet implements jk/servlet/Servlet
+.method service (Ljk/lang/String;Ljk/lang/String;[B)[B stack 4 locals 0
+  iconst 1234
+  retv
+.end
+`
+	data, err := vmkit.AssembleBytes(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := EncodeBundle(map[string][]byte{"EvilServlet": data})
+	rec := httptest.NewRecorder()
+	b.ServeHTTP(rec, httptest.NewRequest(http.MethodPost,
+		"/admin/upload?name=evil&prefix=/evil&main=EvilServlet", bytes.NewReader(bundle)))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("verifier-rejected upload returned %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestJWSHandlesRequests(t *testing.T) {
+	k := core.MustNew(core.Options{})
+	doc := []byte(strings.Repeat("x", 100))
+	jws, err := NewJWS(k, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := k.NewTask(jws.Domain, "test")
+	defer task.Close()
+	resp, err := jws.HandleWith(task, []byte("GET /index.html HTTP/1.0\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(resp)
+	if !strings.HasPrefix(s, "HTTP/1.0 200 OK\r\n") {
+		t.Errorf("status line: %q", s[:min(40, len(s))])
+	}
+	if !strings.Contains(s, "Content-Length: 100\r\n") {
+		t.Errorf("content length missing: %q", s[:80])
+	}
+	if !strings.HasSuffix(s, string(doc)) {
+		t.Error("body missing")
+	}
+}
+
+func TestJWSOverRealSocket(t *testing.T) {
+	k := core.MustNew(core.Options{})
+	jws, err := NewJWS(k, []byte("hello jws"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := newLocalListener()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go jws.Serve(ln)
+	defer ln.Close()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello jws" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	in := map[string][]byte{"A": {1, 2}, "B": {}, "C": []byte("xyz")}
+	out, err := DecodeBundle(EncodeBundle(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || string(out["C"]) != "xyz" || len(out["A"]) != 2 {
+		t.Errorf("round trip = %v", out)
+	}
+	if _, err := DecodeBundle([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated bundle accepted")
+	}
+	if _, err := DecodeBundle(nil); err == nil {
+		t.Error("empty bundle accepted")
+	}
+}
+
+func TestStaticHandler(t *testing.T) {
+	res, body := get(t, StaticHandler([]byte("static doc")), "/any")
+	if res.StatusCode != 200 || body != "static doc" {
+		t.Errorf("got %d %q", res.StatusCode, body)
+	}
+}

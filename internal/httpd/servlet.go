@@ -1,0 +1,131 @@
+// Package httpd implements the paper's §4: an extensible HTTP server built
+// on the J-Kernel. An off-the-shelf front server (net/http, standing in
+// for IIS) hosts a bridge (the ISAPI-extension analog) that forwards each
+// request through LRMI to a user servlet running in its own protection
+// domain. Servlets are uploaded dynamically as bytecode, each into a fresh
+// domain, and can be terminated and hot-replaced without restarting the
+// server — the failure-isolation and clean-termination properties the
+// CS314 experience motivated.
+//
+// The package also provides the two baselines of Table 5: a plain static
+// server ("IIS") and an all-interpreted server whose request path runs
+// entirely in VM bytecode ("JWS", which ran without a JIT).
+package httpd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"jkernel/internal/core"
+)
+
+// Request is the servlet-visible request. It crosses domains by copy.
+type Request struct {
+	Method  string
+	Path    string
+	Query   string
+	Headers map[string]string
+	Body    []byte
+}
+
+// Response is the servlet's reply. It crosses domains by copy.
+type Response struct {
+	Status  int
+	Headers map[string]string
+	Body    []byte
+}
+
+// Servlet is the native (Go) servlet interface; VM servlets implement the
+// shared jk/servlet/Servlet interface instead.
+type Servlet interface {
+	Service(req *Request) (*Response, error)
+}
+
+// nativeServletAdapter exposes a Servlet through a native capability (its
+// exported method set defines the remote surface).
+type nativeServletAdapter struct{ s Servlet }
+
+// Service forwards to the wrapped servlet.
+func (a *nativeServletAdapter) Service(req *Request) (*Response, error) {
+	return a.s.Service(req)
+}
+
+// RegisterTypes registers the servlet API types with a kernel for
+// fast-copy transfer (maps make the graphs non-tree, so use the table).
+func RegisterTypes(k *core.Kernel) {
+	k.RegisterFastCopy(&Request{}, true)
+	k.RegisterFastCopy(&Response{}, true)
+}
+
+// route is one mounted servlet.
+type route struct {
+	name   string
+	prefix string
+	cap    *core.Capability
+	domain *core.Domain
+	isVM   bool
+}
+
+// Router maps URL prefixes to servlet capabilities, longest prefix first.
+type Router struct {
+	mu     sync.RWMutex
+	routes []*route
+}
+
+// Mount binds a servlet capability to a URL prefix.
+func (r *Router) Mount(name, prefix string, cap *core.Capability, d *core.Domain, isVM bool) error {
+	if !strings.HasPrefix(prefix, "/") {
+		return fmt.Errorf("httpd: prefix must start with /: %q", prefix)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rt := range r.routes {
+		if rt.name == name {
+			return fmt.Errorf("httpd: servlet %q already mounted", name)
+		}
+	}
+	r.routes = append(r.routes, &route{name: name, prefix: prefix, cap: cap, domain: d, isVM: isVM})
+	sort.SliceStable(r.routes, func(i, j int) bool {
+		return len(r.routes[i].prefix) > len(r.routes[j].prefix)
+	})
+	return nil
+}
+
+// Unmount removes a servlet by name and returns its route.
+func (r *Router) Unmount(name string) *route {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, rt := range r.routes {
+		if rt.name == name {
+			r.routes = append(r.routes[:i], r.routes[i+1:]...)
+			return rt
+		}
+	}
+	return nil
+}
+
+// Lookup finds the longest-prefix route for path.
+func (r *Router) Lookup(path string) *route {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, rt := range r.routes {
+		if strings.HasPrefix(path, rt.prefix) {
+			return rt
+		}
+	}
+	return nil
+}
+
+// Names lists mounted servlet names.
+func (r *Router) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.routes))
+	for _, rt := range r.routes {
+		out = append(out, rt.name)
+	}
+	sort.Strings(out)
+	return out
+}

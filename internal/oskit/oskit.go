@@ -1,0 +1,211 @@
+// Package oskit provides the traditional-OS IPC baselines of Table 2:
+// cross-process RPC over pipes (the NT-RPC analog), RPC over a loopback
+// TCP socket (the COM out-of-proc analog), and a direct in-process
+// interface call (the COM in-proc analog).
+//
+// The cross-process servers run in a *real* child process (the test/bench
+// binary re-executes itself in server mode), so the measured costs include
+// genuine kernel crossings and scheduler hops, which is the paper's point:
+// "the communication between two fully protected components is at least a
+// factor of 3000 from a regular C++ invocation."
+package oskit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+)
+
+// Env variables steering the self-exec child.
+const (
+	envMode = "JKERNEL_OSKIT_MODE"
+	envAddr = "JKERNEL_OSKIT_ADDR"
+)
+
+// MaybeRunChild turns the current process into an RPC server when the
+// oskit environment variables are set, then exits. Call it first thing in
+// TestMain / main of any binary that uses StartPipeServer or
+// StartTCPServer.
+func MaybeRunChild() {
+	switch os.Getenv(envMode) {
+	case "pipe":
+		if err := serve(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "oskit pipe child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	case "tcp":
+		conn, err := net.Dial("tcp", os.Getenv(envAddr))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oskit tcp child:", err)
+			os.Exit(1)
+		}
+		if err := serve(conn, conn); err != nil && err != io.EOF {
+			fmt.Fprintln(os.Stderr, "oskit tcp child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+}
+
+// serve is the echo RPC loop: length-prefixed frames echoed back.
+func serve(r io.Reader, w io.Writer) error {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	var hdr [4]byte
+	buf := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil
+			}
+			return err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > 1<<20 {
+			return fmt.Errorf("frame too large: %d", n)
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// Transport is a connection to an RPC server.
+type Transport struct {
+	r    *bufio.Reader
+	w    *bufio.Writer
+	kill func() error
+}
+
+// RoundTrip sends payload and returns the echoed reply — one null RPC when
+// payload is a single byte.
+func (t *Transport) RoundTrip(payload []byte) ([]byte, error) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := t.w.Write(payload); err != nil {
+		return nil, err
+	}
+	if err := t.w.Flush(); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	reply := make([]byte, n)
+	if _, err := io.ReadFull(t.r, reply); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Close shuts the transport and reaps the child.
+func (t *Transport) Close() error {
+	if t.kill != nil {
+		return t.kill()
+	}
+	return nil
+}
+
+// StartPipeServer spawns the current binary as a pipe-RPC server child
+// (the NT-RPC analog) and returns a connected transport.
+func StartPipeServer() (*Transport, error) {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), envMode+"=pipe")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	t := &Transport{
+		r: bufio.NewReader(stdout),
+		w: bufio.NewWriter(stdin),
+		kill: func() error {
+			stdin.Close()
+			return cmd.Wait()
+		},
+	}
+	return t, nil
+}
+
+// StartTCPServer spawns the current binary as a TCP-RPC server child (the
+// COM out-of-proc analog) connected over loopback.
+func StartTCPServer() (*Transport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), envMode+"=tcp", envAddr+"="+ln.Addr().String())
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	conn, err := ln.Accept()
+	ln.Close()
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	t := &Transport{
+		r: bufio.NewReader(conn),
+		w: bufio.NewWriter(conn),
+		kill: func() error {
+			conn.Close()
+			return cmd.Wait()
+		},
+	}
+	return t, nil
+}
+
+// NullServer is the in-proc baseline (COM in-proc): a component behind an
+// interface in the same address space.
+type NullServer struct{ n int64 }
+
+// Caller is the interface clients hold.
+type Caller interface{ Null(b byte) byte }
+
+// Null echoes its argument.
+func (s *NullServer) Null(b byte) byte {
+	s.n++
+	return b
+}
+
+// Count reports how many calls the server saw.
+func (s *NullServer) Count() int64 { return s.n }
+
+// InProc returns an interface-typed in-process server.
+func InProc() Caller { return &NullServer{} }

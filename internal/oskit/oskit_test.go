@@ -1,0 +1,70 @@
+package oskit
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	MaybeRunChild()
+	os.Exit(m.Run())
+}
+
+func TestPipeRPCEcho(t *testing.T) {
+	tr, err := StartPipeServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for _, payload := range [][]byte{{1}, []byte("hello"), make([]byte, 1024)} {
+		reply, err := tr.RoundTrip(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reply, payload) {
+			t.Errorf("reply %v != payload %v", reply[:min(8, len(reply))], payload[:min(8, len(payload))])
+		}
+	}
+}
+
+func TestTCPRPCEcho(t *testing.T) {
+	tr, err := StartTCPServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	reply, err := tr.RoundTrip([]byte{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply) != 1 || reply[0] != 42 {
+		t.Errorf("reply = %v", reply)
+	}
+	// Many round trips on one connection.
+	for i := 0; i < 100; i++ {
+		if _, err := tr.RoundTrip([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInProcCall(t *testing.T) {
+	s := InProc()
+	if got := s.Null(7); got != 7 {
+		t.Errorf("Null(7) = %d", got)
+	}
+}
+
+func TestPipeServerSurvivesManyCalls(t *testing.T) {
+	tr, err := StartPipeServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 500; i++ {
+		if _, err := tr.RoundTrip([]byte{byte(i)}); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}

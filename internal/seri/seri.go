@@ -1,0 +1,648 @@
+// Package seri is the J-Kernel's default argument copier for native (Go)
+// targets: a general, reflection-driven object-graph serializer in the
+// role of Java serialization. Marshalling writes a self-describing byte
+// stream (the "intermediate byte array" whose cost Table 4 measures);
+// unmarshalling rebuilds an isomorphic graph that shares no mutable memory
+// with the source. Cycles and aliasing are preserved through reference
+// tags, exactly like Java serialization's handle table.
+//
+// Types containing struct values must be registered by name so the decoder
+// can rebuild them; this mirrors serialVersionUID-style class descriptors
+// without pulling in unsafe tricks.
+package seri
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+)
+
+// Stream tags.
+const (
+	tagNil = iota
+	tagBool
+	tagInt
+	tagUint
+	tagFloat
+	tagString
+	tagBytes
+	tagSlice
+	tagMap
+	tagStruct
+	tagPtr
+	tagRef   // back-reference to an already-encoded object
+	tagIface // dynamic value: type name + value
+)
+
+// Registry maps type names to concrete types for decoding. A nil *Registry
+// is valid and knows only primitive shapes.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]reflect.Type
+	byType map[reflect.Type]string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName: make(map[string]reflect.Type),
+		byType: make(map[reflect.Type]string),
+	}
+}
+
+// Register binds name to the dynamic type of sample (a value, not a
+// pointer, for struct types; pointer types register their element too).
+func (r *Registry) Register(name string, sample any) {
+	t := reflect.TypeOf(sample)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byName[name] = t
+	r.byType[t] = name
+}
+
+func (r *Registry) nameOf(t reflect.Type) (string, bool) {
+	if r == nil {
+		return "", false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n, ok := r.byType[t]
+	return n, ok
+}
+
+func (r *Registry) typeOf(name string) (reflect.Type, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.byName[name]
+	return t, ok
+}
+
+// Marshal encodes v into a fresh byte slice.
+func Marshal(r *Registry, v any) ([]byte, error) {
+	e := &encoder{reg: r, seen: map[unsafePtr]uint64{}}
+	if err := e.encodeIface(reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// Unmarshal decodes a stream produced by Marshal.
+func Unmarshal(r *Registry, data []byte) (any, error) {
+	d := &decoder{reg: r, buf: data, objs: nil}
+	v, err := d.decodeIface()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("seri: %d trailing bytes", len(d.buf)-d.pos)
+	}
+	return v, nil
+}
+
+// Copy deep-copies v through the serialized form — the LRMI default path.
+func Copy(r *Registry, v any) (any, error) {
+	data, err := Marshal(r, v)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(r, data)
+}
+
+// unsafePtr identifies heap cells for alias/cycle detection without unsafe:
+// pointers, maps, and slices hash by their reflect pointer. Slices include
+// their length so overlapping slices of one array are not conflated.
+type unsafePtr struct {
+	p uintptr
+	t reflect.Type
+	n int
+}
+
+type encoder struct {
+	reg  *Registry
+	buf  []byte
+	next uint64
+	seen map[unsafePtr]uint64
+}
+
+func (e *encoder) byte(b byte)      { e.buf = append(e.buf, b) }
+func (e *encoder) uvarint(u uint64) { e.buf = binary.AppendUvarint(e.buf, u) }
+func (e *encoder) varint(i int64)   { e.buf = binary.AppendVarint(e.buf, i) }
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// encodeIface writes a dynamically typed value: tagIface + type name +
+// payload for registered/primitive types.
+func (e *encoder) encodeIface(v reflect.Value) error {
+	if !v.IsValid() {
+		e.byte(tagNil)
+		return nil
+	}
+	// Unwrap interface values.
+	for v.Kind() == reflect.Interface && !v.IsNil() {
+		v = v.Elem()
+	}
+	if v.Kind() == reflect.Interface {
+		e.byte(tagNil)
+		return nil
+	}
+	e.byte(tagIface)
+	name, err := e.typeName(v.Type())
+	if err != nil {
+		return err
+	}
+	e.str(name)
+	return e.encode(v)
+}
+
+// typeName renders a structural name for primitives and container shapes,
+// and the registered name for named struct types.
+func (e *encoder) typeName(t reflect.Type) (string, error) {
+	switch t.Kind() {
+	case reflect.Bool:
+		return "bool", nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return "int", nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return "uint", nil
+	case reflect.Float32, reflect.Float64:
+		return "float", nil
+	case reflect.String:
+		return "string", nil
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return "bytes", nil
+		}
+		en, err := e.typeName(t.Elem())
+		if err != nil {
+			return "", err
+		}
+		return "[]" + en, nil
+	case reflect.Map:
+		kn, err := e.typeName(t.Key())
+		if err != nil {
+			return "", err
+		}
+		vn, err := e.typeName(t.Elem())
+		if err != nil {
+			return "", err
+		}
+		return "map[" + kn + "]" + vn, nil
+	case reflect.Ptr:
+		en, err := e.typeName(t.Elem())
+		if err != nil {
+			return "", err
+		}
+		return "*" + en, nil
+	case reflect.Struct:
+		if n, ok := e.reg.nameOf(t); ok {
+			return n, nil
+		}
+		return "", fmt.Errorf("seri: unregistered struct type %v", t)
+	case reflect.Interface:
+		return "any", nil
+	default:
+		return "", fmt.Errorf("seri: unsupported type %v", t)
+	}
+}
+
+func (e *encoder) encode(v reflect.Value) error {
+	switch v.Kind() {
+	case reflect.Bool:
+		e.byte(tagBool)
+		if v.Bool() {
+			e.byte(1)
+		} else {
+			e.byte(0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.byte(tagInt)
+		e.varint(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		e.byte(tagUint)
+		e.uvarint(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		e.byte(tagFloat)
+		e.uvarint(math.Float64bits(v.Float()))
+	case reflect.String:
+		e.byte(tagString)
+		e.str(v.String())
+	case reflect.Slice:
+		if v.IsNil() {
+			e.byte(tagNil)
+			return nil
+		}
+		key := unsafePtr{p: v.Pointer(), t: v.Type(), n: v.Len()}
+		if id, ok := e.seen[key]; ok {
+			e.byte(tagRef)
+			e.uvarint(id)
+			return nil
+		}
+		e.seen[key] = e.next
+		e.next++
+		if v.Type().Elem().Kind() == reflect.Uint8 {
+			e.byte(tagBytes)
+			e.uvarint(uint64(v.Len()))
+			e.buf = append(e.buf, v.Bytes()...)
+			return nil
+		}
+		e.byte(tagSlice)
+		e.uvarint(uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			if err := e.encodeElem(v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		if v.IsNil() {
+			e.byte(tagNil)
+			return nil
+		}
+		key := unsafePtr{p: v.Pointer(), t: v.Type()}
+		if id, ok := e.seen[key]; ok {
+			e.byte(tagRef)
+			e.uvarint(id)
+			return nil
+		}
+		e.seen[key] = e.next
+		e.next++
+		e.byte(tagMap)
+		e.uvarint(uint64(v.Len()))
+		iter := v.MapRange()
+		for iter.Next() {
+			if err := e.encodeElem(iter.Key()); err != nil {
+				return err
+			}
+			if err := e.encodeElem(iter.Value()); err != nil {
+				return err
+			}
+		}
+	case reflect.Ptr:
+		if v.IsNil() {
+			e.byte(tagNil)
+			return nil
+		}
+		key := unsafePtr{p: v.Pointer(), t: v.Type()}
+		if id, ok := e.seen[key]; ok {
+			e.byte(tagRef)
+			e.uvarint(id)
+			return nil
+		}
+		e.seen[key] = e.next
+		e.next++
+		e.byte(tagPtr)
+		return e.encode(v.Elem())
+	case reflect.Struct:
+		e.byte(tagStruct)
+		t := v.Type()
+		n := 0
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).IsExported() {
+				n++
+			}
+		}
+		e.uvarint(uint64(n))
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			e.str(f.Name)
+			if err := e.encodeElem(v.Field(i)); err != nil {
+				return fmt.Errorf("field %s: %w", f.Name, err)
+			}
+		}
+	case reflect.Interface:
+		return e.encodeIface(v)
+	default:
+		return fmt.Errorf("seri: cannot encode %v", v.Kind())
+	}
+	return nil
+}
+
+// encodeElem encodes a statically typed element; interfaces dispatch
+// dynamically.
+func (e *encoder) encodeElem(v reflect.Value) error {
+	if v.Kind() == reflect.Interface {
+		return e.encodeIface(v)
+	}
+	return e.encode(v)
+}
+
+type decoder struct {
+	reg  *Registry
+	buf  []byte
+	pos  int
+	objs []reflect.Value // id -> decoded heap object
+}
+
+func (d *decoder) fail(format string, args ...any) error {
+	return fmt.Errorf("seri: "+format+" at offset %d", append(args, d.pos)...)
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, d.fail("truncated")
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("bad uvarint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("bad varint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return "", d.fail("string of %d bytes overruns buffer", n)
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+// decodeIface reads a dynamically typed value.
+func (d *decoder) decodeIface() (any, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if tag == tagNil {
+		return nil, nil
+	}
+	if tag != tagIface {
+		return nil, d.fail("expected iface tag, got %d", tag)
+	}
+	name, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	t, err := d.typeFor(name)
+	if err != nil {
+		return nil, err
+	}
+	v := reflect.New(t).Elem()
+	if err := d.decodeInto(v); err != nil {
+		return nil, err
+	}
+	return v.Interface(), nil
+}
+
+// typeFor resolves a structural or registered type name.
+func (d *decoder) typeFor(name string) (reflect.Type, error) {
+	switch name {
+	case "bool":
+		return reflect.TypeOf(false), nil
+	case "int":
+		return reflect.TypeOf(int64(0)), nil
+	case "uint":
+		return reflect.TypeOf(uint64(0)), nil
+	case "float":
+		return reflect.TypeOf(float64(0)), nil
+	case "string":
+		return reflect.TypeOf(""), nil
+	case "bytes":
+		return reflect.TypeOf([]byte(nil)), nil
+	case "any":
+		return reflect.TypeOf((*any)(nil)).Elem(), nil
+	}
+	if len(name) > 2 && name[:2] == "[]" {
+		et, err := d.typeFor(name[2:])
+		if err != nil {
+			return nil, err
+		}
+		return reflect.SliceOf(et), nil
+	}
+	if len(name) > 1 && name[0] == '*' {
+		et, err := d.typeFor(name[1:])
+		if err != nil {
+			return nil, err
+		}
+		return reflect.PointerTo(et), nil
+	}
+	if len(name) > 4 && name[:4] == "map[" {
+		depth := 1
+		i := 4
+		for ; i < len(name); i++ {
+			if name[i] == '[' {
+				depth++
+			}
+			if name[i] == ']' {
+				depth--
+				if depth == 0 {
+					break
+				}
+			}
+		}
+		if depth != 0 {
+			return nil, d.fail("bad map type %q", name)
+		}
+		kt, err := d.typeFor(name[4:i])
+		if err != nil {
+			return nil, err
+		}
+		vt, err := d.typeFor(name[i+1:])
+		if err != nil {
+			return nil, err
+		}
+		return reflect.MapOf(kt, vt), nil
+	}
+	if t, ok := d.reg.typeOf(name); ok {
+		return t, nil
+	}
+	return nil, d.fail("unknown type %q", name)
+}
+
+// decodeInto fills v (addressable) from the stream.
+func (d *decoder) decodeInto(v reflect.Value) error {
+	if v.Kind() == reflect.Interface {
+		x, err := d.decodeIface()
+		if err != nil {
+			return err
+		}
+		if x == nil {
+			v.Set(reflect.Zero(v.Type()))
+			return nil
+		}
+		xv := reflect.ValueOf(x)
+		if !xv.Type().AssignableTo(v.Type()) {
+			// Widen decoded int64/uint64/float64 where needed.
+			if xv.Type().ConvertibleTo(v.Type()) {
+				xv = xv.Convert(v.Type())
+			} else {
+				return d.fail("cannot assign %v to %v", xv.Type(), v.Type())
+			}
+		}
+		v.Set(xv)
+		return nil
+	}
+
+	tag, err := d.byte()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagNil:
+		v.Set(reflect.Zero(v.Type()))
+	case tagBool:
+		b, err := d.byte()
+		if err != nil {
+			return err
+		}
+		v.SetBool(b != 0)
+	case tagInt:
+		i, err := d.varint()
+		if err != nil {
+			return err
+		}
+		v.SetInt(i)
+	case tagUint:
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		v.SetUint(u)
+	case tagFloat:
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		v.SetFloat(math.Float64frombits(u))
+	case tagString:
+		s, err := d.str()
+		if err != nil {
+			return err
+		}
+		v.SetString(s)
+	case tagBytes:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(len(d.buf)-d.pos) {
+			return d.fail("bytes of %d overruns buffer", n)
+		}
+		b := make([]byte, n)
+		copy(b, d.buf[d.pos:])
+		d.pos += int(n)
+		v.SetBytes(b)
+		d.objs = append(d.objs, v)
+	case tagSlice:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(len(d.buf)-d.pos) {
+			return d.fail("slice of %d overruns buffer", n)
+		}
+		s := reflect.MakeSlice(v.Type(), int(n), int(n))
+		v.Set(s)
+		d.objs = append(d.objs, v)
+		for i := 0; i < int(n); i++ {
+			if err := d.decodeInto(s.Index(i)); err != nil {
+				return err
+			}
+		}
+	case tagMap:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		mv := reflect.MakeMapWithSize(v.Type(), int(n))
+		v.Set(mv)
+		d.objs = append(d.objs, v)
+		kt, vt := v.Type().Key(), v.Type().Elem()
+		for i := uint64(0); i < n; i++ {
+			kv := reflect.New(kt).Elem()
+			if err := d.decodeInto(kv); err != nil {
+				return err
+			}
+			vv := reflect.New(vt).Elem()
+			if err := d.decodeInto(vv); err != nil {
+				return err
+			}
+			mv.SetMapIndex(kv, vv)
+		}
+	case tagPtr:
+		p := reflect.New(v.Type().Elem())
+		v.Set(p)
+		d.objs = append(d.objs, v)
+		return d.decodeInto(p.Elem())
+	case tagStruct:
+		if v.Kind() != reflect.Struct {
+			return d.fail("struct tag for %v", v.Kind())
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			fname, err := d.str()
+			if err != nil {
+				return err
+			}
+			f := v.FieldByName(fname)
+			if !f.IsValid() {
+				return d.fail("no field %q in %v", fname, v.Type())
+			}
+			if err := d.decodeInto(f); err != nil {
+				return fmt.Errorf("field %s: %w", fname, err)
+			}
+		}
+	case tagRef:
+		id, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if id >= uint64(len(d.objs)) {
+			return d.fail("dangling ref %d", id)
+		}
+		src := d.objs[id]
+		if !src.Type().AssignableTo(v.Type()) {
+			return d.fail("ref type %v not assignable to %v", src.Type(), v.Type())
+		}
+		v.Set(src)
+	case tagIface:
+		// A dynamically typed value in a statically typed slot: rewind the
+		// tag and decode as interface payload.
+		d.pos--
+		x, err := d.decodeIface()
+		if err != nil {
+			return err
+		}
+		xv := reflect.ValueOf(x)
+		if xv.Type().ConvertibleTo(v.Type()) {
+			v.Set(xv.Convert(v.Type()))
+			return nil
+		}
+		return d.fail("cannot place %v into %v", xv.Type(), v.Type())
+	default:
+		return d.fail("unknown tag %d", tag)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package shareany implements the paper's §2 baseline: the
+// "share anything" approach, where object references are used directly as
+// capabilities. Each component runs in its own namespace but may pass any
+// reference to any other component; cross-domain calls are plain method
+// invocations with arguments by reference.
+//
+// The package exists to demonstrate, in code and tests, exactly the
+// problems §2 describes — no revocation by default, manual wrapper
+// revocation that programmers forget, TOCTOU attacks through shared
+// mutable arguments, domain termination with dangling shared state — and
+// to serve as the fast-but-unsafe baseline in benchmarks (a cross-domain
+// call here is just a function call).
+package shareany
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrRevoked reports use of a manually revoked wrapper.
+var ErrRevoked = errors.New("shareany: revoked")
+
+// ErrDead reports a call into a terminated component.
+var ErrDead = errors.New("shareany: component terminated")
+
+// Component is a §2-style protection "domain": a named bag of objects with
+// no enforced boundary. References handed out through Export are shared
+// directly.
+type Component struct {
+	Name string
+
+	mu      sync.Mutex
+	exports map[string]any
+	dead    bool
+}
+
+// World is a set of components sharing one address space.
+type World struct {
+	mu         sync.Mutex
+	components map[string]*Component
+}
+
+// NewWorld creates an empty world.
+func NewWorld() *World {
+	return &World{components: make(map[string]*Component)}
+}
+
+// NewComponent adds a component.
+func (w *World) NewComponent(name string) *Component {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c := &Component{Name: name, exports: make(map[string]any)}
+	w.components[name] = c
+	return c
+}
+
+// Export publishes an object reference under a name. Anyone who looks it
+// up holds the real reference: this is the "share anything" model.
+func (c *Component) Export(name string, obj any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.exports[name] = obj
+}
+
+// LookupFrom fetches another component's export — a direct reference, with
+// all the aliasing that implies.
+func (w *World) LookupFrom(component, name string) (any, error) {
+	w.mu.Lock()
+	c := w.components[component]
+	w.mu.Unlock()
+	if c == nil {
+		return nil, fmt.Errorf("shareany: no component %q", component)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	obj, ok := c.exports[name]
+	if !ok {
+		return nil, fmt.Errorf("shareany: %s exports no %q", component, name)
+	}
+	// Note: no liveness check — a terminated component's objects remain
+	// reachable, which is exactly the §2 termination problem.
+	return obj, nil
+}
+
+// Terminate marks the component dead and drops its export table. Anything
+// already handed out stays alive — §2: "if a domain's objects do not
+// disappear when the domain terminates ... the server's failure is not
+// propagated correctly to the clients."
+func (c *Component) Terminate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dead = true
+	c.exports = make(map[string]any)
+}
+
+// Dead reports whether the component was terminated.
+func (c *Component) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// Wrapper is §2's AWrapper pattern: manual revocation by indirection.
+// "In principle, this solves the revocation problem ... However, our
+// experience shows that programmers often forget to wrap an object when
+// passing it to another domain."
+type Wrapper[T any] struct {
+	mu      sync.Mutex
+	target  T
+	revoked bool
+}
+
+// Wrap creates a revocable wrapper around target.
+func Wrap[T any](target T) *Wrapper[T] {
+	return &Wrapper[T]{target: target}
+}
+
+// Call runs fn against the target unless revoked.
+func (w *Wrapper[T]) Call(fn func(T) error) error {
+	w.mu.Lock()
+	if w.revoked {
+		w.mu.Unlock()
+		return ErrRevoked
+	}
+	t := w.target
+	w.mu.Unlock()
+	return fn(t)
+}
+
+// Revoke cuts the wrapper off from its target.
+func (w *Wrapper[T]) Revoke() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.revoked = true
+	var zero T
+	w.target = zero
+}
+
+// --- demonstration services used by tests and benchmarks ----------------
+
+// FileSystem is §2's FileSystemInterface example: per-client views over a
+// shared store, protected only by unexported fields.
+type FileSystem struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewFileSystem creates an empty in-memory file system.
+func NewFileSystem() *FileSystem {
+	return &FileSystem{files: make(map[string][]byte)}
+}
+
+// FileSystemInterface is the per-client view: accessRights and
+// rootDirectory are unexported, so clients cannot change them — but the
+// *reference itself* can never be revoked.
+type FileSystemInterface struct {
+	fs           *FileSystem
+	accessRights int // 1=read, 2=write
+	rootDir      string
+}
+
+// Access rights.
+const (
+	RightRead  = 1
+	RightWrite = 2
+)
+
+// NewInterface creates a client view with the given rights under root.
+func (fs *FileSystem) NewInterface(rights int, root string) *FileSystemInterface {
+	return &FileSystemInterface{fs: fs, accessRights: rights, rootDir: root}
+}
+
+// Open returns the file's contents if permitted.
+func (fi *FileSystemInterface) Open(name string) ([]byte, error) {
+	if fi.accessRights&RightRead == 0 {
+		return nil, errors.New("shareany: no read access")
+	}
+	fi.fs.mu.Lock()
+	defer fi.fs.mu.Unlock()
+	data, ok := fi.fs.files[fi.rootDir+"/"+name]
+	if !ok {
+		return nil, fmt.Errorf("shareany: no file %q", name)
+	}
+	// Handing out the real slice: the share-anything hazard.
+	return data, nil
+}
+
+// Write stores data (by reference!) if permitted.
+func (fi *FileSystemInterface) Write(name string, data []byte) error {
+	if fi.accessRights&RightWrite == 0 {
+		return errors.New("shareany: no write access")
+	}
+	fi.fs.mu.Lock()
+	defer fi.fs.mu.Unlock()
+	fi.fs.files[fi.rootDir+"/"+name] = data
+	return nil
+}
+
+// Verifier models §2's class-loader TOCTOU attack victim: it checks a
+// bytecode buffer, then later executes it. With by-reference sharing the
+// attacker rewrites the buffer between check and use.
+type Verifier struct {
+	checked atomic.Pointer[[]byte]
+}
+
+// CheckAndInstall verifies the buffer (here: first byte must be a legal
+// "opcode" 0x01) and retains it for execution.
+func (v *Verifier) CheckAndInstall(code []byte) error {
+	if len(code) == 0 || code[0] != 0x01 {
+		return errors.New("shareany: illegal bytecode")
+	}
+	v.checked.Store(&code)
+	return nil
+}
+
+// CheckAndInstallDefensive copies before checking — the only §2 defense:
+// "make its own private copy of the bytecode".
+func (v *Verifier) CheckAndInstallDefensive(code []byte) error {
+	private := append([]byte(nil), code...)
+	return v.CheckAndInstall(private)
+}
+
+// Execute runs the retained buffer and reports the "opcode" executed; 0x01
+// is legal, anything else means the TOCTOU attack succeeded.
+func (v *Verifier) Execute() (byte, error) {
+	p := v.checked.Load()
+	if p == nil {
+		return 0, errors.New("shareany: nothing installed")
+	}
+	code := *p
+	if len(code) == 0 {
+		return 0, errors.New("shareany: empty code")
+	}
+	return code[0], nil
+}
+
+// StringView models the §2 String-termination hazard: a value whose
+// backing array belongs to another component.
+type StringView struct {
+	backing []byte
+}
+
+// NewStringView wraps (by reference) a byte slice owned elsewhere.
+func NewStringView(backing []byte) *StringView { return &StringView{backing: backing} }
+
+// Text renders the current backing content.
+func (s *StringView) Text() string { return string(s.backing) }
+
+// NullService is the benchmark target: a null method.
+type NullService struct{ calls int64 }
+
+// Null does nothing — the §2 cross-domain call is a plain invocation.
+func (s *NullService) Null() { atomic.AddInt64(&s.calls, 1) }
+
+// Calls reports how many invocations occurred.
+func (s *NullService) Calls() int64 { return atomic.LoadInt64(&s.calls) }

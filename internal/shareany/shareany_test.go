@@ -1,0 +1,153 @@
+package shareany
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestExportLookupIsDirectReference(t *testing.T) {
+	w := NewWorld()
+	a := w.NewComponent("a")
+	buf := []byte{1, 2, 3}
+	a.Export("buf", buf)
+	got, err := w.LookupFrom("a", "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := got.([]byte)
+	shared[0] = 99
+	if buf[0] != 99 {
+		t.Error("expected direct aliasing in the share-anything model")
+	}
+}
+
+func TestWrapperRevocation(t *testing.T) {
+	svc := &NullService{}
+	w := Wrap(svc)
+	if err := w.Call(func(s *NullService) error { s.Null(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	w.Revoke()
+	err := w.Call(func(s *NullService) error { s.Null(); return nil })
+	if !errors.Is(err, ErrRevoked) {
+		t.Errorf("got %v, want ErrRevoked", err)
+	}
+	if svc.Calls() != 1 {
+		t.Errorf("calls = %d, want 1", svc.Calls())
+	}
+}
+
+// The forgotten-wrapper problem: the direct reference obtained before (or
+// around) the wrapper stays usable after revocation.
+func TestUnwrappedReferenceSurvivesRevocation(t *testing.T) {
+	svc := &NullService{}
+	w := Wrap(svc)
+	leaked := svc // "programmers often forget to wrap an object"
+	w.Revoke()
+	leaked.Null()
+	if svc.Calls() != 1 {
+		t.Error("direct reference should still work — that is the problem")
+	}
+}
+
+// §2's TOCTOU attack: verify a buffer, then the attacker rewrites it.
+func TestTOCTOUAttackSucceedsWithSharedBuffer(t *testing.T) {
+	v := &Verifier{}
+	code := []byte{0x01, 0x02}
+	if err := v.CheckAndInstall(code); err != nil {
+		t.Fatal(err)
+	}
+	code[0] = 0x66 // attacker overwrites "legal bytecode ... with illegal bytecode"
+	op, err := v.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != 0x66 {
+		t.Error("attack should succeed against the by-reference verifier")
+	}
+}
+
+func TestTOCTOUDefendedByPrivateCopy(t *testing.T) {
+	v := &Verifier{}
+	code := []byte{0x01, 0x02}
+	if err := v.CheckAndInstallDefensive(code); err != nil {
+		t.Fatal(err)
+	}
+	code[0] = 0x66
+	op, err := v.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != 0x01 {
+		t.Error("defensive copy should be immune to the overwrite")
+	}
+}
+
+// §2 termination: a client's reference keeps a dead server's objects alive
+// and working — failure does not propagate.
+func TestTerminationDoesNotPropagateToHeldReferences(t *testing.T) {
+	w := NewWorld()
+	server := w.NewComponent("server")
+	fs := NewFileSystem()
+	view := fs.NewInterface(RightRead|RightWrite, "srv")
+	server.Export("fs", view)
+
+	got, err := w.LookupFrom("server", "fs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := got.(*FileSystemInterface)
+	if err := client.Write("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	server.Terminate()
+	if !server.Dead() {
+		t.Fatal("not dead")
+	}
+	// New lookups fail...
+	if _, err := w.LookupFrom("server", "fs"); err == nil {
+		t.Error("export table should be dropped")
+	}
+	// ...but the held reference works on, zombie-style.
+	if _, err := client.Open("f"); err != nil {
+		t.Error("held reference should survive termination — that is the problem")
+	}
+}
+
+// §2's String example: domain 2 holds a String whose character array
+// belongs to domain 1; after domain 1 "dies" (mutates/frees its buffer),
+// the string changes under domain 2's feet.
+func TestStringBackingArrayHazard(t *testing.T) {
+	backing := []byte("hello")
+	s := NewStringView(backing)
+	if s.Text() != "hello" {
+		t.Fatal("setup")
+	}
+	copy(backing, "XXXXX") // domain 1 dies / reuses its memory
+	if s.Text() == "hello" {
+		t.Error("expected the shared backing to corrupt the view")
+	}
+}
+
+func TestAccessRightsStillEnforcedStatically(t *testing.T) {
+	fs := NewFileSystem()
+	ro := fs.NewInterface(RightRead, "r")
+	if err := ro.Write("f", []byte("x")); err == nil {
+		t.Error("read-only view allowed write")
+	}
+	rw := fs.NewInterface(RightRead|RightWrite, "r")
+	if err := rw.Write("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ro.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And the returned slice aliases the store — the hazard again.
+	data[0] = 'Z'
+	check, _ := rw.Open("f")
+	if check[0] != 'Z' {
+		t.Error("expected store aliasing through Open")
+	}
+}

@@ -1,0 +1,72 @@
+package threads
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// The registry maps carrier goroutines to their segment chains. It is the
+// native-path analog of the JVM's "current thread lookup", which Table 1
+// shows is a real component of LRMI cost: Go offers no ambient
+// goroutine-local storage, so the lookup parses the goroutine id from
+// runtime.Stack and consults a shared map — an honest reproduction of why
+// that lookup was expensive on 1990s JVMs.
+
+var registry sync.Map // gid int64 -> *Chain
+
+// GoroutineID returns the current goroutine's id.
+func GoroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Format: "goroutine 123 [running]:"
+	b := buf[:n]
+	const prefix = "goroutine "
+	if !bytes.HasPrefix(b, []byte(prefix)) {
+		return 0
+	}
+	b = b[len(prefix):]
+	sp := bytes.IndexByte(b, ' ')
+	if sp < 0 {
+		return 0
+	}
+	id, err := strconv.ParseInt(string(b[:sp]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// Register binds a new chain (base segment owned by domain) to the calling
+// goroutine and returns it. The caller must Unregister when done.
+func Register(domain int64) *Chain {
+	c := NewChain(domain)
+	registry.Store(GoroutineID(), c)
+	return c
+}
+
+// Unregister removes the calling goroutine's chain.
+func Unregister() {
+	registry.Delete(GoroutineID())
+}
+
+// CurrentChain performs the thread-info lookup for the calling goroutine.
+// It returns nil when the goroutine was never registered.
+func CurrentChain() *Chain {
+	v, ok := registry.Load(GoroutineID())
+	if !ok {
+		return nil
+	}
+	return v.(*Chain)
+}
+
+// LookupChain performs the lookup for an explicit goroutine id (benchmarks
+// use this to separate map cost from stack-parse cost).
+func LookupChain(gid int64) *Chain {
+	v, ok := registry.Load(gid)
+	if !ok {
+		return nil
+	}
+	return v.(*Chain)
+}

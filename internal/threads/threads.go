@@ -1,0 +1,202 @@
+// Package threads implements the J-Kernel's thread-segment model.
+//
+// The paper (§3.1, "Local-RMI stubs"): switching real threads on every
+// cross-domain call would cost more than the whole call (Table 3), so the
+// J-Kernel instead divides each carrier thread into segments, one per side
+// of a cross-domain call, and interposes a Thread class whose stop,
+// suspend, resume, and setPriority act on the *current segment* rather
+// than the carrier. A caller therefore cannot stop or suspend its callee's
+// execution, and a callee holding a Thread object cannot attack the caller
+// after returning.
+//
+// A Chain is the per-carrier stack of segments. Cross-domain calls push a
+// segment on entry and pop it on return. Stop and suspend requests are
+// recorded on the segment and take effect when that segment is (or becomes)
+// the one in control: the VM interpreter polls via a safepoint hook, and
+// the native LRMI path polls at call boundaries.
+package threads
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSegmentStopped is returned (or converted to a VM ThreadDeath) when a
+// stopped segment regains control.
+var ErrSegmentStopped = errors.New("threads: segment stopped")
+
+var segIDs atomic.Int64
+
+// Seg is one side of a cross-domain call: the unit the interposed Thread
+// class operates on.
+type Seg struct {
+	ID     int64
+	Domain int64 // owning domain id
+	chain  *Chain
+	prev   *Seg
+
+	mu        sync.Mutex
+	stopped   bool
+	stopMsg   string
+	suspended bool
+	priority  int64
+}
+
+// Chain is the segment stack of one carrier thread.
+type Chain struct {
+	mu  sync.Mutex
+	top *Seg
+	// cv wakes a carrier parked on a suspended segment.
+	cv *sync.Cond
+}
+
+// NewChain creates a chain whose base segment belongs to domain.
+func NewChain(domain int64) *Chain {
+	c := &Chain{}
+	c.cv = sync.NewCond(&c.mu)
+	base := newSeg(c, domain, nil)
+	c.top = base
+	return c
+}
+
+func newSeg(c *Chain, domain int64, prev *Seg) *Seg {
+	return &Seg{
+		ID:       segIDs.Add(1),
+		Domain:   domain,
+		chain:    c,
+		prev:     prev,
+		priority: 5,
+	}
+}
+
+// Current returns the segment in control.
+func (c *Chain) Current() *Seg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.top
+}
+
+// Push enters a new segment for domain (cross-domain call entry).
+func (c *Chain) Push(domain int64) *Seg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := newSeg(c, domain, c.top)
+	c.top = s
+	return s
+}
+
+// Pop leaves the top segment (cross-domain call return). It returns the
+// segment that regains control. Popping the base segment is a programming
+// error and panics.
+func (c *Chain) Pop() *Seg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.top == nil || c.top.prev == nil {
+		panic("threads: pop of base segment")
+	}
+	c.top = c.top.prev
+	return c.top
+}
+
+// Depth returns the number of segments (≥1).
+func (c *Chain) Depth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for s := c.top; s != nil; s = s.prev {
+		n++
+	}
+	return n
+}
+
+// Poll is the safepoint check: it parks the carrier while the controlling
+// segment is suspended and reports ErrSegmentStopped (with the stop
+// message) when it has been stopped. The VM layer converts the error into
+// a ThreadDeath throwable.
+func (c *Chain) Poll() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		s := c.top
+		s.mu.Lock()
+		if s.stopped {
+			s.stopped = false
+			msg := s.stopMsg
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrSegmentStopped, msg)
+		}
+		if !s.suspended {
+			s.mu.Unlock()
+			return nil
+		}
+		s.mu.Unlock()
+		// Parked until some segment state changes.
+		c.cv.Wait()
+	}
+}
+
+// Stop marks the segment stopped. If the segment is currently in control
+// the carrier will observe it at its next poll; if it is a caller segment
+// deeper in the chain, the stop takes effect when control returns to it.
+// Crucially, stopping a segment never disturbs *other* segments of the
+// same carrier: the callee cannot be killed by its caller and vice versa.
+func (s *Seg) Stop(msg string) {
+	s.mu.Lock()
+	s.stopped = true
+	s.stopMsg = msg
+	s.mu.Unlock()
+	s.chain.kick()
+}
+
+// Suspend marks the segment suspended; the carrier parks when this segment
+// is in control (immediately if it already is, at return otherwise).
+func (s *Seg) Suspend() {
+	s.mu.Lock()
+	s.suspended = true
+	s.mu.Unlock()
+	s.chain.kick()
+}
+
+// Resume clears suspension.
+func (s *Seg) Resume() {
+	s.mu.Lock()
+	s.suspended = false
+	s.mu.Unlock()
+	s.chain.kick()
+}
+
+// Suspended reports whether the segment is marked suspended.
+func (s *Seg) Suspended() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.suspended
+}
+
+// SetPriority sets the segment's advisory priority (clamped to 1..10).
+func (s *Seg) SetPriority(p int64) {
+	if p < 1 {
+		p = 1
+	}
+	if p > 10 {
+		p = 10
+	}
+	s.mu.Lock()
+	s.priority = p
+	s.mu.Unlock()
+}
+
+// Priority returns the segment's advisory priority.
+func (s *Seg) Priority() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.priority
+}
+
+// kick wakes a carrier parked in Poll.
+func (c *Chain) kick() {
+	c.mu.Lock()
+	c.cv.Broadcast()
+	c.mu.Unlock()
+}

@@ -1,0 +1,181 @@
+package threads
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPushPopCurrent(t *testing.T) {
+	c := NewChain(1)
+	base := c.Current()
+	if base.Domain != 1 {
+		t.Fatalf("base domain = %d", base.Domain)
+	}
+	s2 := c.Push(2)
+	if c.Current() != s2 {
+		t.Error("push did not take control")
+	}
+	s3 := c.Push(3)
+	if c.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", c.Depth())
+	}
+	if got := c.Pop(); got != s2 {
+		t.Error("pop did not return to caller segment")
+	}
+	_ = s3
+	if got := c.Pop(); got != base {
+		t.Error("pop did not return to base")
+	}
+}
+
+func TestPopBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on base pop")
+		}
+	}()
+	NewChain(1).Pop()
+}
+
+func TestStopAppliesToOwnSegmentOnly(t *testing.T) {
+	c := NewChain(1)
+	caller := c.Current()
+	callee := c.Push(2)
+
+	// Caller's segment stopped while callee runs: callee polls fine.
+	caller.Stop("caller killed")
+	if err := c.Poll(); err != nil {
+		t.Fatalf("callee poll disturbed by caller stop: %v", err)
+	}
+	// When control returns to the caller, the stop fires.
+	c.Pop()
+	err := c.Poll()
+	if !errors.Is(err, ErrSegmentStopped) {
+		t.Fatalf("poll after return = %v, want ErrSegmentStopped", err)
+	}
+	if !strings.Contains(err.Error(), "caller killed") {
+		t.Errorf("stop message lost: %v", err)
+	}
+	// The stop is one-shot.
+	if err := c.Poll(); err != nil {
+		t.Errorf("second poll = %v, want nil", err)
+	}
+	_ = callee
+}
+
+func TestStopCalleeFiresImmediately(t *testing.T) {
+	c := NewChain(1)
+	callee := c.Push(2)
+	callee.Stop("die")
+	if err := c.Poll(); !errors.Is(err, ErrSegmentStopped) {
+		t.Fatalf("poll = %v", err)
+	}
+}
+
+func TestSuspendParksAndResumeReleases(t *testing.T) {
+	c := NewChain(1)
+	seg := c.Current()
+	seg.Suspend()
+
+	released := make(chan error, 1)
+	go func() { released <- c.Poll() }()
+
+	select {
+	case err := <-released:
+		t.Fatalf("poll returned %v while suspended", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	seg.Resume()
+	select {
+	case err := <-released:
+		if err != nil {
+			t.Fatalf("poll after resume = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("poll still parked after resume")
+	}
+}
+
+func TestStopWakesSuspendedSegment(t *testing.T) {
+	c := NewChain(1)
+	seg := c.Current()
+	seg.Suspend()
+	released := make(chan error, 1)
+	go func() { released <- c.Poll() }()
+	time.Sleep(10 * time.Millisecond)
+	seg.Stop("killed while parked")
+	select {
+	case err := <-released:
+		if !errors.Is(err, ErrSegmentStopped) {
+			t.Fatalf("poll = %v, want stop", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stop did not wake suspended segment")
+	}
+}
+
+func TestSuspendOfCallerDoesNotBlockCallee(t *testing.T) {
+	c := NewChain(1)
+	caller := c.Current()
+	c.Push(2)
+	caller.Suspend()
+	done := make(chan error, 1)
+	go func() { done <- c.Poll() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("callee poll = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("callee blocked by caller suspension")
+	}
+}
+
+func TestPriorityClampedPerSegment(t *testing.T) {
+	c := NewChain(1)
+	a := c.Current()
+	b := c.Push(2)
+	a.SetPriority(99)
+	b.SetPriority(-5)
+	if a.Priority() != 10 {
+		t.Errorf("a priority = %d, want 10 (clamped)", a.Priority())
+	}
+	if b.Priority() != 1 {
+		t.Errorf("b priority = %d, want 1 (clamped)", b.Priority())
+	}
+}
+
+func TestGoroutineIDStableAndDistinct(t *testing.T) {
+	id1 := GoroutineID()
+	if id1 == 0 {
+		t.Fatal("GoroutineID returned 0")
+	}
+	if id2 := GoroutineID(); id2 != id1 {
+		t.Fatalf("id changed within goroutine: %d then %d", id1, id2)
+	}
+	ch := make(chan int64)
+	go func() { ch <- GoroutineID() }()
+	if other := <-ch; other == id1 {
+		t.Error("two goroutines share an id")
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	c := Register(7)
+	defer Unregister()
+	if got := CurrentChain(); got != c {
+		t.Error("CurrentChain did not find registered chain")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if CurrentChain() != nil {
+			t.Error("unregistered goroutine found a chain")
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package ukern
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestL4RoundTrip(t *testing.T) {
+	k := NewKernel()
+	c := k.NewL4Pair()
+	defer c.Close()
+	for i := uint64(0); i < 100; i++ {
+		out, err := c.Call(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != i+1 {
+			t.Fatalf("Call(%d) = %d, want %d", i, out, i+1)
+		}
+	}
+}
+
+func TestL4CallAfterClose(t *testing.T) {
+	k := NewKernel()
+	c := k.NewL4Pair()
+	c.Close()
+	if _, err := c.Call(1); !errors.Is(err, ErrDeadTask) {
+		t.Errorf("got %v, want ErrDeadTask", err)
+	}
+}
+
+func TestExoTransfer(t *testing.T) {
+	k := NewKernel()
+	p := k.NewExoPair()
+	out, err := p.Call(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 42 {
+		t.Errorf("Call = %d", out)
+	}
+	// The protection-domain switch must leave the caller current again.
+	if cur := k.current.Load(); cur != p.caller.ID {
+		t.Errorf("current task = %d, want caller %d", cur, p.caller.ID)
+	}
+}
+
+func TestErosCapabilityAndJournal(t *testing.T) {
+	k := NewKernel()
+	p := k.NewErosPair()
+	defer p.Close()
+	out, err := p.Call(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 2 {
+		t.Errorf("Call = %d", out)
+	}
+	if p.JournalLen() != 1 {
+		t.Errorf("journal = %d entries", p.JournalLen())
+	}
+	p.RevokeCap()
+	if _, err := p.Call(1); err == nil {
+		t.Error("revoked capability accepted")
+	}
+}
+
+func TestErosJournalCheckpoints(t *testing.T) {
+	k := NewKernel()
+	p := k.NewErosPair()
+	defer p.Close()
+	for i := 0; i < 5000; i++ {
+		if _, err := p.Call(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.JournalLen() >= 5000 {
+		t.Error("journal never checkpointed")
+	}
+}
+
+func TestAddressSpaceIsolation(t *testing.T) {
+	k := NewKernel()
+	t1 := k.NewTask(8)
+	t2 := k.NewTask(8)
+	f1, ok1 := t1.AS.Lookup(0)
+	f2, ok2 := t2.AS.Lookup(0)
+	if !ok1 || !ok2 {
+		t.Fatal("pages unmapped")
+	}
+	if f1 == f2 {
+		t.Error("two address spaces map page 0 to the same frame")
+	}
+	if _, ok := t1.AS.Lookup(999); ok {
+		t.Error("unmapped page resolved")
+	}
+}
+
+func TestConcurrentL4Clients(t *testing.T) {
+	k := NewKernel()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := k.NewL4Pair()
+			defer c.Close()
+			for i := uint64(0); i < 200; i++ {
+				if out, err := c.Call(i); err != nil || out != i+1 {
+					t.Errorf("call: %v %d", err, out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,375 @@
+package vmkit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Well-known class names used throughout the VM and the J-Kernel layer.
+const (
+	ClassObject    = "jk/lang/Object"
+	ClassString    = "jk/lang/String"
+	ClassThrowable = "jk/lang/Throwable"
+	ClassException = "jk/lang/Exception"
+	ClassRuntimeEx = "jk/lang/RuntimeException"
+	ClassError     = "jk/lang/Error"
+
+	ClassNullPointerEx  = "jk/lang/NullPointerException"
+	ClassCastEx         = "jk/lang/ClassCastException"
+	ClassArithmeticEx   = "jk/lang/ArithmeticException"
+	ClassIndexEx        = "jk/lang/IndexOutOfBoundsException"
+	ClassNegArraySizeEx = "jk/lang/NegativeArraySizeException"
+	ClassIllegalStateEx = "jk/lang/IllegalStateException"
+	ClassThreadDeath    = "jk/lang/ThreadDeath"
+
+	ClassBoxInt   = "jk/lang/Int"
+	ClassBoxFloat = "jk/lang/Float"
+
+	ClassSystem = "jk/lang/System"
+	ClassThread = "jk/lang/Thread"
+
+	// Marker interfaces controlling the LRMI calling convention, mirroring
+	// java.rmi.Remote and the J-Kernel's fast-copy declaration.
+	IfaceRemote        = "jk/kernel/Remote"
+	IfaceSerializable  = "jk/io/Serializable"
+	IfaceFastCopy      = "jk/io/FastCopy"
+	IfaceFastCopyGraph = "jk/io/FastCopyGraph" // fast copy with cycle table
+
+	ClassCapability   = "jk/kernel/Capability"
+	ClassRevokedEx    = "jk/kernel/RevokedException"
+	ClassRemoteEx     = "jk/kernel/RemoteException"
+	ClassTerminatedEx = "jk/kernel/DomainTerminatedException"
+)
+
+// ClassFlags carries class-level modifiers.
+type ClassFlags uint16
+
+const (
+	// FlagInterface marks an interface type: no instance fields, all methods
+	// abstract.
+	FlagInterface ClassFlags = 1 << iota
+	// FlagAbstract forbids instantiation.
+	FlagAbstract
+	// FlagSystem marks a bootstrap class provided by the VM rather than
+	// loaded from user bytecode. System classes may carry native methods.
+	FlagSystem
+)
+
+// MethodFlags carries method-level modifiers.
+type MethodFlags uint16
+
+const (
+	// MStatic marks a method with no receiver.
+	MStatic MethodFlags = 1 << iota
+	// MNative marks a method implemented by a registered Go function.
+	MNative
+	// MAbstract marks a method with no body (interface methods).
+	MAbstract
+	// MSynchronized wraps the body in the receiver's monitor (or the class
+	// monitor for static methods).
+	MSynchronized
+	// MPrivate restricts callers to the declaring class. This is the
+	// paper's "static access control": the verifier rejects foreign access.
+	MPrivate
+)
+
+// FieldDef describes one declared field.
+type FieldDef struct {
+	Name   string
+	Desc   string
+	Static bool
+	// Private restricts access to methods of the declaring class, enforced
+	// by the verifier. Capability stubs rely on this to protect their gate
+	// references from user bytecode.
+	Private bool
+}
+
+// ExcEntry is one exception-table row: if an exception of (a subclass of)
+// Type is thrown by an instruction with From <= pc < To, control transfers
+// to Handler with the throwable as the only stack operand.
+type ExcEntry struct {
+	From, To, Handler int32
+	Type              string
+}
+
+// MethodDef describes one declared method, including its bytecode.
+type MethodDef struct {
+	Name     string
+	Desc     string // "(params)ret" descriptor
+	Flags    MethodFlags
+	MaxStack int32 // operand stack budget; verifier enforces
+	NumLoc   int32 // local slots beyond parameters
+	Code     []Instr
+	Excs     []ExcEntry
+}
+
+// ClassDef is the loadable unit: what a class file encodes and what loaders
+// submit (as bytes) to a namespace. It is pure data; linking produces the
+// runtime *Class.
+type ClassDef struct {
+	Name       string
+	Super      string // empty only for jk/lang/Object
+	Interfaces []string
+	Flags      ClassFlags
+	Fields     []FieldDef
+	Methods    []MethodDef
+}
+
+// Field is a linked field: its definition plus its slot assignment.
+type Field struct {
+	FieldDef
+	Slot  int // index into Object.Fields (instance) or Class.Statics (static)
+	Owner *Class
+}
+
+// Method is a linked method.
+type Method struct {
+	MethodDef
+	Owner  *Class
+	Native NativeFunc // set when MNative
+	// nargs is the number of parameter slots including the receiver.
+	nargs int
+	// ret is the return descriptor ("" for V).
+	ret string
+	// linked caches resolved symbolic references, parallel to Code.
+	linked []linkedRef
+	// excClasses caches resolved exception-table types, parallel to Excs.
+	excClasses []*Class
+}
+
+// NArgs returns the number of argument slots including any receiver.
+func (m *Method) NArgs() int { return m.nargs }
+
+// RetDesc returns the return type descriptor, or "" for void.
+func (m *Method) RetDesc() string { return m.ret }
+
+// Sig returns the "name:desc" key used for dispatch tables.
+func (m *Method) Sig() string { return m.Name + ":" + m.Desc }
+
+// IsStatic reports whether the method has no receiver.
+func (m *Method) IsStatic() bool { return m.Flags&MStatic != 0 }
+
+// Class is a linked, runtime class: resolved hierarchy, flattened dispatch
+// tables, and static storage. Classes are created by a Namespace.
+type Class struct {
+	Def        *ClassDef
+	Name       string
+	Super      *Class
+	Interfaces []*Class
+
+	// vtable maps "name:desc" to the implementing method, with inherited
+	// methods flattened in. Interface dispatch uses itable (profile B) or a
+	// linear scan of methods (profile A).
+	vtable  map[string]*Method
+	methods []*Method // declared + inherited, for linear scans
+
+	// fields maps name to linked field (instance and static).
+	fields   map[string]*Field
+	numSlots int // instance field slots including inherited
+	// zeroFields is the precomputed zero template for instances.
+	zeroFields []Value
+	// Statics holds static field storage. Like the JVM, slot access is not
+	// synchronized; racy programs see races. Shared classes are forbidden
+	// statics entirely (the J-Kernel rule), so cross-domain races cannot
+	// arise through them.
+	Statics []Value
+
+	// Namespace that linked the class. Symbolic references in code resolve
+	// through this namespace, so two domains can bind the same name to
+	// different classes.
+	NS *Namespace
+
+	// elem is the element descriptor for array classes ("" otherwise).
+	elem string
+
+	// Shared is non-nil when the class participates in a SharedClass group;
+	// the core layer uses it to enforce the consistency rules.
+	Shared any
+}
+
+// IsArray reports whether c is an array class.
+func (c *Class) IsArray() bool { return c.elem != "" }
+
+// Elem returns the element descriptor of an array class ("" otherwise).
+func (c *Class) Elem() string { return c.elem }
+
+// IsInterface reports whether c is an interface.
+func (c *Class) IsInterface() bool { return c.Def != nil && c.Def.Flags&FlagInterface != 0 }
+
+// NumInstanceSlots returns the number of instance field slots (including
+// inherited fields).
+func (c *Class) NumInstanceSlots() int { return c.numSlots }
+
+// FieldByName returns the linked field with the given name, searching
+// superclasses, or nil.
+func (c *Class) FieldByName(name string) *Field {
+	for k := c; k != nil; k = k.Super {
+		if f, ok := k.fields[name]; ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// MethodBySig returns the method with the given "name:desc" signature using
+// the flattened virtual table, or nil.
+func (c *Class) MethodBySig(name, desc string) *Method {
+	if c.vtable == nil {
+		return nil
+	}
+	return c.vtable[name+":"+desc]
+}
+
+// Methods returns the flattened method list (declared and inherited).
+func (c *Class) Methods() []*Method { return c.methods }
+
+// SubclassOf reports whether c is t or a subclass of t.
+func (c *Class) SubclassOf(t *Class) bool {
+	for k := c; k != nil; k = k.Super {
+		if k == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Implements reports whether c or any superclass lists t (or a
+// super-interface of t) among its interfaces.
+func (c *Class) Implements(t *Class) bool {
+	if !t.IsInterface() {
+		return false
+	}
+	for k := c; k != nil; k = k.Super {
+		for _, it := range k.Interfaces {
+			if it == t || it.Implements(t) || it.SubclassOf(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AssignableTo reports whether a value of class c may be stored where a
+// value of class t is expected.
+func (c *Class) AssignableTo(t *Class) bool {
+	if c == t {
+		return true
+	}
+	if t.Name == ClassObject {
+		return true
+	}
+	if c.IsArray() {
+		if !t.IsArray() {
+			return false
+		}
+		ce, te := c.elem, t.elem
+		if ce == te {
+			return true
+		}
+		// Covariant reference arrays only.
+		if strings.HasPrefix(ce, "L") && strings.HasPrefix(te, "L") {
+			cc := c.NS.Lookup(refName(ce))
+			tc := t.NS.Lookup(refName(te))
+			return cc != nil && tc != nil && cc.AssignableTo(tc)
+		}
+		return false
+	}
+	if t.IsInterface() {
+		if c.IsInterface() {
+			return c.SubclassOf(t) || c.Implements(t)
+		}
+		return c.Implements(t)
+	}
+	return c.SubclassOf(t)
+}
+
+func (c *Class) String() string { return c.Name }
+
+// refName extracts the class name from an "L<name>;" descriptor.
+func refName(desc string) string {
+	if len(desc) >= 2 && desc[0] == 'L' && desc[len(desc)-1] == ';' {
+		return desc[1 : len(desc)-1]
+	}
+	return desc
+}
+
+// descOfClass returns the descriptor naming a class ("L<name>;" or the
+// array descriptor itself).
+func descOfClass(name string) string {
+	if strings.HasPrefix(name, "[") {
+		return name
+	}
+	return "L" + name + ";"
+}
+
+// ParseMethodDesc splits "(AB)C" into parameter descriptors and the return
+// descriptor ("" for V). It returns an error for malformed descriptors.
+func ParseMethodDesc(desc string) (params []string, ret string, err error) {
+	if len(desc) < 3 || desc[0] != '(' {
+		return nil, "", fmt.Errorf("vmkit: bad method descriptor %q", desc)
+	}
+	i := 1
+	for i < len(desc) && desc[i] != ')' {
+		d, n, perr := parseOneDesc(desc[i:])
+		if perr != nil {
+			return nil, "", fmt.Errorf("vmkit: bad method descriptor %q: %v", desc, perr)
+		}
+		params = append(params, d)
+		i += n
+	}
+	if i >= len(desc) || desc[i] != ')' {
+		return nil, "", fmt.Errorf("vmkit: unterminated params in %q", desc)
+	}
+	rest := desc[i+1:]
+	if rest == "V" {
+		return params, "", nil
+	}
+	d, n, perr := parseOneDesc(rest)
+	if perr != nil || n != len(rest) {
+		return nil, "", fmt.Errorf("vmkit: bad return descriptor in %q", desc)
+	}
+	return params, d, nil
+}
+
+// parseOneDesc parses a single type descriptor at the front of s and
+// returns it plus the number of bytes consumed.
+func parseOneDesc(s string) (string, int, error) {
+	if s == "" {
+		return "", 0, fmt.Errorf("empty descriptor")
+	}
+	switch s[0] {
+	case 'I', 'D', 'Z', 'B', 'C':
+		return s[:1], 1, nil
+	case 'L':
+		j := strings.IndexByte(s, ';')
+		if j < 2 {
+			return "", 0, fmt.Errorf("unterminated class descriptor")
+		}
+		return s[:j+1], j + 1, nil
+	case '[':
+		d, n, err := parseOneDesc(s[1:])
+		if err != nil {
+			return "", 0, err
+		}
+		return "[" + d, n + 1, nil
+	default:
+		return "", 0, fmt.Errorf("unknown descriptor byte %q", s[0])
+	}
+}
+
+// ValidIdent reports whether s is acceptable as a class, field, or method
+// name component. Slashes separate package segments in class names.
+func ValidIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_' || r == '$' || r == '/' || r == '<' || r == '>':
+		default:
+			return false
+		}
+	}
+	return true
+}

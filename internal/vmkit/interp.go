@@ -1,0 +1,552 @@
+package vmkit
+
+import "fmt"
+
+// maxCallDepth bounds interpreter recursion so runaway bytecode raises a
+// StackOverflow-style error instead of exhausting the Go stack.
+const maxCallDepth = 512
+
+// stepsFlushEvery bounds how much interpreter work accumulates before being
+// reported to the accounting hook.
+const stepsFlushEvery = 4096
+
+// Call executes method m on thread t with the given arguments and returns
+// the result. A thrown VM exception surfaces as *ThrownError; VM-level
+// faults (wrong arity, abstract target) are plain errors.
+func (vm *VM) Call(t *Thread, m *Method, args []Value) (Value, error) {
+	if len(args) != m.nargs {
+		return Value{}, fmt.Errorf("vmkit: %s.%s wants %d args, got %d", m.Owner.Name, m.Name, m.nargs, len(args))
+	}
+	v, thrown := vm.exec(t, m, args)
+	t.flushSteps()
+	if thrown != nil {
+		return Value{}, &ThrownError{Throwable: thrown}
+	}
+	return v, nil
+}
+
+// CallStatic resolves "Class.name:(desc)ret" in ns and calls it.
+func (vm *VM) CallStatic(t *Thread, ns *Namespace, ref string, args ...Value) (Value, error) {
+	mr, err := ParseMethodRef(ref)
+	if err != nil {
+		return Value{}, err
+	}
+	c, err := ns.Resolve(mr.Class)
+	if err != nil {
+		return Value{}, err
+	}
+	m := c.MethodBySig(mr.Name, mr.Desc)
+	if m == nil {
+		return Value{}, fmt.Errorf("vmkit: no method %s", ref)
+	}
+	return vm.Call(t, m, args)
+}
+
+// exec runs one frame. The second result is a thrown throwable (nil on
+// normal return).
+func (vm *VM) exec(t *Thread, m *Method, args []Value) (Value, *Object) {
+	if m.Flags&MAbstract != 0 {
+		return Value{}, vm.Throwf(ClassError, "abstract method %s.%s", m.Owner.Name, m.Name)
+	}
+	if th := t.safepoint(); th != nil {
+		return Value{}, th
+	}
+	if m.Flags&MNative != 0 {
+		var recv *Object
+		rest := args
+		if !m.IsStatic() {
+			if len(args) == 0 || args[0].R == nil {
+				return Value{}, vm.Throwf(ClassNullPointerEx, "null receiver for %s.%s", m.Owner.Name, m.Name)
+			}
+			recv, rest = args[0].R, args[1:]
+		}
+		env := &Env{VM: vm, NS: m.Owner.NS, Thread: t}
+		return m.Native(env, recv, rest)
+	}
+
+	// Synchronized methods hold the receiver's monitor (static: skipped —
+	// the VM has no per-class lock object; shared classes forbid statics).
+	var monObj *Object
+	if m.Flags&MSynchronized != 0 && !m.IsStatic() && args[0].R != nil {
+		monObj = args[0].R
+		monObj.monEnter(t)
+		defer monObj.monExit(t)
+	}
+
+	locals := make([]Value, m.nargs+int(m.NumLoc))
+	copy(locals, args)
+	stack := make([]Value, m.MaxStack)
+	sp := 0
+	pc := 0
+	code := m.Code
+	linked := m.linked
+
+	push := func(v Value) { stack[sp] = v; sp++ }
+	pop := func() Value { sp--; return stack[sp] }
+
+	throwName := func(class, format string, a ...any) *Object {
+		return vm.Throwf(class, format, a...)
+	}
+
+	var thrown *Object
+	steps := int64(0)
+
+	for {
+		if thrown != nil {
+			// Exception dispatch: find a handler covering pc whose type
+			// accepts the throwable, else unwind.
+			handler := -1
+			for i, e := range m.Excs {
+				if int32(pc) >= e.From && int32(pc) < e.To && thrown.Class.AssignableTo(m.excClasses[i]) {
+					handler = int(e.Handler)
+					break
+				}
+			}
+			if handler < 0 {
+				t.steps += steps
+				return Value{}, thrown
+			}
+			sp = 0
+			push(RefVal(thrown))
+			pc = handler
+			thrown = nil
+		}
+
+		in := code[pc]
+		steps++
+		if steps >= stepsFlushEvery {
+			t.steps += steps
+			steps = 0
+			t.flushSteps()
+		}
+
+		switch in.Op {
+		case OpNop:
+
+		case OpIConst:
+			push(IntVal(in.I))
+		case OpDConst:
+			push(FloatVal(in.F))
+		case OpSConst:
+			push(RefVal(linked[pc].str))
+		case OpNullConst:
+			push(Null())
+
+		case OpLoad:
+			push(locals[in.I])
+		case OpStore:
+			locals[in.I] = pop()
+
+		case OpPop:
+			sp--
+		case OpDup:
+			stack[sp] = stack[sp-1]
+			sp++
+		case OpDupX1:
+			a := stack[sp-1]
+			b := stack[sp-2]
+			stack[sp-2] = a
+			stack[sp-1] = b
+			stack[sp] = a
+			sp++
+		case OpSwap:
+			stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
+
+		case OpIAdd:
+			b, a := pop().I, pop().I
+			push(IntVal(a + b))
+		case OpISub:
+			b, a := pop().I, pop().I
+			push(IntVal(a - b))
+		case OpIMul:
+			b, a := pop().I, pop().I
+			push(IntVal(a * b))
+		case OpIDiv:
+			b, a := pop().I, pop().I
+			if b == 0 {
+				thrown = throwName(ClassArithmeticEx, "division by zero")
+				continue
+			}
+			push(IntVal(a / b))
+		case OpIRem:
+			b, a := pop().I, pop().I
+			if b == 0 {
+				thrown = throwName(ClassArithmeticEx, "division by zero")
+				continue
+			}
+			push(IntVal(a % b))
+		case OpINeg:
+			push(IntVal(-pop().I))
+		case OpIShl:
+			b, a := pop().I, pop().I
+			push(IntVal(a << (uint64(b) & 63)))
+		case OpIShr:
+			b, a := pop().I, pop().I
+			push(IntVal(a >> (uint64(b) & 63)))
+		case OpIUshr:
+			b, a := pop().I, pop().I
+			push(IntVal(int64(uint64(a) >> (uint64(b) & 63))))
+		case OpIAnd:
+			b, a := pop().I, pop().I
+			push(IntVal(a & b))
+		case OpIOr:
+			b, a := pop().I, pop().I
+			push(IntVal(a | b))
+		case OpIXor:
+			b, a := pop().I, pop().I
+			push(IntVal(a ^ b))
+
+		case OpDAdd:
+			b, a := pop().F, pop().F
+			push(FloatVal(a + b))
+		case OpDSub:
+			b, a := pop().F, pop().F
+			push(FloatVal(a - b))
+		case OpDMul:
+			b, a := pop().F, pop().F
+			push(FloatVal(a * b))
+		case OpDDiv:
+			b, a := pop().F, pop().F
+			push(FloatVal(a / b))
+		case OpDNeg:
+			push(FloatVal(-pop().F))
+
+		case OpI2D:
+			push(FloatVal(float64(pop().I)))
+		case OpD2I:
+			push(IntVal(int64(pop().F)))
+		case OpDCmp:
+			b, a := pop().F, pop().F
+			switch {
+			case a < b:
+				push(IntVal(-1))
+			case a > b:
+				push(IntVal(1))
+			default:
+				push(IntVal(0))
+			}
+
+		case OpJmp:
+			if int(in.I) <= pc {
+				if th := t.safepoint(); th != nil {
+					thrown = th
+					continue
+				}
+			}
+			pc = int(in.I)
+			continue
+		case OpIfEQ, OpIfNE, OpIfLT, OpIfLE, OpIfGT, OpIfGE:
+			b, a := pop().I, pop().I
+			var taken bool
+			switch in.Op {
+			case OpIfEQ:
+				taken = a == b
+			case OpIfNE:
+				taken = a != b
+			case OpIfLT:
+				taken = a < b
+			case OpIfLE:
+				taken = a <= b
+			case OpIfGT:
+				taken = a > b
+			case OpIfGE:
+				taken = a >= b
+			}
+			if taken {
+				if int(in.I) <= pc {
+					if th := t.safepoint(); th != nil {
+						thrown = th
+						continue
+					}
+				}
+				pc = int(in.I)
+				continue
+			}
+		case OpIfZ, OpIfNZ:
+			a := pop().I
+			if (in.Op == OpIfZ) == (a == 0) {
+				if int(in.I) <= pc {
+					if th := t.safepoint(); th != nil {
+						thrown = th
+						continue
+					}
+				}
+				pc = int(in.I)
+				continue
+			}
+		case OpIfNull, OpIfNonNull:
+			r := pop().R
+			if (in.Op == OpIfNull) == (r == nil) {
+				pc = int(in.I)
+				continue
+			}
+		case OpIfACmpEQ, OpIfACmpNE:
+			b, a := pop().R, pop().R
+			if (in.Op == OpIfACmpEQ) == (a == b) {
+				pc = int(in.I)
+				continue
+			}
+
+		case OpNew:
+			o, err := NewInstance(linked[pc].class)
+			if err != nil {
+				thrown = throwName(ClassError, "%v", err)
+				continue
+			}
+			push(RefVal(o))
+
+		case OpGetF:
+			r := pop().R
+			if r == nil {
+				thrown = throwName(ClassNullPointerEx, "getfield on null")
+				continue
+			}
+			push(r.Fields[linked[pc].field.Slot])
+		case OpPutF:
+			v := pop()
+			r := pop().R
+			if r == nil {
+				thrown = throwName(ClassNullPointerEx, "putfield on null")
+				continue
+			}
+			r.Fields[linked[pc].field.Slot] = v
+		case OpGetS:
+			f := linked[pc].field
+			push(f.Owner.Statics[f.Slot])
+		case OpPutS:
+			f := linked[pc].field
+			f.Owner.Statics[f.Slot] = pop()
+
+		case OpInvokeV, OpInvokeI:
+			ref := linked[pc]
+			nargs := ref.method.nargs
+			callArgs := make([]Value, nargs)
+			copy(callArgs, stack[sp-nargs:sp])
+			sp -= nargs
+			recv := callArgs[0].R
+			if recv == nil {
+				thrown = throwName(ClassNullPointerEx, "invoke on null (%s)", ref.sig)
+				continue
+			}
+			var target *Method
+			if in.Op == OpInvokeI && vm.Profile.LinearIfaceDispatch {
+				// Profile A: resolve through the VM-global locked
+				// interface table with a composite key built per call —
+				// the expensive invokeinterface of Table 1.
+				target = vm.ifaceDispatchSlow(recv.Class, ref.method.Name, ref.method.Desc)
+			} else {
+				target = recv.Class.vtable[ref.sig]
+			}
+			if target == nil || target.Flags&MAbstract != 0 {
+				thrown = throwName(ClassError, "no implementation of %s in %s", ref.sig, recv.Class.Name)
+				continue
+			}
+			v, th := vm.invokeNested(t, target, callArgs)
+			if th != nil {
+				thrown = th
+				continue
+			}
+			if target.ret != "" {
+				push(v)
+			}
+
+		case OpInvokeS:
+			ref := linked[pc]
+			nargs := ref.method.nargs
+			callArgs := make([]Value, nargs)
+			copy(callArgs, stack[sp-nargs:sp])
+			sp -= nargs
+			v, th := vm.invokeNested(t, ref.method, callArgs)
+			if th != nil {
+				thrown = th
+				continue
+			}
+			if ref.method.ret != "" {
+				push(v)
+			}
+
+		case OpCast:
+			r := stack[sp-1].R
+			if r != nil && !r.Class.AssignableTo(linked[pc].class) {
+				thrown = throwName(ClassCastEx, "%s is not a %s", r.Class.Name, in.S)
+				continue
+			}
+		case OpInstOf:
+			r := pop().R
+			if r != nil && r.Class.AssignableTo(linked[pc].class) {
+				push(IntVal(1))
+			} else {
+				push(IntVal(0))
+			}
+
+		case OpNewArr:
+			n := pop().I
+			if n < 0 {
+				thrown = throwName(ClassNegArraySizeEx, "array size %d", n)
+				continue
+			}
+			o, err := m.Owner.NS.newArrayOfClass(linked[pc].class, int(n))
+			if err != nil {
+				thrown = throwName(ClassError, "%v", err)
+				continue
+			}
+			push(RefVal(o))
+
+		case OpALoad:
+			idx := pop().I
+			arr := pop().R
+			if arr == nil {
+				thrown = throwName(ClassNullPointerEx, "aload on null")
+				continue
+			}
+			if idx < 0 || int(idx) >= arr.Len() {
+				thrown = throwName(ClassIndexEx, "index %d of %d", idx, arr.Len())
+				continue
+			}
+			switch {
+			case arr.Bytes != nil:
+				push(IntVal(int64(arr.Bytes[idx])))
+			case arr.Ints != nil:
+				push(IntVal(arr.Ints[idx]))
+			case arr.Floats != nil:
+				push(FloatVal(arr.Floats[idx]))
+			default:
+				push(RefVal(arr.Refs[idx]))
+			}
+		case OpAStore:
+			v := pop()
+			idx := pop().I
+			arr := pop().R
+			if arr == nil {
+				thrown = throwName(ClassNullPointerEx, "astore on null")
+				continue
+			}
+			if idx < 0 || int(idx) >= arr.Len() {
+				thrown = throwName(ClassIndexEx, "index %d of %d", idx, arr.Len())
+				continue
+			}
+			switch {
+			case arr.Bytes != nil:
+				arr.Bytes[idx] = byte(v.I)
+			case arr.Ints != nil:
+				arr.Ints[idx] = v.I
+			case arr.Floats != nil:
+				arr.Floats[idx] = v.F
+			default:
+				if v.R != nil {
+					ec := arr.Class.elemClass()
+					if ec != nil && !v.R.Class.AssignableTo(ec) {
+						thrown = throwName(ClassCastEx, "array store of %s into %s", v.R.Class.Name, arr.Class.Name)
+						continue
+					}
+				}
+				arr.Refs[idx] = v.R
+			}
+		case OpALen:
+			arr := pop().R
+			if arr == nil {
+				thrown = throwName(ClassNullPointerEx, "arraylength on null")
+				continue
+			}
+			push(IntVal(int64(arr.Len())))
+
+		case OpThrow:
+			r := pop().R
+			if r == nil {
+				thrown = throwName(ClassNullPointerEx, "throw null")
+				continue
+			}
+			thrown = r
+			continue
+
+		case OpMonEnter:
+			r := pop().R
+			if r == nil {
+				thrown = throwName(ClassNullPointerEx, "monitorenter on null")
+				continue
+			}
+			r.monEnter(t)
+		case OpMonExit:
+			r := pop().R
+			if r == nil {
+				thrown = throwName(ClassNullPointerEx, "monitorexit on null")
+				continue
+			}
+			if !r.monExit(t) {
+				thrown = throwName(ClassIllegalStateEx, "monitorexit by non-owner")
+				continue
+			}
+
+		case OpRet:
+			t.steps += steps
+			return Value{}, nil
+		case OpRetV:
+			t.steps += steps
+			return pop(), nil
+
+		default:
+			thrown = throwName(ClassError, "bad opcode %d", in.Op)
+			continue
+		}
+		pc++
+	}
+}
+
+// Invoke runs m with args on t, returning the result value or a thrown
+// throwable. It is the re-entry point for native methods (LRMI gates) that
+// need to execute bytecode.
+func (vm *VM) Invoke(t *Thread, m *Method, args []Value) (Value, *Object) {
+	if len(args) != m.nargs {
+		return Value{}, vm.Throwf(ClassError, "%s.%s wants %d args, got %d", m.Owner.Name, m.Name, m.nargs, len(args))
+	}
+	return vm.invokeNested(t, m, args)
+}
+
+// invokeNested runs a callee frame with depth tracking.
+func (vm *VM) invokeNested(t *Thread, m *Method, args []Value) (Value, *Object) {
+	t.callDepth++
+	if t.callDepth > maxCallDepth {
+		t.callDepth--
+		return Value{}, vm.Throwf(ClassError, "call stack overflow")
+	}
+	v, th := vm.exec(t, m, args)
+	t.callDepth--
+	return v, th
+}
+
+// elemClass returns the linked element class of a reference array class,
+// nil for primitive arrays.
+func (c *Class) elemClass() *Class {
+	if c.elem == "" || c.elem[0] != 'L' {
+		if c.elem != "" && c.elem[0] == '[' {
+			k, _ := c.NS.arrayClass(c.elem)
+			return k
+		}
+		return nil
+	}
+	return c.NS.Lookup(refName(c.elem))
+}
+
+// newArrayOfClass allocates an array whose class is already resolved.
+func (ns *Namespace) newArrayOfClass(c *Class, length int) (*Object, error) {
+	o := &Object{Class: c, Owner: ns.OwnerID}
+	var bytes int64
+	switch c.elem {
+	case "B":
+		o.Bytes = make([]byte, length)
+		bytes = int64(length)
+	case "I":
+		o.Ints = make([]int64, length)
+		bytes = int64(length) * 8
+	case "D":
+		o.Floats = make([]float64, length)
+		bytes = int64(length) * 8
+	default:
+		o.Refs = make([]*Object, length)
+		bytes = int64(length) * 8
+	}
+	if ch := ns.VM.Charge; ch != nil {
+		ch(ns.OwnerID, ChargeAlloc, 16+bytes)
+	}
+	return o, nil
+}

@@ -1,0 +1,589 @@
+package vmkit
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Resolution is the outcome of a resolver query, mirroring the J-Kernel's
+// class name resolvers: a class name maps to freshly submitted bytecode
+// (local class), to a class defined elsewhere (shared class), or to nothing.
+type Resolution struct {
+	// Bytes, when non-nil, is binary class-file data to define locally.
+	Bytes []byte
+	// Shared, when non-nil, binds an already-linked class (defined in
+	// another namespace) into this namespace.
+	Shared *Class
+}
+
+// ResolverFunc is queried whenever a namespace encounters an unknown class
+// name. Returning (nil, nil) means "unknown name".
+type ResolverFunc func(name string) (*Resolution, error)
+
+// LinkError reports a class loading, verification, or linking failure.
+type LinkError struct {
+	Class string
+	Op    string // "resolve", "decode", "hierarchy", "verify", "link"
+	Err   error
+}
+
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("vmkit: %s %s: %v", e.Op, e.Class, e.Err)
+}
+
+func (e *LinkError) Unwrap() error { return e.Err }
+
+type classState int
+
+const (
+	stateLoading classState = iota + 1 // hierarchy being resolved
+	stateLinking                       // shell ready; code verify/link in progress
+	stateReady
+)
+
+type classEntry struct {
+	state classState
+	class *Class
+}
+
+// Namespace maps class names to classes for one protection domain. Each
+// domain has its own namespace, so the same name can denote different
+// classes in different domains; sharing a class means binding the same
+// *Class into several namespaces.
+type Namespace struct {
+	VM   *VM
+	Name string
+
+	mu       sync.Mutex
+	classes  map[string]*classEntry
+	resolver ResolverFunc
+	interns  map[string]*Object
+
+	// OwnerID is the domain id charged for allocations performed by code
+	// running against this namespace (0 = system).
+	OwnerID int64
+
+	// Output receives jk/lang/System output for this namespace; when nil,
+	// the VM's Stdout is used. Interposing System per domain is what makes
+	// this per-domain state possible.
+	Output io.Writer
+
+	// ThreadOps, when set by the J-Kernel layer, reroutes the interposed
+	// jk/lang/Thread natives to thread-segment semantics.
+	ThreadOps ThreadOps
+}
+
+// ThreadOps is implemented by the J-Kernel layer to give the interposed
+// jk/lang/Thread class segment semantics: operations act on the current
+// call segment rather than the carrier thread. Each method returns a VM
+// throwable or nil.
+type ThreadOps interface {
+	Current(env *Env) (*Object, *Object)
+	Stop(env *Env, threadObj *Object) *Object
+	Suspend(env *Env, threadObj *Object) *Object
+	Resume(env *Env, threadObj *Object) *Object
+	SetPriority(env *Env, threadObj *Object, p int64) *Object
+	GetPriority(env *Env, threadObj *Object) (int64, *Object)
+}
+
+// NewNamespace creates an empty namespace resolving through r. The VM's
+// bootstrap classes are not automatically visible; use BindSystemClasses or
+// a resolver that forwards to the bootstrap namespace.
+func (vm *VM) NewNamespace(name string, r ResolverFunc) *Namespace {
+	return &Namespace{
+		VM:       vm,
+		Name:     name,
+		classes:  make(map[string]*classEntry),
+		resolver: r,
+		interns:  make(map[string]*Object),
+	}
+}
+
+// SetResolver replaces the namespace's resolver (used while bootstrapping).
+func (ns *Namespace) SetResolver(r ResolverFunc) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.resolver = r
+}
+
+// Lookup returns the class bound to name if it is fully defined, else nil.
+func (ns *Namespace) Lookup(name string) *Class {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if e, ok := ns.classes[name]; ok && e.state >= stateLinking {
+		return e.class
+	}
+	return nil
+}
+
+// Classes returns a snapshot of all fully defined classes.
+func (ns *Namespace) Classes() []*Class {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make([]*Class, 0, len(ns.classes))
+	for _, e := range ns.classes {
+		if e.state == stateReady {
+			out = append(out, e.class)
+		}
+	}
+	return out
+}
+
+// Bind makes an existing class (typically defined by another namespace)
+// visible in this namespace under its own name. This is the mechanism
+// behind both system-class visibility and SharedClass capabilities.
+func (ns *Namespace) Bind(c *Class) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if e, ok := ns.classes[c.Name]; ok {
+		if e.class == c {
+			return nil
+		}
+		return fmt.Errorf("vmkit: namespace %s already binds %s", ns.Name, c.Name)
+	}
+	ns.classes[c.Name] = &classEntry{state: stateReady, class: c}
+	return nil
+}
+
+// DefineClass decodes, verifies, and links bytecode in this namespace and
+// returns the new class. Referenced classes are resolved recursively
+// through the namespace's resolver, as in the paper's class loaders.
+func (ns *Namespace) DefineClass(data []byte) (*Class, error) {
+	def, err := DecodeClass(data)
+	if err != nil {
+		return nil, &LinkError{Class: "?", Op: "decode", Err: err}
+	}
+	return ns.defineDecoded(def)
+}
+
+// DefineDef links an already-decoded definition (used by the stub generator
+// and bootstrap; user-supplied classes should go through DefineClass so the
+// binary format is the trust boundary).
+func (ns *Namespace) DefineDef(def *ClassDef) (*Class, error) {
+	return ns.defineDecoded(def)
+}
+
+func (ns *Namespace) defineDecoded(def *ClassDef) (*Class, error) {
+	ns.mu.Lock()
+	if _, exists := ns.classes[def.Name]; exists {
+		ns.mu.Unlock()
+		return nil, &LinkError{Class: def.Name, Op: "resolve",
+			Err: fmt.Errorf("class already defined in namespace %s", ns.Name)}
+	}
+	ns.mu.Unlock()
+	c, err := ns.load(def.Name, def)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Resolve returns the class bound to name, loading it through the resolver
+// if necessary.
+func (ns *Namespace) Resolve(name string) (*Class, error) {
+	return ns.load(name, nil)
+}
+
+// load drives the two-phase pipeline. If def is non-nil it is used directly
+// instead of querying the resolver (DefineClass path). Cyclic references
+// between classes are permitted once a shell (hierarchy, fields, vtable)
+// exists; cyclic superclass chains are not.
+func (ns *Namespace) load(name string, def *ClassDef) (*Class, error) {
+	if isArrayDesc(name) {
+		return ns.arrayClass(name)
+	}
+	ns.mu.Lock()
+	if e, ok := ns.classes[name]; ok {
+		switch e.state {
+		case stateReady, stateLinking:
+			ns.mu.Unlock()
+			return e.class, nil
+		case stateLoading:
+			ns.mu.Unlock()
+			return nil, &LinkError{Class: name, Op: "hierarchy",
+				Err: fmt.Errorf("circular superclass/interface chain")}
+		}
+	}
+	resolver := ns.resolver
+	ns.mu.Unlock()
+
+	if def == nil {
+		if resolver == nil {
+			return nil, &LinkError{Class: name, Op: "resolve",
+				Err: fmt.Errorf("no resolver in namespace %s", ns.Name)}
+		}
+		res, err := resolver(name)
+		if err != nil {
+			return nil, &LinkError{Class: name, Op: "resolve", Err: err}
+		}
+		if res == nil {
+			return nil, &LinkError{Class: name, Op: "resolve",
+				Err: fmt.Errorf("class not found in namespace %s", ns.Name)}
+		}
+		if res.Shared != nil {
+			if err := ns.Bind(res.Shared); err != nil {
+				return nil, &LinkError{Class: name, Op: "resolve", Err: err}
+			}
+			return res.Shared, nil
+		}
+		d, err := DecodeClass(res.Bytes)
+		if err != nil {
+			return nil, &LinkError{Class: name, Op: "decode", Err: err}
+		}
+		def = d
+	}
+	if def.Name != name {
+		return nil, &LinkError{Class: name, Op: "resolve",
+			Err: fmt.Errorf("resolver produced class %q", def.Name)}
+	}
+
+	// Phase 1: shell (hierarchy, field slots, vtable).
+	ns.mu.Lock()
+	if e, ok := ns.classes[name]; ok {
+		// Raced with another loader; settle on whoever won.
+		ns.mu.Unlock()
+		if e.state == stateLoading {
+			return nil, &LinkError{Class: name, Op: "hierarchy",
+				Err: fmt.Errorf("concurrent circular load")}
+		}
+		return e.class, nil
+	}
+	entry := &classEntry{state: stateLoading}
+	ns.classes[name] = entry
+	ns.mu.Unlock()
+
+	fail := func(op string, err error) (*Class, error) {
+		ns.mu.Lock()
+		delete(ns.classes, name)
+		ns.mu.Unlock()
+		if le, ok := err.(*LinkError); ok {
+			return nil, le
+		}
+		return nil, &LinkError{Class: name, Op: op, Err: err}
+	}
+
+	c := &Class{Def: def, Name: name, NS: ns}
+	if def.Super == "" {
+		if name != ClassObject {
+			return fail("hierarchy", fmt.Errorf("only %s may omit a superclass", ClassObject))
+		}
+	} else {
+		super, err := ns.Resolve(def.Super)
+		if err != nil {
+			return fail("hierarchy", err)
+		}
+		if super.IsInterface() || super.IsArray() {
+			return fail("hierarchy", fmt.Errorf("superclass %s is not a class", super.Name))
+		}
+		c.Super = super
+	}
+	for _, in := range def.Interfaces {
+		ic, err := ns.Resolve(in)
+		if err != nil {
+			return fail("hierarchy", err)
+		}
+		if !ic.IsInterface() {
+			return fail("hierarchy", fmt.Errorf("%s is not an interface", in))
+		}
+		c.Interfaces = append(c.Interfaces, ic)
+	}
+	if err := linkFieldsAndMethods(c); err != nil {
+		return fail("link", err)
+	}
+
+	ns.mu.Lock()
+	entry.class = c
+	entry.state = stateLinking
+	ns.mu.Unlock()
+
+	// Phase 2: resolve code references (may recursively load), then verify.
+	if err := resolveCode(c); err != nil {
+		return fail("link", err)
+	}
+	if err := verifyClass(c); err != nil {
+		return fail("verify", err)
+	}
+
+	ns.mu.Lock()
+	entry.state = stateReady
+	ns.mu.Unlock()
+	if ch := ns.VM.Charge; ch != nil {
+		ch(ns.OwnerID, ChargeClass, int64(len(def.Methods))*64+int64(len(def.Fields))*16+256)
+	}
+	return c, nil
+}
+
+// linkFieldsAndMethods assigns field slots, flattens the vtable, binds
+// native methods, and validates basic structure.
+func linkFieldsAndMethods(c *Class) error {
+	def := c.Def
+	c.fields = make(map[string]*Field, len(def.Fields))
+	base := 0
+	if c.Super != nil {
+		base = c.Super.numSlots
+	}
+	nextSlot := base
+	nextStatic := 0
+	for i := range def.Fields {
+		fd := def.Fields[i]
+		if _, dup := c.fields[fd.Name]; dup {
+			return fmt.Errorf("duplicate field %s", fd.Name)
+		}
+		if _, n, err := parseOneDesc(fd.Desc); err != nil || n != len(fd.Desc) {
+			return fmt.Errorf("field %s: bad descriptor %q", fd.Name, fd.Desc)
+		}
+		f := &Field{FieldDef: fd, Owner: c}
+		if fd.Static {
+			f.Slot = nextStatic
+			nextStatic++
+		} else {
+			if c.IsInterface() {
+				return fmt.Errorf("interface %s declares instance field %s", c.Name, fd.Name)
+			}
+			f.Slot = nextSlot
+			nextSlot++
+		}
+		c.fields[fd.Name] = f
+	}
+	c.numSlots = nextSlot
+	c.Statics = make([]Value, nextStatic)
+	for _, f := range c.fields {
+		if f.Static {
+			c.Statics[f.Slot] = zeroValue(f.Desc)
+		}
+	}
+	c.zeroFields = make([]Value, nextSlot)
+	for k := c; k != nil; k = k.Super {
+		for _, f := range k.fields {
+			if !f.Static {
+				c.zeroFields[f.Slot] = zeroValue(f.Desc)
+			}
+		}
+	}
+
+	c.vtable = make(map[string]*Method)
+	if c.Super != nil {
+		for sig, m := range c.Super.vtable {
+			c.vtable[sig] = m
+		}
+		c.methods = append(c.methods, c.Super.methods...)
+	}
+	for i := range def.Methods {
+		md := def.Methods[i]
+		params, ret, err := ParseMethodDesc(md.Desc)
+		if err != nil {
+			return fmt.Errorf("method %s: %v", md.Name, err)
+		}
+		m := &Method{MethodDef: md, Owner: c, ret: ret}
+		m.nargs = len(params)
+		if md.Flags&MStatic == 0 {
+			m.nargs++
+		}
+		if md.Flags&MNative != 0 {
+			key := c.Name + "." + md.Name + ":" + md.Desc
+			fn := c.NS.VM.nativeFor(key)
+			if fn == nil {
+				return fmt.Errorf("unbound native method %s", key)
+			}
+			m.Native = fn
+		}
+		if c.IsInterface() && md.Flags&(MNative|MStatic) == 0 {
+			m.Flags |= MAbstract
+		}
+		if m.Flags&(MAbstract|MNative) == 0 && len(md.Code) == 0 {
+			return fmt.Errorf("method %s has no code", md.Name)
+		}
+		sig := m.Sig()
+		if prev, dup := c.vtable[sig]; dup && prev.Owner == c {
+			return fmt.Errorf("duplicate method %s", sig)
+		}
+		c.vtable[sig] = m
+		c.methods = append(c.methods, m)
+	}
+	return nil
+}
+
+// isArrayDesc reports whether name is an array descriptor rather than a
+// class name.
+func isArrayDesc(name string) bool { return len(name) > 0 && name[0] == '[' }
+
+// arrayClass returns (creating on demand) the array class for desc in this
+// namespace. Reference element classes resolve through the namespace.
+func (ns *Namespace) arrayClass(desc string) (*Class, error) {
+	ns.mu.Lock()
+	if e, ok := ns.classes[desc]; ok {
+		ns.mu.Unlock()
+		return e.class, nil
+	}
+	ns.mu.Unlock()
+
+	elem, n, err := parseOneDesc(desc[1:])
+	if err != nil || n != len(desc)-1 {
+		return nil, &LinkError{Class: desc, Op: "resolve", Err: fmt.Errorf("bad array descriptor")}
+	}
+	switch elem[0] {
+	case 'L':
+		if _, err := ns.Resolve(refName(elem)); err != nil {
+			return nil, err
+		}
+	case '[':
+		if _, err := ns.arrayClass(elem); err != nil {
+			return nil, err
+		}
+	}
+	super, err := ns.Resolve(ClassObject)
+	if err != nil {
+		return nil, err
+	}
+	c := &Class{
+		Name:   desc,
+		Super:  super,
+		NS:     ns,
+		elem:   elem,
+		vtable: map[string]*Method{},
+		fields: map[string]*Field{},
+	}
+	if super != nil {
+		c.vtable = super.vtable
+		c.methods = super.methods
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if e, ok := ns.classes[desc]; ok {
+		return e.class, nil
+	}
+	ns.classes[desc] = &classEntry{state: stateReady, class: c}
+	return c, nil
+}
+
+// InternString returns the namespace-interned String object for text.
+// Literal strings (SCONST) are interned; runtime strings are not.
+func (ns *Namespace) InternString(text string) (*Object, error) {
+	ns.mu.Lock()
+	if o, ok := ns.interns[text]; ok {
+		ns.mu.Unlock()
+		return o, nil
+	}
+	ns.mu.Unlock()
+	o, err := ns.NewString(text)
+	if err != nil {
+		return nil, err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if prev, ok := ns.interns[text]; ok {
+		return prev, nil
+	}
+	ns.interns[text] = o
+	return o, nil
+}
+
+// NewString allocates a fresh (non-interned) String object in this
+// namespace.
+func (ns *Namespace) NewString(text string) (*Object, error) {
+	sc, err := ns.Resolve(ClassString)
+	if err != nil {
+		return nil, err
+	}
+	return newStringOfClass(sc, text, ns.OwnerID), nil
+}
+
+func newStringOfClass(sc *Class, text string, owner int64) *Object {
+	arr := &Object{
+		Class: mustArrayClass(sc.NS, "[B"),
+		Bytes: []byte(text),
+		Owner: owner,
+	}
+	o := &Object{
+		Class:  sc,
+		Fields: make([]Value, sc.numSlots),
+		Owner:  owner,
+	}
+	o.Fields[sc.FieldByName("bytes").Slot] = RefVal(arr)
+	return o
+}
+
+func mustArrayClass(ns *Namespace, desc string) *Class {
+	c, err := ns.arrayClass(desc)
+	if err != nil {
+		panic(fmt.Sprintf("vmkit: array class %s: %v", desc, err))
+	}
+	return c
+}
+
+// StringText extracts the Go string from a jk/lang/String object. Returns
+// "" when o is not a string.
+func StringText(o *Object) string {
+	if o == nil || o.Class == nil || o.Class.Name != ClassString {
+		return ""
+	}
+	f := o.Class.FieldByName("bytes")
+	if f == nil {
+		return ""
+	}
+	arr := o.Fields[f.Slot].R
+	if arr == nil {
+		return ""
+	}
+	return string(arr.Bytes)
+}
+
+// NewInstance allocates a zeroed instance of c.
+func NewInstance(c *Class) (*Object, error) {
+	if c.IsInterface() || c.Def != nil && c.Def.Flags&FlagAbstract != 0 {
+		return nil, fmt.Errorf("vmkit: cannot instantiate %s", c.Name)
+	}
+	if c.IsArray() {
+		return nil, fmt.Errorf("vmkit: use NewArray for %s", c.Name)
+	}
+	o := &Object{Class: c, Fields: make([]Value, c.numSlots), Owner: c.NS.OwnerID}
+	copy(o.Fields, c.zeroFields)
+	if ch := c.NS.VM.Charge; ch != nil {
+		ch(c.NS.OwnerID, ChargeAlloc, int64(16+16*len(o.Fields)))
+	}
+	return o, nil
+}
+
+// AllFields returns every field including inherited ones (diagnostics and
+// serialization helpers).
+func (c *Class) AllFields() []*Field {
+	var out []*Field
+	for k := c; k != nil; k = k.Super {
+		for _, f := range k.fields {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// NewArray allocates an array of the given descriptor and length in ns.
+func (ns *Namespace) NewArray(desc string, length int) (*Object, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("vmkit: negative array size %d", length)
+	}
+	c, err := ns.arrayClass(desc)
+	if err != nil {
+		return nil, err
+	}
+	o := &Object{Class: c, Owner: ns.OwnerID}
+	var bytes int64
+	switch {
+	case desc == "[B":
+		o.Bytes = make([]byte, length)
+		bytes = int64(length)
+	case desc == "[I":
+		o.Ints = make([]int64, length)
+		bytes = int64(length) * 8
+	case desc == "[D":
+		o.Floats = make([]float64, length)
+		bytes = int64(length) * 8
+	default:
+		o.Refs = make([]*Object, length)
+		bytes = int64(length) * 8
+	}
+	if ch := ns.VM.Charge; ch != nil {
+		ch(ns.OwnerID, ChargeAlloc, 16+bytes)
+	}
+	return o, nil
+}

@@ -1,0 +1,60 @@
+package vmkit
+
+import "sync"
+
+// monitor implements per-object recursive locks (monitorenter/monitorexit
+// and synchronized methods). Owners are VM threads.
+type monitor struct {
+	mu    sync.Mutex
+	cv    *sync.Cond
+	owner *Thread
+	depth int
+}
+
+// Enter blocks until the calling thread owns the monitor.
+func (o *Object) monEnter(t *Thread) {
+	m := &o.mon
+	m.mu.Lock()
+	if m.cv == nil {
+		m.cv = sync.NewCond(&m.mu)
+	}
+	for m.owner != nil && m.owner != t {
+		m.cv.Wait()
+	}
+	m.owner = t
+	m.depth++
+	m.mu.Unlock()
+	if t.VM.Profile.HeavyLocks {
+		t.VM.lockStatRecord(o)
+	}
+}
+
+// monExit releases one level of the monitor. It returns false when the
+// calling thread does not own the monitor (IllegalMonitorState).
+func (o *Object) monExit(t *Thread) bool {
+	m := &o.mon
+	m.mu.Lock()
+	if m.owner != t || m.depth == 0 {
+		m.mu.Unlock()
+		return false
+	}
+	m.depth--
+	if m.depth == 0 {
+		m.owner = nil
+		if m.cv != nil {
+			m.cv.Signal()
+		}
+	}
+	m.mu.Unlock()
+	if t.VM.Profile.HeavyLocks {
+		t.VM.lockStatRecord(o)
+	}
+	return true
+}
+
+// MonitorOwner returns the owning thread for tests (nil when unlocked).
+func (o *Object) MonitorOwner() *Thread {
+	o.mon.mu.Lock()
+	defer o.mon.mu.Unlock()
+	return o.mon.owner
+}

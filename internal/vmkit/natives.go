@@ -1,0 +1,343 @@
+package vmkit
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// CapabilityOps is implemented by the J-Kernel layer: the bootstrap
+// jk/kernel/Capability natives delegate revocation and the generic gate
+// call to the kernel's gate table.
+type CapabilityOps interface {
+	Revoke(env *Env, stub *Object) *Object
+	IsRevoked(env *Env, stub *Object) (int64, *Object)
+	// Invoke0 performs a cross-domain call: method index idx on the stub's
+	// gate with boxed arguments. It returns the boxed result.
+	Invoke0(env *Env, stub *Object, idx int64, args *Object) (Value, *Object)
+}
+
+var hashCounter atomic.Int64
+
+// identityHash lazily assigns a stable identity hash to o.
+func identityHash(o *Object) int64 {
+	h := atomic.LoadInt64(&o.hash)
+	if h != 0 {
+		return h
+	}
+	n := hashCounter.Add(1)
+	if atomic.CompareAndSwapInt64(&o.hash, 0, n) {
+		return n
+	}
+	return atomic.LoadInt64(&o.hash)
+}
+
+func (vm *VM) npe(format string, args ...any) *Object {
+	return vm.Throwf(ClassNullPointerEx, format, args...)
+}
+
+// stringBytes returns the byte array backing a String (nil-safe).
+func stringBytes(s *Object) []byte {
+	if s == nil || s.Class == nil {
+		return nil
+	}
+	f := s.Class.FieldByName("bytes")
+	if f == nil {
+		return nil
+	}
+	arr := s.Fields[f.Slot].R
+	if arr == nil {
+		return nil
+	}
+	return arr.Bytes
+}
+
+// newStringIn allocates a String in env's namespace, converting any
+// allocation failure to a throwable.
+func newStringIn(env *Env, text string) (Value, *Object) {
+	s, err := env.NS.NewString(text)
+	if err != nil {
+		return Value{}, env.VM.Throwf(ClassError, "string alloc: %v", err)
+	}
+	return RefVal(s), nil
+}
+
+func registerBuiltinNatives(vm *VM) {
+	reg := vm.RegisterNative
+
+	// ---- jk/lang/Object ----
+	reg("jk/lang/Object.hashCode:()I", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		return IntVal(identityHash(recv)), nil
+	})
+	reg("jk/lang/Object.toString:()Ljk/lang/String;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		return newStringIn(env, fmt.Sprintf("%s@%d", recv.Class.Name, identityHash(recv)))
+	})
+
+	// ---- jk/lang/String ----
+	reg("jk/lang/String.length:()I", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		return IntVal(int64(len(stringBytes(recv)))), nil
+	})
+	reg("jk/lang/String.charAt:(I)I", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		b := stringBytes(recv)
+		i := args[0].I
+		if i < 0 || int(i) >= len(b) {
+			return Value{}, env.VM.Throwf(ClassIndexEx, "charAt(%d) of %d", i, len(b))
+		}
+		return IntVal(int64(b[i])), nil
+	})
+	reg("jk/lang/String.equals:(Ljk/lang/Object;)I", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		other := args[0].R
+		if other == nil || other.Class == nil || other.Class.Name != ClassString {
+			return IntVal(0), nil
+		}
+		if string(stringBytes(recv)) == string(stringBytes(other)) {
+			return IntVal(1), nil
+		}
+		return IntVal(0), nil
+	})
+	reg("jk/lang/String.hashCode:()I", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		var h int64
+		for _, b := range stringBytes(recv) {
+			h = h*31 + int64(b)
+		}
+		return IntVal(h), nil
+	})
+	reg("jk/lang/String.concat:(Ljk/lang/String;)Ljk/lang/String;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if args[0].R == nil {
+			return Value{}, env.VM.npe("concat(null)")
+		}
+		return newStringIn(env, string(stringBytes(recv))+string(stringBytes(args[0].R)))
+	})
+	reg("jk/lang/String.substring:(II)Ljk/lang/String;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		b := stringBytes(recv)
+		from, to := args[0].I, args[1].I
+		if from < 0 || to < from || int(to) > len(b) {
+			return Value{}, env.VM.Throwf(ClassIndexEx, "substring(%d,%d) of %d", from, to, len(b))
+		}
+		return newStringIn(env, string(b[from:to]))
+	})
+	reg("jk/lang/String.getBytes:()[B", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		// Returns a copy: String is immutable; handing out the internal
+		// array would be the exact hazard the paper warns about.
+		src := stringBytes(recv)
+		arr, err := env.NS.NewArray("[B", len(src))
+		if err != nil {
+			return Value{}, env.VM.Throwf(ClassError, "%v", err)
+		}
+		copy(arr.Bytes, src)
+		return RefVal(arr), nil
+	})
+	reg("jk/lang/String.indexOf:(I)I", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		b := stringBytes(recv)
+		c := byte(args[0].I)
+		for i := range b {
+			if b[i] == c {
+				return IntVal(int64(i)), nil
+			}
+		}
+		return IntVal(-1), nil
+	})
+	reg("jk/lang/String.toString:()Ljk/lang/String;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		return RefVal(recv), nil
+	})
+	reg("jk/lang/String.fromBytes:([B)Ljk/lang/String;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if args[0].R == nil {
+			return Value{}, env.VM.npe("fromBytes(null)")
+		}
+		return newStringIn(env, string(args[0].R.Bytes))
+	})
+	reg("jk/lang/String.valueOfInt:(I)Ljk/lang/String;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		return newStringIn(env, fmt.Sprintf("%d", args[0].I))
+	})
+
+	// ---- jk/lang/System (per-namespace output) ----
+	reg("jk/lang/System.println:(Ljk/lang/String;)V", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		w := env.NS.Output
+		if w == nil {
+			w = env.VM.Stdout
+		}
+		fmt.Fprintln(w, StringText(args[0].R))
+		return Value{}, nil
+	})
+	reg("jk/lang/System.printInt:(I)V", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		w := env.NS.Output
+		if w == nil {
+			w = env.VM.Stdout
+		}
+		fmt.Fprintln(w, args[0].I)
+		return Value{}, nil
+	})
+	reg("jk/lang/System.timeNanos:()I", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		return IntVal(time.Now().UnixNano()), nil
+	})
+
+	// ---- jk/lang/Thread (carrier semantics; the kernel interposes) ----
+	threadField := func(env *Env, obj *Object) (*Thread, *Object) {
+		f := obj.Class.FieldByName("id")
+		if f == nil {
+			return nil, env.VM.Throwf(ClassError, "thread object missing id")
+		}
+		t := env.VM.LookupThread(obj.Fields[f.Slot].I)
+		if t == nil {
+			return nil, env.VM.Throwf(ClassIllegalStateEx, "no such thread")
+		}
+		return t, nil
+	}
+	reg("jk/lang/Thread.currentThread:()Ljk/lang/Thread;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if ops := env.NS.ThreadOps; ops != nil {
+			o, th := ops.Current(env)
+			if th != nil {
+				return Value{}, th
+			}
+			return RefVal(o), nil
+		}
+		tc, err := env.NS.Resolve(ClassThread)
+		if err != nil {
+			return Value{}, env.VM.Throwf(ClassError, "%v", err)
+		}
+		o, ierr := NewInstance(tc)
+		if ierr != nil {
+			return Value{}, env.VM.Throwf(ClassError, "%v", ierr)
+		}
+		o.Fields[tc.FieldByName("id").Slot] = IntVal(env.Thread.ID)
+		return RefVal(o), nil
+	})
+	reg("jk/lang/Thread.stop:()V", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if ops := env.NS.ThreadOps; ops != nil {
+			return Value{}, ops.Stop(env, recv)
+		}
+		t, th := threadField(env, recv)
+		if th != nil {
+			return Value{}, th
+		}
+		t.Stop(env.VM.Throwf(ClassThreadDeath, "stopped"))
+		return Value{}, nil
+	})
+	reg("jk/lang/Thread.suspend:()V", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if ops := env.NS.ThreadOps; ops != nil {
+			return Value{}, ops.Suspend(env, recv)
+		}
+		t, th := threadField(env, recv)
+		if th != nil {
+			return Value{}, th
+		}
+		t.Suspend()
+		return Value{}, nil
+	})
+	reg("jk/lang/Thread.resume:()V", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if ops := env.NS.ThreadOps; ops != nil {
+			return Value{}, ops.Resume(env, recv)
+		}
+		t, th := threadField(env, recv)
+		if th != nil {
+			return Value{}, th
+		}
+		t.Resume()
+		return Value{}, nil
+	})
+	reg("jk/lang/Thread.setPriority:(I)V", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if ops := env.NS.ThreadOps; ops != nil {
+			return Value{}, ops.SetPriority(env, recv, args[0].I)
+		}
+		t, th := threadField(env, recv)
+		if th != nil {
+			return Value{}, th
+		}
+		t.SetPriority(args[0].I)
+		return Value{}, nil
+	})
+	reg("jk/lang/Thread.getPriority:()I", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if ops := env.NS.ThreadOps; ops != nil {
+			p, th := ops.GetPriority(env, recv)
+			if th != nil {
+				return Value{}, th
+			}
+			return IntVal(p), nil
+		}
+		t, th := threadField(env, recv)
+		if th != nil {
+			return Value{}, th
+		}
+		return IntVal(t.Priority()), nil
+	})
+	reg("jk/lang/Thread.yield:()V", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		runtime.Gosched()
+		return Value{}, nil
+	})
+
+	// ---- jk/kernel/Capability ----
+	reg("jk/kernel/Capability.revoke:()V", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if env.VM.CapOps == nil {
+			return Value{}, env.VM.Throwf(ClassIllegalStateEx, "no kernel loaded")
+		}
+		return Value{}, env.VM.CapOps.Revoke(env, recv)
+	})
+	reg("jk/kernel/Capability.isRevoked:()I", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if env.VM.CapOps == nil {
+			return Value{}, env.VM.Throwf(ClassIllegalStateEx, "no kernel loaded")
+		}
+		v, th := env.VM.CapOps.IsRevoked(env, recv)
+		if th != nil {
+			return Value{}, th
+		}
+		return IntVal(v), nil
+	})
+	reg("jk/kernel/Capability.invoke0:(I[Ljk/lang/Object;)Ljk/lang/Object;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if env.VM.CapOps == nil {
+			return Value{}, env.VM.Throwf(ClassIllegalStateEx, "no kernel loaded")
+		}
+		return env.VM.CapOps.Invoke0(env, recv, args[0].I, args[1].R)
+	})
+
+	// ---- jk/lang/StringBuilder ----
+	sbFields := func(recv *Object) (bufF, lenF *Field) {
+		return recv.Class.FieldByName("buf"), recv.Class.FieldByName("len")
+	}
+	sbAppend := func(env *Env, recv *Object, data []byte) *Object {
+		bufF, lenF := sbFields(recv)
+		buf := recv.Fields[bufF.Slot].R
+		n := recv.Fields[lenF.Slot].I
+		if buf == nil {
+			arr, err := env.NS.NewArray("[B", 16+len(data))
+			if err != nil {
+				return env.VM.Throwf(ClassError, "%v", err)
+			}
+			buf = arr
+			recv.Fields[bufF.Slot] = RefVal(buf)
+		}
+		if int(n)+len(data) > len(buf.Bytes) {
+			arr, err := env.NS.NewArray("[B", 2*(int(n)+len(data)))
+			if err != nil {
+				return env.VM.Throwf(ClassError, "%v", err)
+			}
+			copy(arr.Bytes, buf.Bytes[:n])
+			buf = arr
+			recv.Fields[bufF.Slot] = RefVal(buf)
+		}
+		copy(buf.Bytes[n:], data)
+		recv.Fields[lenF.Slot] = IntVal(n + int64(len(data)))
+		return nil
+	}
+	reg("jk/lang/StringBuilder.appendStr:(Ljk/lang/String;)Ljk/lang/StringBuilder;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if th := sbAppend(env, recv, stringBytes(args[0].R)); th != nil {
+			return Value{}, th
+		}
+		return RefVal(recv), nil
+	})
+	reg("jk/lang/StringBuilder.appendInt:(I)Ljk/lang/StringBuilder;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		if th := sbAppend(env, recv, []byte(fmt.Sprintf("%d", args[0].I))); th != nil {
+			return Value{}, th
+		}
+		return RefVal(recv), nil
+	})
+	reg("jk/lang/StringBuilder.toString:()Ljk/lang/String;", func(env *Env, recv *Object, args []Value) (Value, *Object) {
+		bufF, lenF := sbFields(recv)
+		buf := recv.Fields[bufF.Slot].R
+		n := recv.Fields[lenF.Slot].I
+		if buf == nil {
+			return newStringIn(env, "")
+		}
+		return newStringIn(env, string(buf.Bytes[:n]))
+	})
+}

@@ -1,0 +1,178 @@
+package vmkit
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Thread is a VM thread: the unit that executes bytecode. It is carried by
+// whatever goroutine invokes the interpreter. The J-Kernel layer divides
+// each Thread into segments (one per side of a cross-domain call) and
+// interposes the jk/lang/Thread class so bytecode can only act on segments,
+// never on the carrier; see internal/threads.
+type Thread struct {
+	ID   int64
+	VM   *VM
+	Name string
+
+	priority atomic.Int64
+
+	// stop holds a throwable to be thrown at the next safepoint (the
+	// Thread.stop mechanism). The segment layer decides whether a stop
+	// applies to the current segment.
+	stop atomic.Pointer[Object]
+
+	// suspended parks the thread at the next safepoint until resumed.
+	suspendMu sync.Mutex
+	suspendCV *sync.Cond
+	suspended bool
+
+	// steps counts executed instructions since the last accounting flush.
+	steps int64
+
+	// callDepth tracks interpreter recursion against maxCallDepth.
+	callDepth int
+
+	// DomainID is the id of the domain currently executing (for charge
+	// attribution); maintained by the segment layer across LRMI.
+	DomainID int64
+
+	// Data is reserved for the J-Kernel layer (segment chain).
+	Data any
+
+	// SafepointHook, when non-nil, runs at interpreter safepoints and may
+	// return a throwable to inject (used for domain termination).
+	SafepointHook func(t *Thread) *Object
+}
+
+// NewThread registers a new VM thread. The caller's goroutine becomes the
+// carrier; Detach must be called when done so lookup tables do not grow.
+func (vm *VM) NewThread(name string) *Thread {
+	t := &Thread{
+		ID:   vm.nextThread.Add(1),
+		VM:   vm,
+		Name: name,
+	}
+	t.priority.Store(5)
+	t.suspendCV = sync.NewCond(&t.suspendMu)
+	vm.threadsMu.Lock()
+	vm.threads[t.ID] = t
+	vm.threadsAux[t.ID] = t.ID
+	vm.threadsMu.Unlock()
+	return t
+}
+
+// Detach unregisters the thread.
+func (vm *VM) Detach(t *Thread) {
+	vm.threadsMu.Lock()
+	delete(vm.threads, t.ID)
+	delete(vm.threadsAux, t.ID)
+	vm.threadsMu.Unlock()
+}
+
+// LookupThread performs the "thread info lookup" of Table 1: a registry
+// lookup by id. With HeavyThreadLookup the query goes through a second
+// indirection, modelling the costlier JVM path.
+func (vm *VM) LookupThread(id int64) *Thread {
+	vm.threadsMu.RLock()
+	defer vm.threadsMu.RUnlock()
+	if vm.Profile.HeavyThreadLookup {
+		aux, ok := vm.threadsAux[id]
+		if !ok {
+			return nil
+		}
+		id = aux
+	}
+	return vm.threads[id]
+}
+
+// Priority returns the thread priority (1..10, default 5).
+func (t *Thread) Priority() int64 { return t.priority.Load() }
+
+// SetPriority sets the thread priority. The interpreter treats priority as
+// advisory, as most 1990s JVMs did.
+func (t *Thread) SetPriority(p int64) {
+	if p < 1 {
+		p = 1
+	}
+	if p > 10 {
+		p = 10
+	}
+	t.priority.Store(p)
+}
+
+// Stop schedules throwable to be thrown in this thread at its next
+// safepoint (the Java Thread.stop model).
+func (t *Thread) Stop(throwable *Object) {
+	t.stop.Store(throwable)
+	// A suspended thread must wake to observe the stop.
+	t.suspendMu.Lock()
+	t.suspendCV.Broadcast()
+	t.suspendMu.Unlock()
+}
+
+// Suspend parks the thread at its next safepoint until Resume.
+func (t *Thread) Suspend() {
+	t.suspendMu.Lock()
+	t.suspended = true
+	t.suspendMu.Unlock()
+}
+
+// Resume releases a suspended thread.
+func (t *Thread) Resume() {
+	t.suspendMu.Lock()
+	t.suspended = false
+	t.suspendCV.Broadcast()
+	t.suspendMu.Unlock()
+}
+
+// Suspended reports whether the thread is marked suspended.
+func (t *Thread) Suspended() bool {
+	t.suspendMu.Lock()
+	defer t.suspendMu.Unlock()
+	return t.suspended
+}
+
+// safepoint is called by the interpreter at method entry and backward
+// branches. It returns a throwable to raise, or nil.
+func (t *Thread) safepoint() *Object {
+	if th := t.stop.Swap(nil); th != nil {
+		return th
+	}
+	t.suspendMu.Lock()
+	for t.suspended {
+		if th := t.stop.Swap(nil); th != nil {
+			t.suspendMu.Unlock()
+			return th
+		}
+		t.suspendCV.Wait()
+	}
+	t.suspendMu.Unlock()
+	if t.SafepointHook != nil {
+		if th := t.SafepointHook(t); th != nil {
+			return th
+		}
+	}
+	return nil
+}
+
+// FlushAccounting reports any buffered interpreter-step charges to the
+// accounting hook; LRMI gates call it at domain-switch boundaries so steps
+// land on the right domain.
+func (t *Thread) FlushAccounting() { t.flushSteps() }
+
+// flushSteps reports accumulated interpreter steps to the accounting hook.
+func (t *Thread) flushSteps() {
+	if t.steps == 0 {
+		return
+	}
+	if ch := t.VM.Charge; ch != nil {
+		ch(t.DomainID, ChargeSteps, t.steps)
+	}
+	t.steps = 0
+}
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread[%d %s]", t.ID, t.Name)
+}

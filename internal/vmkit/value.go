@@ -1,0 +1,158 @@
+// Package vmkit implements a small typed stack virtual machine: a binary
+// class format, a textual assembler, a bytecode verifier, a linker with
+// per-namespace class resolution, and an interpreter with monitors and
+// safepoints.
+//
+// vmkit is the substrate the J-Kernel core builds on. It stands in for the
+// Java virtual machine of the paper "Implementing Multiple Protection
+// Domains in Java" (Hawblitzel et al., USENIX 1998): protection comes from
+// the type system and controlled linking, not from hardware. Domains load
+// bytecode through resolvers into private namespaces, the verifier rejects
+// ill-typed code, and the J-Kernel generates stub classes at run time for
+// cross-domain calls.
+package vmkit
+
+import "fmt"
+
+// Kind discriminates the runtime value union.
+type Kind uint8
+
+// Value kinds. The VM has two primitive kinds (64-bit integers and 64-bit
+// floats) plus references. Booleans, bytes and chars are represented as
+// integers, as in the JVM.
+const (
+	KInvalid Kind = iota
+	KInt
+	KFloat
+	KRef // object, array, or string reference; R==nil means null
+)
+
+// Value is a single operand-stack or local-variable slot.
+// The zero Value is an invalid slot; Null() is the null reference.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	R *Object
+}
+
+// IntVal returns an integer value.
+func IntVal(i int64) Value { return Value{K: KInt, I: i} }
+
+// FloatVal returns a float value.
+func FloatVal(f float64) Value { return Value{K: KFloat, F: f} }
+
+// RefVal returns a reference value (obj may be nil for null).
+func RefVal(obj *Object) Value { return Value{K: KRef, R: obj} }
+
+// Null returns the null reference value.
+func Null() Value { return Value{K: KRef} }
+
+// IsNull reports whether v is the null reference.
+func (v Value) IsNull() bool { return v.K == KRef && v.R == nil }
+
+// String renders a value for diagnostics.
+func (v Value) String() string {
+	switch v.K {
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KRef:
+		if v.R == nil {
+			return "null"
+		}
+		return v.R.String()
+	default:
+		return "<invalid>"
+	}
+}
+
+// Object is a heap cell: a class instance or an array. Exactly one of the
+// payload fields is used, selected by the object's class:
+//
+//   - instances: Class points at a non-array class and Fields holds one slot
+//     per instance field (indexed by Field.Slot);
+//   - arrays: Class is an array class ("[B", "[I", "[D", "[L...;") and one of
+//     Bytes/Ints/Floats/Refs is non-nil.
+//
+// The monitor word (mon) implements synchronized blocks; see monitor.go.
+type Object struct {
+	Class  *Class
+	Fields []Value
+
+	Bytes  []byte
+	Ints   []int64
+	Floats []float64
+	Refs   []*Object
+
+	// Owner is the id of the domain whose account was charged for this
+	// allocation. Zero means "system" (allocated outside any domain).
+	Owner int64
+
+	// hash is the lazily assigned identity hash (see identityHash).
+	hash int64
+
+	mon monitor
+}
+
+// Len returns the array length, or -1 if o is not an array.
+func (o *Object) Len() int {
+	switch {
+	case o.Bytes != nil:
+		return len(o.Bytes)
+	case o.Ints != nil:
+		return len(o.Ints)
+	case o.Floats != nil:
+		return len(o.Floats)
+	case o.Refs != nil:
+		return len(o.Refs)
+	}
+	if o.Class != nil && o.Class.IsArray() {
+		return 0
+	}
+	return -1
+}
+
+// String renders the object for diagnostics (class name and identity-free).
+func (o *Object) String() string {
+	if o == nil {
+		return "null"
+	}
+	if o.Class == nil {
+		return "<classless>"
+	}
+	if o.Class.Name == ClassString {
+		return fmt.Sprintf("%q", StringText(o))
+	}
+	return fmt.Sprintf("<%s>", o.Class.Name)
+}
+
+// descKind maps a field/param descriptor to the Kind of the value stored.
+func descKind(desc string) Kind {
+	if desc == "" {
+		return KInvalid
+	}
+	switch desc[0] {
+	case 'I', 'Z', 'B', 'C':
+		return KInt
+	case 'D':
+		return KFloat
+	case 'L', '[':
+		return KRef
+	default:
+		return KInvalid
+	}
+}
+
+// zeroValue returns the zero value for a field of the given descriptor.
+func zeroValue(desc string) Value {
+	switch descKind(desc) {
+	case KInt:
+		return IntVal(0)
+	case KFloat:
+		return FloatVal(0)
+	default:
+		return Null()
+	}
+}

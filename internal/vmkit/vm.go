@@ -1,0 +1,274 @@
+package vmkit
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Profile selects a VM cost structure. The paper measured two commercial
+// JVMs whose overheads decomposed differently (Table 1): MS-VM had
+// expensive interface dispatch and cheap locks, Sun-VM the reverse. The two
+// profiles reproduce those shapes on one interpreter.
+type Profile struct {
+	Name string
+	// LinearIfaceDispatch makes invokeinterface scan the receiver class's
+	// flattened method list on every call instead of using the vtable map.
+	LinearIfaceDispatch bool
+	// HeavyLocks adds ownership bookkeeping and contention statistics to
+	// every monitor operation.
+	HeavyLocks bool
+	// HeavyThreadLookup routes current-thread lookups through a second
+	// indirection table.
+	HeavyThreadLookup bool
+}
+
+// ProfileA models the MS-VM cost shape: slow interface dispatch, cheap
+// locks.
+var ProfileA = Profile{Name: "vm-A", LinearIfaceDispatch: true}
+
+// ProfileB models the Sun-VM cost shape: fast interface dispatch, heavy
+// locks.
+var ProfileB = Profile{Name: "vm-B", HeavyLocks: true, HeavyThreadLookup: true}
+
+// ChargeKind classifies resource charges reported to the accounting hook.
+type ChargeKind uint8
+
+const (
+	// ChargeAlloc is heap allocation, in approximate bytes.
+	ChargeAlloc ChargeKind = iota
+	// ChargeSteps is interpreter work, in executed instructions.
+	ChargeSteps
+	// ChargeCopy is LRMI argument copying, in bytes.
+	ChargeCopy
+	// ChargeClass is class metadata, in approximate bytes.
+	ChargeClass
+)
+
+// VM is one virtual machine instance: bootstrap classes, native methods,
+// threads, and a cost profile. The J-Kernel's Kernel wraps exactly one VM,
+// mirroring "multiple protection domains within a single JVM".
+type VM struct {
+	Profile Profile
+
+	// Charge, when set, receives resource charges (owner is a domain id,
+	// 0 = system). Set by the accounting layer before classes load.
+	Charge func(owner int64, kind ChargeKind, amount int64)
+
+	// CapOps is set by the J-Kernel layer to back the jk/kernel/Capability
+	// natives with its gate table.
+	CapOps CapabilityOps
+
+	// Stdout receives output from the per-domain System.println native when
+	// the namespace has no domain-specific writer bound.
+	Stdout io.Writer
+
+	nativesMu sync.RWMutex
+	natives   map[string]NativeFunc
+
+	boot *Namespace
+
+	threadsMu sync.RWMutex
+	threads   map[int64]*Thread
+	// threadsAux is the second indirection used by HeavyThreadLookup.
+	threadsAux map[int64]int64
+	nextThread atomic.Int64
+
+	lockStatsMu sync.Mutex
+	lockStats   map[*Object]int64
+	// lockProxy stands in for non-monitor lock pairs (segment switches)
+	// under the HeavyLocks profile.
+	lockProxy Object
+
+	// ifaceRegMu serializes ProfileA's interface dispatch, which performs
+	// an uncached search of the receiver's method list under a VM-global
+	// lock on every invokeinterface — the cost structure Table 1 measured
+	// on MS-VM, where interface calls went through a shared, synchronized
+	// interface-method table instead of per-class itables.
+	ifaceRegMu sync.Mutex
+	ifaceSink  string
+}
+
+// ifaceDispatchSlow resolves an interface method the ProfileA way.
+func (vm *VM) ifaceDispatchSlow(recv *Class, name, desc string) *Method {
+	key := recv.Name + "|" + name + ":" + desc
+	vm.ifaceRegMu.Lock()
+	defer vm.ifaceRegMu.Unlock()
+	vm.ifaceSink = key // the key build is part of the measured cost
+	var found *Method
+	for _, cand := range recv.methods {
+		if cand.Name == name && cand.Desc == desc {
+			found = cand
+		}
+	}
+	return found
+}
+
+// New creates a VM with the given profile and defines the bootstrap
+// classes.
+func New(p Profile) (*VM, error) {
+	vm := &VM{
+		Profile:    p,
+		natives:    make(map[string]NativeFunc),
+		threads:    make(map[int64]*Thread),
+		threadsAux: make(map[int64]int64),
+		lockStats:  make(map[*Object]int64),
+		Stdout:     io.Discard,
+	}
+	registerBuiltinNatives(vm)
+	boot := vm.NewNamespace("bootstrap", nil)
+	vm.boot = boot
+	if err := defineBootstrap(boot); err != nil {
+		return nil, fmt.Errorf("vmkit: bootstrap: %w", err)
+	}
+	return vm, nil
+}
+
+// MustNew is New that panics on error (bootstrap classes are compiled in,
+// so failure is a programming error).
+func MustNew(p Profile) *VM {
+	vm, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return vm
+}
+
+// Bootstrap returns the namespace holding the system classes.
+func (vm *VM) Bootstrap() *Namespace { return vm.boot }
+
+// BootResolver returns a resolver that shares the VM's bootstrap classes.
+// Domain resolvers typically chain to it for system names (minus the
+// interposed ones) and add their own local classes.
+func (vm *VM) BootResolver() ResolverFunc {
+	return func(name string) (*Resolution, error) {
+		if c := vm.boot.Lookup(name); c != nil {
+			return &Resolution{Shared: c}, nil
+		}
+		return nil, nil
+	}
+}
+
+// MapResolver resolves from a map of class bytes, falling back to next.
+func MapResolver(classes map[string][]byte, next ResolverFunc) ResolverFunc {
+	return func(name string) (*Resolution, error) {
+		if b, ok := classes[name]; ok {
+			return &Resolution{Bytes: b}, nil
+		}
+		if next != nil {
+			return next(name)
+		}
+		return nil, nil
+	}
+}
+
+// SystemClass returns a bootstrap class by name, or nil.
+func (vm *VM) SystemClass(name string) *Class { return vm.boot.Lookup(name) }
+
+// RegisterNative binds a Go function to "Class.method:(desc)ret". It must
+// be called before any class declaring that native method links.
+func (vm *VM) RegisterNative(key string, fn NativeFunc) {
+	vm.nativesMu.Lock()
+	defer vm.nativesMu.Unlock()
+	vm.natives[key] = fn
+}
+
+func (vm *VM) nativeFor(key string) NativeFunc {
+	vm.nativesMu.RLock()
+	defer vm.nativesMu.RUnlock()
+	return vm.natives[key]
+}
+
+// NativeFunc implements a native method. recv is nil for static methods.
+// A non-nil second result is a thrown VM throwable that unwinds the caller.
+type NativeFunc func(env *Env, recv *Object, args []Value) (Value, *Object)
+
+// Env is the context handed to native methods.
+type Env struct {
+	VM     *VM
+	NS     *Namespace // namespace of the declaring class
+	Thread *Thread
+}
+
+// Throwf builds a VM throwable of the given class with a formatted message.
+// The class is resolved in the bootstrap namespace; every namespace shares
+// the bootstrap throwable hierarchy.
+func (vm *VM) Throwf(class, format string, args ...any) *Object {
+	c := vm.boot.Lookup(class)
+	if c == nil {
+		// Fall back to the root error type; never returns nil.
+		c = vm.boot.Lookup(ClassError)
+		if c == nil {
+			panic("vmkit: bootstrap throwables missing")
+		}
+	}
+	o := &Object{Class: c, Fields: make([]Value, c.numSlots)}
+	msg := fmt.Sprintf(format, args...)
+	if f := c.FieldByName("message"); f != nil {
+		s, err := vm.boot.NewString(msg)
+		if err == nil {
+			o.Fields[f.Slot] = RefVal(s)
+		}
+	}
+	for i := range o.Fields {
+		if o.Fields[i].K == KInvalid {
+			o.Fields[i] = Null()
+		}
+	}
+	return o
+}
+
+// ThrowableMessage extracts the message string of a throwable ("" if none).
+func ThrowableMessage(t *Object) string {
+	if t == nil || t.Class == nil {
+		return ""
+	}
+	f := t.Class.FieldByName("message")
+	if f == nil {
+		return ""
+	}
+	return StringText(t.Fields[f.Slot].R)
+}
+
+// ThrownError adapts a VM throwable into a Go error for API boundaries.
+type ThrownError struct {
+	Throwable *Object
+}
+
+func (e *ThrownError) Error() string {
+	if e.Throwable == nil {
+		return "vm: unknown throwable"
+	}
+	msg := ThrowableMessage(e.Throwable)
+	if msg == "" {
+		return fmt.Sprintf("vm: %s", e.Throwable.Class.Name)
+	}
+	return fmt.Sprintf("vm: %s: %s", e.Throwable.Class.Name, msg)
+}
+
+// lockStatRecord implements the HeavyLocks profile bookkeeping: a real
+// shared-table update per monitor operation, like the lock inflation and
+// contention tracking in heavyweight JVM monitors.
+func (vm *VM) lockStatRecord(o *Object) {
+	vm.lockStatsMu.Lock()
+	vm.lockStats[o]++
+	if len(vm.lockStats) > 1<<12 {
+		clear(vm.lockStats)
+	}
+	vm.lockStatsMu.Unlock()
+}
+
+// RecordHeavyLock lets other layers (the LRMI segment switch) charge the
+// HeavyLocks profile's synchronization bookkeeping to their own lock
+// pairs: on Sun-VM the two lock acquire/release pairs per cross-domain
+// call were a dominant cost (Table 1). No-op on light-lock profiles.
+func (vm *VM) RecordHeavyLock(o *Object) {
+	if !vm.Profile.HeavyLocks {
+		return
+	}
+	if o == nil {
+		o = &vm.lockProxy
+	}
+	vm.lockStatRecord(o)
+}

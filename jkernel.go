@@ -1,0 +1,112 @@
+// Package jkernel is a Go implementation of the J-Kernel, the
+// capability-based protection system of Hawblitzel, Chang, Czajkowski, Hu,
+// and von Eicken, "Implementing Multiple Protection Domains in Java"
+// (USENIX Annual Technical Conference, 1998).
+//
+// A Kernel hosts multiple protection domains inside one process (the
+// paper's "single JVM"). Protection is language-based: domains own
+// separate class namespaces on a built-in typed VM (see the vm
+// subdirectory facade), communicate only through revocable capabilities,
+// and cross-domain calls copy every non-capability argument. The package
+// also exposes the native path, where domains host plain Go objects behind
+// the same capability discipline.
+//
+// Quick start:
+//
+//	k := jkernel.New(jkernel.Options{})
+//	server, _ := k.NewDomain(jkernel.DomainConfig{Name: "server"})
+//	client, _ := k.NewDomain(jkernel.DomainConfig{Name: "client"})
+//
+//	cap, _ := k.CreateNativeCapability(server, &MyService{})
+//	k.Repository().Bind("svc", cap)
+//
+//	task := k.NewTask(client, "main")
+//	defer task.Close()
+//	res, err := cap.Invoke("Greet", "world")
+//
+// See the examples directory for complete programs, including VM-hosted
+// domains that load verified bytecode, the revocable file-system service
+// of the paper's §2, and the extensible web server of §4.
+package jkernel
+
+import (
+	"jkernel/internal/account"
+	"jkernel/internal/core"
+	"jkernel/internal/vmkit"
+)
+
+// Core types, re-exported from the implementation. The aliases keep one
+// canonical type identity across the public and internal layers.
+type (
+	// Kernel is one J-Kernel instance: a VM plus its protection domains.
+	Kernel = core.Kernel
+	// Options configures New.
+	Options = core.Options
+	// Domain is a protection domain.
+	Domain = core.Domain
+	// DomainConfig describes a new domain.
+	DomainConfig = core.DomainConfig
+	// Capability is the revocable handle on a remote object.
+	Capability = core.Capability
+	// SharedClass is an exported group of classes.
+	SharedClass = core.SharedClass
+	// Repository is the system-wide capability name service.
+	Repository = core.Repository
+	// Task binds a goroutine to a domain for making calls.
+	Task = core.Task
+	// RemoteError is a copied callee failure.
+	RemoteError = core.RemoteError
+	// Stats is a domain's resource-accounting snapshot.
+	Stats = account.Stats
+	// Profile selects the VM cost profile.
+	Profile = vmkit.Profile
+)
+
+// Sentinel errors.
+var (
+	// ErrRevoked reports use of a revoked capability.
+	ErrRevoked = core.ErrRevoked
+	// ErrDomainTerminated reports a call into or out of a dead domain.
+	ErrDomainTerminated = core.ErrDomainTerminated
+	// ErrNotRemote reports a capability target with no remote surface.
+	ErrNotRemote = core.ErrNotRemote
+	// ErrNoSuchMethod reports an unknown remote method name.
+	ErrNoSuchMethod = core.ErrNoSuchMethod
+	// ErrNotEntered reports a call from a goroutine without a Task.
+	ErrNotEntered = core.ErrNotEntered
+)
+
+// VM cost profiles (Table 1 models two commercial JVMs).
+var (
+	// ProfileA models MS-VM: slow interface dispatch, cheap locks.
+	ProfileA = vmkit.ProfileA
+	// ProfileB models Sun-VM: fast interface dispatch, heavy locks.
+	ProfileB = vmkit.ProfileB
+)
+
+// New creates a kernel. It panics only on internal bootstrap corruption;
+// user-level failures surface from domain and capability constructors.
+func New(opts Options) *Kernel {
+	return core.MustNew(opts)
+}
+
+// NewKernel creates a kernel, reporting bootstrap errors.
+func NewKernel(opts Options) (*Kernel, error) {
+	return core.New(opts)
+}
+
+// Assemble compiles VM assembly source into binary class-file bytes,
+// loadable through DomainConfig.Classes or Domain.DefineClass.
+func Assemble(src string) ([]byte, error) {
+	return vmkit.AssembleBytes(src)
+}
+
+// MustAssemble is Assemble that panics on error (for class sources
+// compiled into the program).
+func MustAssemble(src string) []byte {
+	b, err := vmkit.AssembleBytes(src)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

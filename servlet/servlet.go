@@ -1,0 +1,43 @@
+// Package servlet is the public facade over the extensible web server of
+// the paper's §4: a net/http front server hosting a bridge that forwards
+// requests through LRMI into servlet protection domains. Servlets are
+// either native Go objects or uploaded VM bytecode; either way each runs
+// in its own domain, can be terminated and hot-replaced, and cannot crash
+// its siblings or the server.
+package servlet
+
+import (
+	"jkernel/internal/core"
+	"jkernel/internal/httpd"
+)
+
+// Re-exported servlet API types.
+type (
+	// Request is the servlet-visible request (crosses domains by copy).
+	Request = httpd.Request
+	// Response is the servlet reply (crosses domains by copy).
+	Response = httpd.Response
+	// Servlet is the native servlet interface.
+	Servlet = httpd.Servlet
+	// Bridge connects a front server to servlet domains.
+	Bridge = httpd.Bridge
+	// Router maps URL prefixes to servlets.
+	Router = httpd.Router
+	// JWS is the all-interpreted baseline server.
+	JWS = httpd.JWS
+)
+
+// NewBridge wires a bridge into a kernel.
+func NewBridge(k *core.Kernel) (*Bridge, error) { return httpd.NewBridge(k) }
+
+// NewJWS builds the all-interpreted server serving doc.
+func NewJWS(k *core.Kernel, doc []byte) (*JWS, error) { return httpd.NewJWS(k, doc) }
+
+// EncodeBundle packs class files for upload.
+func EncodeBundle(bundle map[string][]byte) []byte { return httpd.EncodeBundle(bundle) }
+
+// DecodeBundle unpacks an uploaded class bundle.
+func DecodeBundle(raw []byte) (map[string][]byte, error) { return httpd.DecodeBundle(raw) }
+
+// RegisterTypes registers the servlet types for cross-domain copying.
+func RegisterTypes(k *core.Kernel) { httpd.RegisterTypes(k) }

@@ -1,0 +1,45 @@
+// Package toolchain is the public facade over the CS314 course toolchain:
+// the compiler, assembler, and linker components the paper's motivating
+// servlets provided, plus an emulator for the C3 ISA they target.
+package toolchain
+
+import (
+	"jkernel/internal/cs314"
+	"jkernel/internal/httpd"
+)
+
+// Re-exported toolchain types.
+type (
+	// Object is a relocatable object file.
+	Object = cs314.Object
+	// Executable is a linked program image.
+	Executable = cs314.Executable
+	// Emulator executes C3 programs.
+	Emulator = cs314.Emulator
+)
+
+// CompileMiniC compiles MiniC source to C3 assembly.
+func CompileMiniC(src string) (string, error) { return cs314.CompileMiniC(src) }
+
+// AssembleC3 assembles C3 assembly into an object file.
+func AssembleC3(unit, src string) (*Object, error) { return cs314.AssembleC3(unit, src) }
+
+// Link links objects into an executable (entry point: global "main").
+func Link(objs ...*Object) (*Executable, error) { return cs314.Link(objs...) }
+
+// RunProgram executes an executable, returning its printed output.
+func RunProgram(exe *Executable, maxSteps int64) ([]int32, error) {
+	return cs314.RunProgram(exe, maxSteps)
+}
+
+// EncodeObject / DecodeObject serialize object files for transport.
+func EncodeObject(o *Object) []byte             { return cs314.EncodeObject(o) }
+func DecodeObject(data []byte) (*Object, error) { return cs314.DecodeObject(data) }
+
+// EncodeExecutable / DecodeExecutable serialize executables.
+func EncodeExecutable(e *Executable) []byte             { return cs314.EncodeExecutable(e) }
+func DecodeExecutable(data []byte) (*Executable, error) { return cs314.DecodeExecutable(data) }
+
+// MountServlets mounts the four course servlets (compile, assemble, link,
+// run) on a bridge under /cs314/.
+func MountServlets(b *httpd.Bridge) error { return cs314.MountAll(b) }
