@@ -5,12 +5,14 @@ package jkernel
 
 import (
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"jkernel/internal/core"
 	"jkernel/internal/fastcopy"
 	"jkernel/internal/oskit"
+	"jkernel/internal/remote"
 	"jkernel/internal/seri"
 	"jkernel/internal/ukern"
 	"jkernel/internal/vmkit"
@@ -362,6 +364,62 @@ func BenchmarkAblation_NativeLRMI_Null(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Remote null call: the same null capability invocation as
+// BenchmarkAblation_NativeLRMI_Null, but the capability lives in a second
+// kernel behind the wire protocol (two kernels in one process over a real
+// socket, so the gap tracks protocol + syscall cost, the paper's Table 2
+// vs Table 3 contrast; cmd/jkbench adds the true cross-process variant).
+func benchRemoteNull(b *testing.B, network string) {
+	server := core.MustNew(core.Options{})
+	client := core.MustNew(core.Options{})
+	sd, err := server.NewDomain(core.DomainConfig{Name: "svc"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cd, err := client.NewDomain(core.DomainConfig{Name: "app"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cap, err := server.CreateNativeCapability(sd, nullSvc{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := server.Export("null", cap); err != nil {
+		b.Fatal(err)
+	}
+	addr := "127.0.0.1:0"
+	if network == "unix" {
+		addr = filepath.Join(b.TempDir(), "bench.sock")
+	}
+	ln, err := remote.Listen(server, network, addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := remote.Dial(client, network, ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	proxy, err := conn.Import("null")
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := client.NewDetachedTask(cd, "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxy.InvokeFrom(task, "Null"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRemoteNullCall(b *testing.B) {
+	b.Run("UnixSocket", func(b *testing.B) { benchRemoteNull(b, "unix") })
+	b.Run("TCPLoopback", func(b *testing.B) { benchRemoteNull(b, "tcp") })
 }
 
 // InvokeFrom skips the goroutine-id thread lookup: how much of native LRMI

@@ -1,6 +1,9 @@
 // Command jkbench regenerates the paper's evaluation tables (1-6) in their
 // original row/column format, alongside the published numbers, so shape
-// comparisons are direct. See EXPERIMENTS.md for the recorded results.
+// comparisons are direct; table 7 extends the evaluation to the remote
+// kernels subsystem (local LRMI vs cross-process capability invocation,
+// the Table 2-vs-3 contrast made concrete). See EXPERIMENTS.md for the
+// recorded results.
 //
 //	jkbench            # all tables
 //	jkbench -table 4   # one table
@@ -20,6 +23,7 @@ import (
 	"jkernel/internal/core"
 	"jkernel/internal/httpd"
 	"jkernel/internal/oskit"
+	"jkernel/internal/remote"
 	"jkernel/internal/ukern"
 	"jkernel/internal/vmkit"
 )
@@ -31,6 +35,7 @@ var (
 
 func main() {
 	oskit.MaybeRunChild()
+	remote.MaybeRunWorker(remoteBenchSetup)
 	flag.Parse()
 	run := func(n int, f func()) {
 		if *tableFlag == 0 || *tableFlag == n {
@@ -43,6 +48,7 @@ func main() {
 	run(4, table4)
 	run(5, table5)
 	run(6, table6)
+	run(7, table7)
 }
 
 func iters(base int) int {
@@ -580,6 +586,96 @@ func table6() {
 	f := newFixture(vmkit.ProfileA)
 	v = measure(iters(30000), f.loop("runLRMI3"))
 	fmt.Printf("  %-34s %8.2f %10.2f\n", "J-Kernel: invocation with 3 args", 3.77, v)
+	fmt.Println()
+}
+
+// --- table 7: remote kernels (beyond the paper) ----------------------------
+
+// benchNullSvc is the remote null-call target.
+type benchNullSvc struct{}
+
+// Null does nothing.
+func (benchNullSvc) Null() error { return nil }
+
+// remoteBenchSetup is the worker-kernel body for the cross-process rows.
+func remoteBenchSetup(k *core.Kernel) error {
+	d, err := k.NewDomain(core.DomainConfig{Name: "svc"})
+	if err != nil {
+		return err
+	}
+	cap, err := k.CreateNativeCapability(d, benchNullSvc{})
+	if err != nil {
+		return err
+	}
+	return k.Export("null", cap)
+}
+
+// table7 contrasts local LRMI with remote (cross-kernel) capability
+// invocation, the concrete version of the paper's Table 2-vs-3 argument:
+// LRMI stays ~an order of magnitude under the cross-process wire, which
+// is why domains share a kernel when they can and shard to worker kernels
+// only for cores and crash isolation.
+func table7() {
+	fmt.Println("Table 7. Remote kernels: null capability invocation (in µs; beyond the paper)")
+	fmt.Printf("  %-46s %10s\n", "Configuration", "measured")
+
+	// Local rows: the VM LRMI (Table 1's row) and the native-path LRMI.
+	f := newFixture(vmkit.ProfileA)
+	lrmi := measure(iters(50000), f.loop("runLRMI"))
+	fmt.Printf("  %-46s %10.2f\n", "J-Kernel LRMI (VM, same kernel)", lrmi)
+
+	kl := core.MustNew(core.Options{})
+	sd, err := kl.NewDomain(core.DomainConfig{Name: "s"})
+	check(err)
+	cd, err := kl.NewDomain(core.DomainConfig{Name: "c"})
+	check(err)
+	lcap, err := kl.CreateNativeCapability(sd, benchNullSvc{})
+	check(err)
+	ltask := kl.NewDetachedTask(cd, "bench")
+	local := measureEach(iters(200000), func() {
+		if _, err := lcap.InvokeFrom(ltask, "Null"); err != nil {
+			check(err)
+		}
+	})
+	fmt.Printf("  %-46s %10.2f\n", "native LRMI (Go, same kernel)", local)
+
+	// In-process wire row: second kernel, same process, TCP loopback.
+	k2 := core.MustNew(core.Options{})
+	s2, err := k2.NewDomain(core.DomainConfig{Name: "svc"})
+	check(err)
+	c2, err := k2.CreateNativeCapability(s2, benchNullSvc{})
+	check(err)
+	check(k2.Export("null", c2))
+	ln, err := remote.Listen(k2, "tcp", "127.0.0.1:0")
+	check(err)
+	conn, err := remote.Dial(kl, "tcp", ln.Addr().String())
+	check(err)
+	proxy, err := conn.Import("null")
+	check(err)
+	inproc := measureEach(iters(20000), func() {
+		if _, err := proxy.InvokeFrom(ltask, "Null"); err != nil {
+			check(err)
+		}
+	})
+	conn.Close()
+	ln.Close()
+	fmt.Printf("  %-46s %10.2f\n", "remote null call (2nd kernel, TCP loopback)", inproc)
+
+	// Cross-process row: a real worker process behind a unix socket.
+	pool, err := remote.StartPool(remote.PoolOptions{Workers: 1})
+	check(err)
+	defer pool.Close()
+	wconn, err := pool.Worker(0).Dial(kl, 10*time.Second)
+	check(err)
+	wproxy, err := wconn.Import("null")
+	check(err)
+	cross := measureEach(iters(20000), func() {
+		if _, err := wproxy.InvokeFrom(ltask, "Null"); err != nil {
+			check(err)
+		}
+	})
+	wconn.Close()
+	fmt.Printf("  %-46s %10.2f\n", "remote null call (worker process, unix socket)", cross)
 	fmt.Println()
 }
 

@@ -1,0 +1,158 @@
+// Command jkworker runs one worker kernel process: a full J-Kernel whose
+// exported capabilities are served to a supervisor over the remote wire
+// protocol. It is the process a supervisor's worker pool spawns (and
+// restarts) to shard protection domains across cores and survive crashes.
+//
+//	jkworker -listen unix:/tmp/w0.sock
+//	jkworker -listen tcp:127.0.0.1:7070 -services echo,counter,kv
+//
+// The built-in services are demonstrations; real deployments embed
+// remote.RunWorker (or jkernel.RunWorker) with their own Setup.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"jkernel/internal/core"
+	"jkernel/internal/remote"
+)
+
+var (
+	listenFlag   = flag.String("listen", "unix:/tmp/jkworker.sock", "listen endpoint: unix:PATH or tcp:ADDR")
+	servicesFlag = flag.String("services", "echo,counter,kv", "comma-separated services to export")
+	quietFlag    = flag.Bool("quiet", false, "suppress startup output")
+)
+
+func main() {
+	// A pool-spawned jkworker is steered by the environment instead.
+	remote.MaybeRunWorker(setup(strings.Split(*servicesFlag, ",")))
+	flag.Parse()
+
+	network, addr, ok := strings.Cut(*listenFlag, ":")
+	if !ok || (network != "unix" && network != "tcp") {
+		fmt.Fprintf(os.Stderr, "jkworker: bad -listen %q (want unix:PATH or tcp:ADDR)\n", *listenFlag)
+		os.Exit(2)
+	}
+	cfg := remote.WorkerConfig{
+		Network: network,
+		Addr:    addr,
+		Setup:   setup(strings.Split(*servicesFlag, ",")),
+	}
+	if !*quietFlag {
+		cfg.Ready = func(a net.Addr) {
+			fmt.Printf("jkworker: pid %d serving %s on %s\n", os.Getpid(), *servicesFlag, a)
+		}
+	}
+	if err := remote.RunWorker(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "jkworker:", err)
+		os.Exit(1)
+	}
+}
+
+// setup builds the worker kernel: one service domain, the requested
+// services created as native capabilities and exported by name.
+func setup(services []string) func(k *core.Kernel) error {
+	return func(k *core.Kernel) error {
+		d, err := k.NewDomain(core.DomainConfig{Name: "svc"})
+		if err != nil {
+			return err
+		}
+		for _, s := range services {
+			var target any
+			switch strings.TrimSpace(s) {
+			case "echo":
+				target = echoService{}
+			case "counter":
+				target = &counterService{}
+			case "kv":
+				target = newKVService()
+			case "":
+				continue
+			default:
+				return fmt.Errorf("unknown service %q", s)
+			}
+			cap, err := k.CreateNativeCapability(d, target)
+			if err != nil {
+				return err
+			}
+			if err := k.Export(strings.TrimSpace(s), cap); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// echoService is the null-call / echo demo service.
+type echoService struct{}
+
+// Echo returns its argument.
+func (echoService) Echo(s string) (string, error) { return s, nil }
+
+// Null does nothing (the remote null-call benchmark target).
+func (echoService) Null() error { return nil }
+
+// Pid reports the worker's process id (visible restarts).
+func (echoService) Pid() (int64, error) { return int64(os.Getpid()), nil }
+
+// counterService is a per-worker shard of mutable state.
+type counterService struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter and returns the new value.
+func (c *counterService) Add(d int64) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	return c.n, nil
+}
+
+// Get returns the current value.
+func (c *counterService) Get() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n, nil
+}
+
+// kvService is a tiny keyed store.
+type kvService struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newKVService() *kvService { return &kvService{m: make(map[string][]byte)} }
+
+// Put stores value under key.
+func (s *kvService) Put(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Get retrieves the value under key.
+func (s *kvService) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, errors.New("no such key: " + key)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Del removes key.
+func (s *kvService) Del(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+	return nil
+}

@@ -1,0 +1,171 @@
+// The cluster example runs the J-Kernel's remote-kernel subsystem end to
+// end: a supervisor kernel shards work across two worker kernel
+// *processes*, invoking their capabilities through proxies that behave
+// exactly like local ones. It then demonstrates the two failure paths the
+// design is about:
+//
+//   - revocation propagates across the wire: a worker revoking an exported
+//     capability faults the supervisor's proxy with ErrRevoked;
+//   - a crashed worker surfaces as a capability fault — never as a
+//     supervisor crash — and the pool restarts the process, after which
+//     the supervisor reconnects and resumes.
+//
+// Run: go run ./examples/cluster
+// (the binary re-executes itself as the worker processes).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"jkernel"
+)
+
+func main() {
+	// Worker children re-enter main here and never return.
+	jkernel.MaybeRunWorker(workerSetup)
+
+	fmt.Println("== J-Kernel cluster: supervisor + 2 worker processes ==")
+	sup := jkernel.New(jkernel.Options{})
+	app, err := sup.NewDomain(jkernel.DomainConfig{Name: "app"})
+	check(err)
+	task := sup.NewTask(app, "supervisor")
+	defer task.Close()
+
+	pool, err := jkernel.StartWorkerPool(jkernel.WorkerPoolOptions{
+		Workers: 2,
+		Log:     func(f string, a ...any) { fmt.Printf("  [pool] "+f+"\n", a...) },
+	})
+	check(err)
+	defer pool.Close()
+
+	// Connect to both workers and import their counter shards.
+	conns := make([]*jkernel.RemoteConn, pool.Size())
+	counters := make([]*jkernel.Capability, pool.Size())
+	for i := 0; i < pool.Size(); i++ {
+		conns[i], err = pool.Worker(i).Dial(sup, 10*time.Second)
+		check(err)
+		counters[i], err = conns[i].Import("counter")
+		check(err)
+	}
+	fmt.Println("-- imported 'counter' from both workers")
+
+	// Shard increments across the workers; each holds its own state.
+	for n := 0; n < 10; n++ {
+		shard := n % len(counters)
+		_, err := counters[shard].InvokeFrom(task, "Add", int64(1))
+		check(err)
+	}
+	for i, c := range counters {
+		res, err := c.InvokeFrom(task, "Get")
+		check(err)
+		fmt.Printf("-- worker %d counter shard: %v\n", i, res[0])
+	}
+
+	// Revocation across the wire: ask worker 1 to revoke its counter.
+	admin, err := conns[1].Import("admin")
+	check(err)
+	_, err = admin.InvokeFrom(task, "RevokeCounter")
+	check(err)
+	_, err = counters[1].InvokeFrom(task, "Add", int64(1))
+	if !errors.Is(err, jkernel.ErrRevoked) {
+		fail("expected ErrRevoked after remote revocation, got: %v", err)
+	}
+	fmt.Println("-- worker 1 revoked its counter: supervisor proxy faults with ErrRevoked")
+
+	// Crash drill: kill worker 0 outright. The supervisor observes a
+	// capability fault, not a crash.
+	check(pool.Worker(0).Kill())
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err = counters[0].InvokeFrom(task, "Add", int64(1))
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("worker 0 death never surfaced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !errors.Is(err, jkernel.ErrRevoked) {
+		fail("expected a capability fault after worker crash, got: %v", err)
+	}
+	fmt.Println("-- worker 0 killed: supervisor observes a capability fault and keeps running")
+
+	// The pool restarts the worker; reconnect and resume with fresh state.
+	conn, err := pool.Worker(0).Dial(sup, 15*time.Second)
+	check(err)
+	defer conn.Close()
+	counter, err := conn.Import("counter")
+	check(err)
+	res, err := counter.InvokeFrom(task, "Add", int64(1))
+	check(err)
+	fmt.Printf("-- worker 0 restarted (restarts=%d): fresh counter shard at %v\n",
+		pool.Worker(0).Restarts(), res[0])
+
+	fmt.Println("== cluster demo complete ==")
+}
+
+// workerSetup is the worker kernel body: a counter shard, plus an admin
+// service that can revoke the counter (the wire-revocation demo).
+func workerSetup(k *jkernel.Kernel) error {
+	d, err := k.NewDomain(jkernel.DomainConfig{Name: "svc"})
+	if err != nil {
+		return err
+	}
+	counter, err := k.CreateNativeCapability(d, &counterSvc{})
+	if err != nil {
+		return err
+	}
+	if err := k.Export("counter", counter); err != nil {
+		return err
+	}
+	admin, err := k.CreateNativeCapability(d, &adminSvc{counter: counter})
+	if err != nil {
+		return err
+	}
+	return k.Export("admin", admin)
+}
+
+type counterSvc struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the shard (inbound remote calls run concurrently).
+func (c *counterSvc) Add(d int64) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	return c.n, nil
+}
+
+// Get returns the shard value.
+func (c *counterSvc) Get() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n, nil
+}
+
+type adminSvc struct{ counter *jkernel.Capability }
+
+// RevokeCounter revokes the worker's counter capability; every remote
+// proxy for it faults.
+func (a *adminSvc) RevokeCounter() error {
+	a.counter.Revoke()
+	return nil
+}
+
+func check(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(f string, a ...any) {
+	fmt.Fprintf(os.Stderr, "cluster: "+f+"\n", a...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module jkernel
+
+go 1.24

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"jkernel/internal/vmkit"
@@ -17,11 +18,24 @@ type Gate struct {
 	id    int64
 	owner *Domain
 
-	// Exactly one of vmTarget/natTarget is used. Revocation nulls the
-	// pointer, making the target collectable regardless of who holds the
-	// stub (the paper's revoke semantics).
+	// Exactly one of vmTarget/natTarget/proxy is used. Revocation nulls
+	// the pointer, making the target collectable regardless of who holds
+	// the stub (the paper's revoke semantics).
 	vmTarget  atomic.Pointer[vmkit.Object]
 	natTarget atomic.Pointer[nativeTarget]
+	proxy     atomic.Pointer[proxyBox]
+
+	// failure, when set before revocation, is the error subsequent
+	// invokers receive instead of the bare ErrRevoked — e.g. "remote
+	// connection lost" for proxies whose transport died.
+	failure atomic.Pointer[error]
+
+	// Revocation observers (transports push revocation to remote proxies
+	// through these). Fired exactly once.
+	hookMu     sync.Mutex
+	hooksFired bool
+	nextHook   int
+	onRevoke   map[int]func()
 
 	// VM dispatch table: remote methods in stable order; sig -> index.
 	methods []*vmkit.Method
@@ -37,13 +51,62 @@ func (g *Gate) Owner() *Domain { return g.owner }
 
 // Revoked reports whether the gate has been revoked.
 func (g *Gate) Revoked() bool {
-	return g.vmTarget.Load() == nil && g.natTarget.Load() == nil
+	return g.vmTarget.Load() == nil && g.natTarget.Load() == nil && g.proxy.Load() == nil
 }
 
-// revoke severs the target pointers.
+// revoke severs the target pointers and fires the revocation observers
+// (exactly once, no matter how many paths revoke the gate).
 func (g *Gate) revoke() {
 	g.vmTarget.Store(nil)
 	g.natTarget.Store(nil)
+	g.proxy.Store(nil)
+	g.hookMu.Lock()
+	if g.hooksFired {
+		g.hookMu.Unlock()
+		return
+	}
+	g.hooksFired = true
+	hooks := g.onRevoke
+	g.onRevoke = nil
+	g.hookMu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+}
+
+// OnRevoke registers fn to run when the gate is revoked (directly, or by
+// domain termination). If the gate is already revoked, fn runs
+// immediately. Transports use this to push revocation to remote proxies.
+// The returned func unregisters fn; a transport must call it when its
+// connection dies, or the closure (and everything it captures) stays
+// pinned to the gate for the gate's lifetime.
+func (g *Gate) OnRevoke(fn func()) (remove func()) {
+	g.hookMu.Lock()
+	if g.hooksFired {
+		g.hookMu.Unlock()
+		fn()
+		return func() {}
+	}
+	if g.onRevoke == nil {
+		g.onRevoke = make(map[int]func())
+	}
+	id := g.nextHook
+	g.nextHook++
+	g.onRevoke[id] = fn
+	g.hookMu.Unlock()
+	return func() {
+		g.hookMu.Lock()
+		delete(g.onRevoke, id)
+		g.hookMu.Unlock()
+	}
+}
+
+// failureReason returns the recorded failure, or nil.
+func (g *Gate) failureReason() error {
+	if p := g.failure.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Capability is the Go-facing handle on a capability. For VM capabilities
@@ -62,6 +125,18 @@ func (c *Capability) Gate() *Gate { return c.g }
 func (c *Capability) Revoke() {
 	c.g.revoke()
 	c.g.k.Meter.RevokeCount(c.g.owner.ID, 1)
+}
+
+// RevokeWithReason severs the capability, recording reason as the error
+// subsequent invokers receive. Wrap a kernel sentinel (ErrRevoked,
+// ErrDomainTerminated) so errors.Is keeps working — transports use this to
+// turn a lost worker connection into a descriptive capability fault. Only
+// the first recorded reason sticks.
+func (c *Capability) RevokeWithReason(reason error) {
+	if reason != nil {
+		c.g.failure.CompareAndSwap(nil, &reason)
+	}
+	c.Revoke()
 }
 
 // Revoked reports whether the capability has been revoked.

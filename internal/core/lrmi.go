@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"jkernel/internal/vmkit"
 )
 
@@ -30,6 +32,12 @@ func (g *Gate) callVM(env *vmkit.Env, idx int64, argsArr *vmkit.Object) (vmkit.V
 	// the revocation check alone propagates server death to clients.
 	target := g.vmTarget.Load()
 	if target == nil {
+		if reason := g.failureReason(); reason != nil {
+			if errors.Is(reason, ErrDomainTerminated) {
+				return vmkit.Value{}, vm.Throwf(vmkit.ClassTerminatedEx, "%v", reason)
+			}
+			return vmkit.Value{}, vm.Throwf(vmkit.ClassRevokedEx, "%v", reason)
+		}
 		if g.owner.Terminated() {
 			return vmkit.Value{}, vm.Throwf(vmkit.ClassTerminatedEx, "domain %s terminated", g.owner.Name)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"sort"
@@ -59,8 +60,12 @@ func (k *Kernel) CreateNativeCapability(d *Domain, target any) (*Capability, err
 }
 
 // Methods returns the remote method names of a native capability, sorted
-// (empty for VM capabilities).
+// (empty for VM capabilities). For proxy capabilities it reports the
+// method manifest received from the remote kernel, when one was sent.
 func (c *Capability) Methods() []string {
+	if pb := c.g.proxy.Load(); pb != nil {
+		return pb.t.ProxyMethods()
+	}
 	nt := c.g.natTarget.Load()
 	if nt == nil {
 		return nil
@@ -106,8 +111,19 @@ func (c *Capability) invokeFrom(task *Task, name string, args []any) ([]any, err
 	}
 	nt := g.natTarget.Load()
 	if nt == nil {
+		// Proxy gates forward over their transport instead of dispatching
+		// locally; the callee kernel performs the method lookup.
+		if pb := g.proxy.Load(); pb != nil {
+			return c.invokeProxy(task, callerDomain, pb.t, name, args)
+		}
+		if reason := g.failureReason(); reason != nil {
+			return nil, reason
+		}
 		if g.owner.Terminated() {
 			return nil, ErrDomainTerminated
+		}
+		if g.vmTarget.Load() != nil {
+			return nil, fmt.Errorf("jkernel: %w: VM capability requires InvokeVM", ErrNoSuchMethod)
 		}
 		return nil, ErrRevoked
 	}
@@ -195,12 +211,19 @@ func safeCall(fn reflect.Value, in []reflect.Value) (out []reflect.Value, err er
 }
 
 // copyErrorOut transfers a callee error to the caller. Kernel sentinel
-// errors keep their identity (so errors.Is works across domains); all
-// other errors cross as a copied RemoteError.
+// errors keep their identity, and errors wrapping a sentinel (a proxy's
+// "connection lost" fault, say) are rebuilt around the same sentinel so
+// errors.Is works across domains; everything else crosses as a copied
+// RemoteError.
 func copyErrorOut(err error) error {
 	switch err {
 	case ErrRevoked, ErrDomainTerminated, ErrNotRemote, ErrNoSuchMethod, ErrNotEntered:
 		return err
+	}
+	for _, sentinel := range []error{ErrRevoked, ErrDomainTerminated, ErrNotRemote, ErrNoSuchMethod, ErrNotEntered} {
+		if errors.Is(err, sentinel) {
+			return fmt.Errorf("%w: %s", sentinel, err.Error())
+		}
 	}
 	if re, ok := err.(*RemoteError); ok {
 		return &RemoteError{Class: re.Class, Msg: re.Msg}

@@ -1,0 +1,80 @@
+package core
+
+import "fmt"
+
+// Proxy targets: the third kind of gate target, behind which a transport
+// (internal/remote) forwards invocations to a capability living in another
+// kernel process. Callers cannot tell a proxy capability from a local one:
+// Invoke, InvokeFrom, Bind, Revoke, and Revoked all behave identically,
+// and errors come back as the same kernel sentinels (the wire maps
+// RevokedException and TerminatedException onto ErrRevoked and
+// ErrDomainTerminated).
+
+// ProxyTarget is the transport half of a proxy gate. InvokeProxy performs
+// one remote invocation; arguments and results follow the LRMI calling
+// convention (the transport's serialization is the copy, and capabilities
+// travel by reference). copied reports the bytes that crossed the wire,
+// for the caller domain's account.
+type ProxyTarget interface {
+	InvokeProxy(method string, args []any) (results []any, copied int64, err error)
+	// ProxyMethods lists the remote method names, when known (empty for
+	// proxies imported inline without a method manifest).
+	ProxyMethods() []string
+}
+
+// proxyBox wraps the interface so the gate can hold it atomically.
+type proxyBox struct{ t ProxyTarget }
+
+// CreateProxyCapability creates a capability, owned by d, whose target is
+// a transport proxy. Revoking it (or terminating d) severs the local gate;
+// the transport is responsible for propagating revocations that originate
+// on the remote side via Capability.RevokeWithReason.
+func (k *Kernel) CreateProxyCapability(d *Domain, pt ProxyTarget) (*Capability, error) {
+	if d.Terminated() {
+		return nil, ErrDomainTerminated
+	}
+	if pt == nil {
+		return nil, fmt.Errorf("jkernel: nil proxy target")
+	}
+	g := &Gate{k: k, id: k.nextGate.Add(1), owner: d}
+	g.proxy.Store(&proxyBox{t: pt})
+	k.gates.Store(g.id, g)
+	d.addGate(g)
+	return &Capability{g: g}, nil
+}
+
+// ProxyTargetOf returns c's proxy target, or nil for local capabilities
+// (and for revoked proxies). Transports use it to recognize their own
+// proxies when a capability travels back toward its owning kernel.
+func ProxyTargetOf(c *Capability) ProxyTarget {
+	if pb := c.g.proxy.Load(); pb != nil {
+		return pb.t
+	}
+	return nil
+}
+
+// invokeProxy forwards one call through a proxy gate. The segment switch
+// into the proxy's owning domain (the transport's connection domain) is
+// kept so accounting, termination, and Thread.stop semantics are identical
+// to local LRMI; argument copying is delegated to the transport, whose
+// serialization already yields an isomorphic copy on the far side.
+func (c *Capability) invokeProxy(task *Task, caller *Domain, pt ProxyTarget, name string, args []any) ([]any, error) {
+	g := c.g
+	k := g.k
+
+	seg := task.Chain.Push(g.owner.ID)
+	k.segs.Store(seg.ID, seg)
+	g.owner.addSeg(seg)
+
+	results, copied, err := pt.InvokeProxy(name, args)
+
+	g.owner.removeSeg(seg)
+	k.segs.Delete(seg.ID)
+	task.Chain.Pop()
+
+	if perr := task.Chain.Poll(); perr != nil {
+		return nil, perr
+	}
+	k.Meter.CrossCall(caller.ID, g.owner.ID, copied)
+	return results, err
+}

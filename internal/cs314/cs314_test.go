@@ -1,6 +1,7 @@
 package cs314
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -393,13 +394,5 @@ func itoa(v int32) string {
 }
 
 func itoaU(v int64) string {
-	if v == 0 {
-		return "0"
-	}
-	var b []byte
-	for v > 0 {
-		b = append([]byte{byte('0' + v%10)}, b...)
-		v /= 10
-	}
-	return string(b)
+	return strconv.FormatInt(v, 10)
 }

@@ -2,6 +2,7 @@ package httpd
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -95,6 +96,19 @@ func (b *Bridge) MountNative(name, prefix string, s Servlet) (*core.Domain, erro
 	return d, nil
 }
 
+// MountRemote mounts a servlet capability imported from a worker kernel
+// (any capability whose Service method follows the native servlet
+// contract): requests dispatch through the proxy's LRMI path and cross
+// the wire to the worker process. The worker's kernel must also have the
+// servlet types registered (RegisterTypes). A dead or revoked worker
+// surfaces as 503, like a terminated local servlet. The route carries no
+// domain: the proxy's owner is the connection's shared host domain, which
+// must outlive this one servlet, so TerminateServlet revokes only the
+// proxy.
+func (b *Bridge) MountRemote(name, prefix string, cap *core.Capability) error {
+	return b.Router.Mount(name, prefix, cap, nil, false)
+}
+
 // UploadVM creates a fresh domain, loads the uploaded class bundle into
 // it, instantiates mainClass (which must implement jk/servlet/Servlet),
 // and mounts it at prefix. This is the paper's servlet upload: arbitrary
@@ -130,10 +144,17 @@ func (b *Bridge) UploadVM(name, prefix, mainClass string, bundle map[string][]by
 // TerminateServlet unmounts the servlet and terminates its domain. Clients
 // in mid-call observe RevokedException; the server itself is unaffected —
 // replacement without restarting the server, which Jigsaw could not do.
+// Remote servlets (MountRemote) have no dedicated local domain; their
+// proxy capability is revoked instead, leaving the worker connection and
+// its other imports untouched.
 func (b *Bridge) TerminateServlet(name string) error {
 	rt := b.Router.Unmount(name)
 	if rt == nil {
 		return fmt.Errorf("httpd: no servlet %q", name)
+	}
+	if rt.domain == nil {
+		rt.cap.Revoke()
+		return nil
 	}
 	rt.domain.Terminate("servlet terminated by admin")
 	return nil
@@ -205,10 +226,11 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // servletError maps kernel failures onto HTTP statuses: a dead or revoked
-// servlet is a gateway failure, not a server crash.
+// servlet — local, or a remote worker that crashed — is a gateway
+// failure, not a server crash.
 func servletError(w http.ResponseWriter, err error) {
 	switch {
-	case err == core.ErrRevoked || err == core.ErrDomainTerminated:
+	case errors.Is(err, core.ErrRevoked) || errors.Is(err, core.ErrDomainTerminated):
 		http.Error(w, "servlet unavailable: "+err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, "servlet failed: "+err.Error(), http.StatusBadGateway)

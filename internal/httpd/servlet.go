@@ -53,10 +53,15 @@ func (a *nativeServletAdapter) Service(req *Request) (*Response, error) {
 }
 
 // RegisterTypes registers the servlet API types with a kernel for
-// fast-copy transfer (maps make the graphs non-tree, so use the table).
+// fast-copy transfer (maps make the graphs non-tree, so use the table),
+// and for wire transfer so servlet requests can also cross process
+// boundaries through internal/remote. Call it in worker kernels that host
+// remote servlets, too.
 func RegisterTypes(k *core.Kernel) {
 	k.RegisterFastCopy(&Request{}, true)
 	k.RegisterFastCopy(&Response{}, true)
+	k.RegisterWireType("jk.httpd.Request", Request{})
+	k.RegisterWireType("jk.httpd.Response", Response{})
 }
 
 // route is one mounted servlet.

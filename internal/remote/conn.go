@@ -1,0 +1,795 @@
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jkernel/internal/core"
+	"jkernel/internal/seri"
+)
+
+// connSeq numbers connections for domain naming.
+var connSeq atomic.Int64
+
+// ErrConnClosed reports an operation on a closed connection.
+var ErrConnClosed = errors.New("remote: connection closed")
+
+// Conn is one kernel-to-kernel connection. It is symmetric: both ends can
+// export (answer lookups and invokes from the peer) and import (hold
+// proxies for peer capabilities). All proxies imported over the
+// connection are owned by a dedicated local domain, so a connection
+// teardown is a domain termination: every proxy faults, nothing else in
+// the kernel is disturbed.
+type Conn struct {
+	k      *core.Kernel
+	domain *core.Domain
+
+	nc  net.Conn
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	mu         sync.Mutex
+	nextReq    uint64
+	pending    map[uint64]chan wireResult
+	exports    map[uint64]*core.Capability // export id -> local capability
+	exportIDs  map[*core.Gate]uint64       // dedup: gate -> export id
+	nextExport uint64
+	imports    map[uint64]*core.Capability // peer export id -> local proxy
+	preRevoked map[uint64]byte             // revokes that raced ahead of the import
+	unhook     []func()                    // OnRevoke deregistrations, run at shutdown
+	closed     bool
+	cause      error
+
+	// taskPool recycles detached tasks for inbound invocations, so the
+	// per-call cost is the LRMI plus the wire, not task setup.
+	taskPool sync.Pool
+
+	done chan struct{}
+}
+
+// wireResult is one decoded msgReply.
+type wireResult struct {
+	results []any
+	copied  int64
+	err     error
+}
+
+// NewConn wires an established network connection into kernel k and
+// starts its reader. The connection gets a fresh host domain named
+// remote-<n> that owns its proxies and runs its inbound calls.
+func NewConn(k *core.Kernel, nc net.Conn) (*Conn, error) {
+	d, err := k.NewDomain(core.DomainConfig{
+		Name: fmt.Sprintf("remote-%d", connSeq.Add(1)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Conn{
+		k:          k,
+		domain:     d,
+		nc:         nc,
+		bw:         bufio.NewWriter(nc),
+		pending:    make(map[uint64]chan wireResult),
+		exports:    make(map[uint64]*core.Capability),
+		exportIDs:  make(map[*core.Gate]uint64),
+		imports:    make(map[uint64]*core.Capability),
+		preRevoked: make(map[uint64]byte),
+		done:       make(chan struct{}),
+	}
+	c.taskPool.New = func() any {
+		return k.NewDetachedTask(d, "remote-call")
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Dial connects kernel k to a remote kernel listening on network/addr
+// ("tcp" or "unix").
+func Dial(k *core.Kernel, network, addr string) (*Conn, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(k, nc)
+}
+
+// Domain returns the connection's host domain (owner of its proxies).
+func (c *Conn) Domain() *core.Domain { return c.domain }
+
+// Done is closed when the connection shuts down.
+func (c *Conn) Done() <-chan struct{} { return c.done }
+
+// Err returns the shutdown cause, once Done is closed.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cause
+}
+
+// Close tears the connection down: pending calls fail, and every proxy
+// imported over it faults with a revocation wrapping ErrRevoked.
+func (c *Conn) Close() error {
+	c.shutdown(ErrConnClosed)
+	return nil
+}
+
+// send frames and writes one message.
+func (c *Conn) send(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := writeFrame(c.bw, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Ping performs one protocol round trip, proving the peer kernel is up
+// and serving. Dial-with-retry loops use it as a readiness probe: a
+// connection can land in the listen backlog of a process that is already
+// dying, and only an answered ping distinguishes the two.
+func (c *Conn) Ping(timeout time.Duration) error {
+	reqID, ch, err := c.newPending()
+	if err != nil {
+		return err
+	}
+	var w wbuf
+	w.u8(msgPing)
+	w.uvarint(reqID)
+	if err := c.send(w.b); err != nil {
+		c.dropPending(reqID)
+		return err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-c.done:
+		return c.closedErr()
+	case <-timer.C:
+		c.dropPending(reqID)
+		return fmt.Errorf("remote: ping timeout after %v", timeout)
+	}
+}
+
+// Import asks the peer for the capability it exports under name and
+// returns a local proxy for it.
+func (c *Conn) Import(name string) (*core.Capability, error) {
+	reqID, ch, err := c.newPending()
+	if err != nil {
+		return nil, err
+	}
+	var w wbuf
+	w.u8(msgLookup)
+	w.uvarint(reqID)
+	w.str(name)
+	if err := c.send(w.b); err != nil {
+		c.dropPending(reqID)
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		// results[0] carries the proxy smuggled through the lookup path.
+		cap, _ := res.results[0].(*core.Capability)
+		if cap == nil {
+			return nil, fmt.Errorf("remote: lookup %q returned no capability", name)
+		}
+		return cap, nil
+	case <-c.done:
+		return nil, c.closedErr()
+	}
+}
+
+func (c *Conn) newPending() (uint64, chan wireResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, c.causeLocked()
+	}
+	c.nextReq++
+	id := c.nextReq
+	ch := make(chan wireResult, 1)
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+func (c *Conn) dropPending(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *Conn) closedErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.causeLocked()
+}
+
+func (c *Conn) causeLocked() error {
+	if c.cause != nil && c.cause != ErrConnClosed {
+		return fmt.Errorf("%w: %v", ErrConnClosed, c.cause)
+	}
+	return ErrConnClosed
+}
+
+// --- export side -----------------------------------------------------------
+
+// exportLocked registers cap in the export table (idempotent per gate) and
+// arranges revocation push. Caller holds c.mu.
+func (c *Conn) exportLocked(cap *core.Capability) uint64 {
+	g := cap.Gate()
+	if id, ok := c.exportIDs[g]; ok {
+		return id
+	}
+	id := c.nextExport
+	c.nextExport++
+	c.exports[id] = cap
+	c.exportIDs[g] = id
+	// Push revocation to the peer the moment the gate dies, so remote
+	// proxies fail fast instead of on their next wire round-trip. The hook
+	// fires immediately if the gate is already revoked; the peer tolerates
+	// a revoke arriving before the handle that names it. Shutdown
+	// unregisters the hook so closed connections don't stay pinned to
+	// long-lived gates.
+	c.unhook = append(c.unhook, g.OnRevoke(func() {
+		reason := revokeReasonRevoked
+		if cap.Owner().Terminated() {
+			reason = revokeReasonTerminated
+		}
+		var w wbuf
+		w.u8(msgRevoke)
+		w.uvarint(id)
+		w.u8(reason)
+		_ = c.send(w.b) // a dead connection needs no push
+	}))
+	return id
+}
+
+// importLocked returns (creating if needed) the proxy for the peer's
+// export id. A cached proxy that was revoked locally (e.g. an unmounted
+// remote servlet) is replaced: revocation kills the handle, not the
+// peer's export, and a fresh import is a fresh grant — if the peer side
+// is what died, the new proxy's first invoke fails there anyway. Caller
+// holds c.mu.
+func (c *Conn) importLocked(id uint64, methods []string) (*core.Capability, error) {
+	if cap, ok := c.imports[id]; ok && !cap.Revoked() {
+		return cap, nil
+	}
+	pt := &proxyTarget{conn: c, exportID: id, methods: methods}
+	cap, err := c.k.CreateProxyCapability(c.domain, pt)
+	if err != nil {
+		return nil, err
+	}
+	c.imports[id] = cap
+	if reason, raced := c.preRevoked[id]; raced {
+		delete(c.preRevoked, id)
+		cap.RevokeWithReason(revokeFault(reason))
+	}
+	return cap, nil
+}
+
+// revokeFault builds the local error for a pushed revocation.
+func revokeFault(reason byte) error {
+	if reason == revokeReasonTerminated {
+		return fmt.Errorf("%w (remote domain)", core.ErrDomainTerminated)
+	}
+	return fmt.Errorf("%w (remote)", core.ErrRevoked)
+}
+
+// --- seri External bridge --------------------------------------------------
+
+// connExternal implements seri.External over the connection's tables:
+// capabilities cross the stream as handles, everything else by copy.
+type connExternal struct{ c *Conn }
+
+func (e connExternal) EncodeExternal(v any) (uint64, bool) {
+	cap, ok := v.(*core.Capability)
+	if !ok {
+		return 0, false
+	}
+	c := e.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A proxy imported over THIS connection goes home as the peer's own
+	// export id; everything else (local capabilities, proxies from other
+	// connections) is exported from here.
+	if pt := proxyOf(cap); pt != nil && pt.conn == c {
+		return packHandle(pt.exportID, handleKindYours), true
+	}
+	return packHandle(c.exportLocked(cap), handleKindTheirs), true
+}
+
+func (e connExternal) DecodeExternal(h uint64) (any, error) {
+	id, kind := unpackHandle(h)
+	c := e.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if kind == handleKindYours {
+		// Our own export returning home: hand back the original.
+		cap, ok := c.exports[id]
+		if !ok {
+			return nil, fmt.Errorf("remote: unknown returning export %d", id)
+		}
+		return cap, nil
+	}
+	return c.importLocked(id, nil)
+}
+
+// proxyOf returns cap's proxy target when cap is a wire proxy.
+func proxyOf(cap *core.Capability) *proxyTarget {
+	pt, _ := core.ProxyTargetOf(cap).(*proxyTarget)
+	return pt
+}
+
+// --- outbound invocation (proxy side) --------------------------------------
+
+// proxyTarget is the core.ProxyTarget for one imported capability.
+type proxyTarget struct {
+	conn     *Conn
+	exportID uint64 // the PEER's export id
+	methods  []string
+}
+
+func (p *proxyTarget) ProxyMethods() []string { return p.methods }
+
+// InvokeProxy performs one remote invocation: marshal args (capabilities
+// by reference), one request/reply round trip, unmarshal results.
+func (p *proxyTarget) InvokeProxy(method string, args []any) ([]any, int64, error) {
+	c := p.conn
+	argBytes, err := seri.MarshalExt(c.k.SeriRegistry(), args, connExternal{c})
+	if err != nil {
+		return nil, 0, &core.CopyError{What: "remote arguments of " + method, Err: err}
+	}
+	// Oversized arguments are a copy failure on a healthy connection, not
+	// a revocation; reject before the frame writer does.
+	if len(argBytes)+len(method)+32 > maxFrame {
+		return nil, 0, &core.CopyError{
+			What: "remote arguments of " + method,
+			Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", len(argBytes), maxFrame),
+		}
+	}
+	reqID, ch, err := c.newPending()
+	if err != nil {
+		return nil, 0, err
+	}
+	var w wbuf
+	w.u8(msgInvoke)
+	w.uvarint(reqID)
+	w.uvarint(p.exportID)
+	w.str(method)
+	w.raw(argBytes)
+	if err := c.send(w.b); err != nil {
+		c.dropPending(reqID)
+		// A failed write means the peer is gone: same capability fault as
+		// any other connection loss.
+		return nil, 0, fmt.Errorf("%w: remote send %s: %v", core.ErrRevoked, method, err)
+	}
+	select {
+	case res := <-ch:
+		return res.results, int64(len(argBytes)) + res.copied, res.err
+	case <-c.done:
+		// A call interrupted by connection loss is a capability fault, the
+		// same as revocation, so callers need only one failure model.
+		return nil, int64(len(argBytes)), fmt.Errorf("%w: %v", core.ErrRevoked, c.closedErr())
+	}
+}
+
+// --- reader / inbound ------------------------------------------------------
+
+func (c *Conn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	for {
+		frame, err := readFrame(br)
+		if err != nil {
+			c.shutdown(err)
+			return
+		}
+		if err := c.dispatch(frame); err != nil {
+			c.shutdown(err)
+			return
+		}
+	}
+}
+
+func (c *Conn) dispatch(frame []byte) error {
+	r := &rbuf{b: frame}
+	t, err := r.u8()
+	if err != nil {
+		return err
+	}
+	switch t {
+	case msgInvoke:
+		reqID, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		exportID, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		method, err := r.str()
+		if err != nil {
+			return err
+		}
+		args := r.rest()
+		// Handlers run concurrently so the reader keeps draining replies —
+		// a worker servicing a call can call back into us mid-request.
+		go c.handleInvoke(reqID, exportID, method, args)
+		return nil
+	case msgReply:
+		return c.handleReply(r)
+	case msgRevoke:
+		exportID, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		reason, err := r.u8()
+		if err != nil {
+			return err
+		}
+		c.handleRevoke(exportID, reason)
+		return nil
+	case msgLookup:
+		reqID, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		go c.handleLookup(reqID, name)
+		return nil
+	case msgLookupReply:
+		return c.handleLookupReply(r)
+	case msgPing:
+		reqID, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		var w wbuf
+		w.u8(msgPong)
+		w.uvarint(reqID)
+		return c.send(w.b)
+	case msgPong:
+		reqID, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		ch := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- wireResult{}
+		}
+		return nil
+	default:
+		return fmt.Errorf("remote: unknown message type %d", t)
+	}
+}
+
+// handleInvoke services one inbound call on a local export.
+func (c *Conn) handleInvoke(reqID, exportID uint64, method string, argBytes []byte) {
+	c.mu.Lock()
+	cap := c.exports[exportID]
+	c.mu.Unlock()
+	if cap == nil {
+		c.replyErr(reqID, errKindRevoked, "", fmt.Sprintf("unknown export %d", exportID))
+		return
+	}
+	if cap.Stub != nil {
+		c.replyErr(reqID, errKindRemote, "UnsupportedOperation",
+			"remote invocation of VM capabilities is not supported yet")
+		return
+	}
+	decoded, err := seri.UnmarshalExt(c.k.SeriRegistry(), argBytes, connExternal{c})
+	if err != nil {
+		c.replyErr(reqID, errKindProtocol, "", err.Error())
+		return
+	}
+	args, _ := decoded.([]any)
+
+	task := c.taskPool.Get().(*core.Task)
+	results, callErr := cap.InvokeFrom(task, method, args...)
+	c.taskPool.Put(task)
+
+	if callErr != nil {
+		kind, class, msg := encodeWireErr(callErr)
+		c.replyErr(reqID, kind, class, msg)
+		return
+	}
+	resBytes, err := seri.MarshalExt(c.k.SeriRegistry(), results, connExternal{c})
+	if err != nil {
+		c.replyErr(reqID, errKindProtocol, "", "encode results: "+err.Error())
+		return
+	}
+	var w wbuf
+	w.u8(msgReply)
+	w.uvarint(reqID)
+	w.u8(statusOK)
+	w.raw(resBytes)
+	if err := c.send(w.b); err != nil {
+		// An unsendable success (e.g. results exceed the frame limit on a
+		// healthy connection) must still answer, or the caller hangs.
+		c.replyErr(reqID, errKindProtocol, "", "send results: "+err.Error())
+	}
+}
+
+func (c *Conn) replyErr(reqID uint64, kind byte, class, msg string) {
+	var w wbuf
+	w.u8(msgReply)
+	w.uvarint(reqID)
+	w.u8(statusErr)
+	w.u8(kind)
+	w.str(class)
+	w.str(msg)
+	_ = c.send(w.b)
+}
+
+func (c *Conn) handleReply(r *rbuf) error {
+	reqID, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	status, err := r.u8()
+	if err != nil {
+		return err
+	}
+	res := wireResult{}
+	if status == statusOK {
+		body := r.rest()
+		decoded, derr := seri.UnmarshalExt(c.k.SeriRegistry(), body, connExternal{c})
+		if derr != nil {
+			res.err = fmt.Errorf("remote: decode results: %w", derr)
+		} else {
+			res.results, _ = decoded.([]any)
+			res.copied = int64(len(body))
+		}
+	} else {
+		kind, kerr := r.u8()
+		if kerr != nil {
+			return kerr
+		}
+		class, cerr := r.str()
+		if cerr != nil {
+			return cerr
+		}
+		msg, merr := r.str()
+		if merr != nil {
+			return merr
+		}
+		res.err = decodeWireErr(kind, class, msg)
+	}
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- res
+	}
+	return nil
+}
+
+// handleRevoke applies a pushed revocation to the local proxy.
+func (c *Conn) handleRevoke(exportID uint64, reason byte) {
+	c.mu.Lock()
+	cap := c.imports[exportID]
+	if cap == nil {
+		c.preRevoked[exportID] = reason
+	}
+	c.mu.Unlock()
+	if cap != nil {
+		cap.RevokeWithReason(revokeFault(reason))
+	}
+}
+
+// handleLookup answers an Import from the peer out of the kernel's export
+// table.
+func (c *Conn) handleLookup(reqID uint64, name string) {
+	cap := c.k.ExportedCapability(name)
+	if cap == nil {
+		c.replyLookupErr(reqID, errKindNotFound, fmt.Sprintf("no export named %q", name))
+		return
+	}
+	c.mu.Lock()
+	var handle uint64
+	if pt := proxyOf(cap); pt != nil && pt.conn == c {
+		handle = packHandle(pt.exportID, handleKindYours)
+	} else {
+		handle = packHandle(c.exportLocked(cap), handleKindTheirs)
+	}
+	c.mu.Unlock()
+	var w wbuf
+	w.u8(msgLookupReply)
+	w.uvarint(reqID)
+	w.u8(statusOK)
+	w.uvarint(handle)
+	methods := cap.Methods()
+	w.uvarint(uint64(len(methods)))
+	for _, m := range methods {
+		w.str(m)
+	}
+	_ = c.send(w.b)
+}
+
+func (c *Conn) replyLookupErr(reqID uint64, kind byte, msg string) {
+	var w wbuf
+	w.u8(msgLookupReply)
+	w.uvarint(reqID)
+	w.u8(statusErr)
+	w.u8(kind)
+	w.str("")
+	w.str(msg)
+	_ = c.send(w.b)
+}
+
+func (c *Conn) handleLookupReply(r *rbuf) error {
+	reqID, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	status, err := r.u8()
+	if err != nil {
+		return err
+	}
+	res := wireResult{}
+	if status == statusOK {
+		handle, herr := r.uvarint()
+		if herr != nil {
+			return herr
+		}
+		n, nerr := r.uvarint()
+		if nerr != nil {
+			return nerr
+		}
+		methods := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			m, merr := r.str()
+			if merr != nil {
+				return merr
+			}
+			methods = append(methods, m)
+		}
+		id, kind := unpackHandle(handle)
+		c.mu.Lock()
+		var cap *core.Capability
+		var ierr error
+		if kind == handleKindYours {
+			if cap = c.exports[id]; cap == nil {
+				ierr = fmt.Errorf("remote: unknown returning export %d", id)
+			}
+		} else {
+			cap, ierr = c.importLocked(id, methods)
+		}
+		c.mu.Unlock()
+		if ierr != nil {
+			res.err = ierr
+		} else {
+			res.results = []any{cap}
+		}
+	} else {
+		kind, kerr := r.u8()
+		if kerr != nil {
+			return kerr
+		}
+		if _, err := r.str(); err != nil { // class, unused for lookups
+			return err
+		}
+		msg, merr := r.str()
+		if merr != nil {
+			return merr
+		}
+		res.err = decodeWireErr(kind, "", msg)
+	}
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- res
+	}
+	return nil
+}
+
+// --- error mapping ---------------------------------------------------------
+
+// encodeWireErr maps a local invocation failure onto the wire.
+func encodeWireErr(err error) (kind byte, class, msg string) {
+	switch {
+	case errors.Is(err, core.ErrRevoked):
+		return errKindRevoked, "", err.Error()
+	case errors.Is(err, core.ErrDomainTerminated):
+		return errKindTerminated, "", err.Error()
+	case errors.Is(err, core.ErrNoSuchMethod):
+		return errKindNoMethod, "", err.Error()
+	}
+	var re *core.RemoteError
+	if errors.As(err, &re) {
+		return errKindRemote, re.Class, re.Msg
+	}
+	return errKindRemote, fmt.Sprintf("%T", err), err.Error()
+}
+
+// decodeWireErr rebuilds a local error from the wire, around the same
+// kernel sentinels so errors.Is works transparently through proxies.
+func decodeWireErr(kind byte, class, msg string) error {
+	switch kind {
+	case errKindRevoked:
+		return wrapSentinel(core.ErrRevoked, msg)
+	case errKindTerminated:
+		return wrapSentinel(core.ErrDomainTerminated, msg)
+	case errKindNoMethod:
+		return wrapSentinel(core.ErrNoSuchMethod, msg)
+	case errKindNotFound:
+		return fmt.Errorf("remote: %s", msg)
+	case errKindProtocol:
+		return fmt.Errorf("remote: protocol error: %s", msg)
+	default:
+		return &core.RemoteError{Class: class, Msg: msg}
+	}
+}
+
+// wrapSentinel rebuilds a sentinel-rooted error without repeating the
+// sentinel's own text (the wire message is usually err.Error() of the
+// same sentinel on the far side).
+func wrapSentinel(sentinel error, msg string) error {
+	msg = strings.TrimPrefix(msg, sentinel.Error())
+	msg = strings.TrimPrefix(msg, ": ")
+	if msg == "" {
+		return fmt.Errorf("%w (remote)", sentinel)
+	}
+	return fmt.Errorf("%w (remote): %s", sentinel, msg)
+}
+
+// --- teardown --------------------------------------------------------------
+
+// shutdown tears the connection down exactly once: pending requests fail,
+// every imported proxy faults, and the host domain terminates so its
+// resources are reclaimed.
+func (c *Conn) shutdown(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cause = cause
+	pending := c.pending
+	c.pending = make(map[uint64]chan wireResult)
+	imports := make([]*core.Capability, 0, len(c.imports))
+	for _, cap := range c.imports {
+		imports = append(imports, cap)
+	}
+	unhook := c.unhook
+	c.unhook = nil
+	c.mu.Unlock()
+
+	for _, remove := range unhook {
+		remove()
+	}
+
+	close(c.done)
+	c.nc.Close()
+
+	fault := fmt.Errorf("%w: remote connection lost: %v", core.ErrRevoked, cause)
+	for _, cap := range imports {
+		cap.RevokeWithReason(fault)
+	}
+	for _, ch := range pending {
+		ch <- wireResult{err: fmt.Errorf("%w: connection lost mid-call: %v", core.ErrRevoked, cause)}
+	}
+	c.domain.Terminate("remote connection closed")
+}

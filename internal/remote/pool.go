@@ -1,0 +1,235 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jkernel/internal/core"
+)
+
+// PoolOptions configures a worker pool.
+type PoolOptions struct {
+	// Workers is the number of worker processes (default 1).
+	Workers int
+	// Dir holds the workers' unix sockets (default: fresh temp dir,
+	// removed on Close).
+	Dir string
+	// Command builds the worker process for index i listening on
+	// network/addr. Default: re-exec the current binary with the worker
+	// environment variable set (pair with MaybeRunWorker in main).
+	Command func(i int, network, addr string) *exec.Cmd
+	// Stderr receives worker stderr (default: the supervisor's stderr).
+	Stderr *os.File
+	// RestartDelay paces respawns after a crash (default 200ms).
+	RestartDelay time.Duration
+	// Log, when set, receives pool lifecycle events.
+	Log func(format string, args ...any)
+}
+
+// Pool supervises worker kernel processes: it spawns them, watches for
+// exits, and restarts crashed workers — the supervisor keeps running and
+// its proxies fault instead (the remote-playground failure model).
+type Pool struct {
+	opts    PoolOptions
+	dir     string
+	ownDir  bool
+	workers []*PoolWorker
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// PoolWorker is one supervised worker slot. The process occupying it may
+// be restarted any number of times; the socket address is stable.
+type PoolWorker struct {
+	pool    *Pool
+	Index   int
+	network string
+	addr    string
+
+	mu       sync.Mutex
+	cmd      *exec.Cmd
+	restarts int
+}
+
+// SelfExecCommand re-executes the current binary as a worker child. The
+// child must call MaybeRunWorker early in main.
+func SelfExecCommand(i int, network, addr string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), EnvWorkerAddr+"="+network+":"+addr)
+	return cmd
+}
+
+// StartPool spawns the workers and begins supervising them.
+func StartPool(opts PoolOptions) (*Pool, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Command == nil {
+		opts.Command = SelfExecCommand
+	}
+	if opts.RestartDelay <= 0 {
+		opts.RestartDelay = 200 * time.Millisecond
+	}
+	if opts.Log == nil {
+		opts.Log = func(string, ...any) {}
+	}
+	p := &Pool{opts: opts, dir: opts.Dir}
+	if p.dir == "" {
+		dir, err := os.MkdirTemp("", "jkpool-")
+		if err != nil {
+			return nil, err
+		}
+		p.dir = dir
+		p.ownDir = true
+	}
+	for i := 0; i < opts.Workers; i++ {
+		w := &PoolWorker{
+			pool:    p,
+			Index:   i,
+			network: "unix",
+			addr:    filepath.Join(p.dir, fmt.Sprintf("worker-%d.sock", i)),
+		}
+		p.workers = append(p.workers, w)
+		if err := w.spawn(); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Worker returns slot i.
+func (p *Pool) Worker(i int) *PoolWorker { return p.workers[i] }
+
+// Size returns the number of worker slots.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Close kills every worker and stops supervision.
+func (p *Pool) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, w := range p.workers {
+		w.mu.Lock()
+		if w.cmd != nil && w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+		w.mu.Unlock()
+	}
+	p.wg.Wait()
+	if p.ownDir {
+		os.RemoveAll(p.dir)
+	}
+}
+
+// Network and Addr identify the worker's stable listen endpoint.
+func (w *PoolWorker) Network() string { return w.network }
+func (w *PoolWorker) Addr() string    { return w.addr }
+
+// Restarts reports how many times this slot's process was respawned.
+func (w *PoolWorker) Restarts() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.restarts
+}
+
+// Kill terminates the current worker process (the supervisor will restart
+// it). Used by failure drills and tests.
+func (w *PoolWorker) Kill() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cmd == nil || w.cmd.Process == nil {
+		return fmt.Errorf("remote: worker %d has no process", w.Index)
+	}
+	return w.cmd.Process.Kill()
+}
+
+// Dial connects kernel k to the worker, retrying until the worker's
+// listener is up (fresh spawns and restarts take a moment) or timeout
+// elapses. Every attempt is verified with a protocol ping: a dying worker
+// can still accept a connection into its listen backlog, and only an
+// answered ping proves the kernel behind the socket is serving.
+func (w *PoolWorker) Dial(k *core.Kernel, timeout time.Duration) (*Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		nc, err := net.DialTimeout(w.network, w.addr, timeout)
+		if err == nil {
+			conn, cerr := NewConn(k, nc)
+			if cerr != nil {
+				nc.Close()
+				return nil, cerr
+			}
+			if perr := conn.Ping(2 * time.Second); perr == nil {
+				return conn, nil
+			}
+			conn.Close()
+			err = fmt.Errorf("connected but unresponsive")
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("remote: worker %d not reachable after %v: %w", w.Index, timeout, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// spawn starts the worker process and its monitor.
+func (w *PoolWorker) spawn() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.spawnLocked()
+}
+
+// spawnLocked starts the process under w.mu. The closed check and the cmd
+// store share the mutex with Pool.Close's kill loop, so a respawn cannot
+// slip past a concurrent Close and leak an orphan process.
+func (w *PoolWorker) spawnLocked() error {
+	if w.pool.closed.Load() {
+		return nil
+	}
+	if w.network == "unix" {
+		os.Remove(w.addr)
+	}
+	cmd := w.pool.opts.Command(w.Index, w.network, w.addr)
+	if cmd.Stderr == nil {
+		if w.pool.opts.Stderr != nil {
+			cmd.Stderr = w.pool.opts.Stderr
+		} else {
+			cmd.Stderr = os.Stderr
+		}
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("remote: spawn worker %d: %w", w.Index, err)
+	}
+	w.cmd = cmd
+	w.pool.opts.Log("worker %d: started pid %d (%s)", w.Index, cmd.Process.Pid, w.addr)
+	w.pool.wg.Add(1)
+	go w.monitor(cmd)
+	return nil
+}
+
+// monitor reaps one process incarnation and respawns unless the pool is
+// closing.
+func (w *PoolWorker) monitor(cmd *exec.Cmd) {
+	defer w.pool.wg.Done()
+	err := cmd.Wait()
+	if w.pool.closed.Load() {
+		return
+	}
+	w.pool.opts.Log("worker %d: exited (%v); restarting in %v", w.Index, err, w.pool.opts.RestartDelay)
+	time.Sleep(w.pool.opts.RestartDelay)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pool.closed.Load() {
+		return
+	}
+	w.restarts++
+	if serr := w.spawnLocked(); serr != nil {
+		w.pool.opts.Log("worker %d: respawn failed: %v", w.Index, serr)
+	}
+}

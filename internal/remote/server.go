@@ -1,0 +1,114 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"jkernel/internal/core"
+)
+
+// Listener accepts kernel-to-kernel connections and serves the kernel's
+// export table (Kernel.Export) to every peer.
+type Listener struct {
+	k  *core.Kernel
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[*Conn]struct{}
+	closed bool
+}
+
+// Listen starts serving kernel k on network/addr ("tcp" or "unix") in the
+// background.
+func Listen(k *core.Kernel, network, addr string) (*Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	l := NewListener(k, ln)
+	go l.serve()
+	return l, nil
+}
+
+// NewListener wraps an already-listening net.Listener without starting the
+// accept loop; call Serve to run it in the foreground (workers do).
+func NewListener(k *core.Kernel, ln net.Listener) *Listener {
+	return &Listener{k: k, ln: ln, conns: make(map[*Conn]struct{})}
+}
+
+// Serve runs the accept loop until the listener closes.
+func (l *Listener) Serve() error {
+	return l.serve()
+}
+
+func (l *Listener) serve() error {
+	var delay time.Duration
+	for {
+		nc, err := l.ln.Accept()
+		if err != nil {
+			if l.isClosed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			// Transient failures (EMFILE under fd pressure, aborted
+			// handshakes) must not silently stop the accept loop: back off
+			// and keep serving, as net/http does.
+			if delay == 0 {
+				delay = 5 * time.Millisecond
+			} else if delay *= 2; delay > time.Second {
+				delay = time.Second
+			}
+			time.Sleep(delay)
+			continue
+		}
+		delay = 0
+		conn, cerr := NewConn(l.k, nc)
+		if cerr != nil {
+			nc.Close()
+			continue
+		}
+		l.track(conn)
+	}
+}
+
+func (l *Listener) track(c *Conn) {
+	l.mu.Lock()
+	l.conns[c] = struct{}{}
+	l.mu.Unlock()
+	go func() {
+		<-c.Done()
+		l.mu.Lock()
+		delete(l.conns, c)
+		l.mu.Unlock()
+	}()
+}
+
+func (l *Listener) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// Addr returns the listening address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops accepting and tears down every live connection.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := make([]*Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}

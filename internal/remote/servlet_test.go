@@ -1,0 +1,121 @@
+package remote
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"jkernel/internal/core"
+	"jkernel/internal/httpd"
+)
+
+// remoteServlet runs in the worker kernel and follows the native servlet
+// contract.
+type remoteServlet struct{}
+
+func (remoteServlet) Service(req *httpd.Request) (*httpd.Response, error) {
+	return &httpd.Response{
+		Status:  200,
+		Headers: map[string]string{"X-Worker": "1"},
+		Body:    []byte("remote:" + req.Path),
+	}, nil
+}
+
+// TestRemoteServletDispatch serves HTTP from a supervisor kernel whose
+// servlet lives in a second kernel behind the wire: the bridge cannot
+// tell, and a dead worker degrades to 503, not a crash.
+func TestRemoteServletDispatch(t *testing.T) {
+	// Worker kernel: hosts the servlet, exports it.
+	worker := core.MustNew(core.Options{})
+	httpd.RegisterTypes(worker)
+	wd, err := worker.NewDomain(core.DomainConfig{Name: "servlets"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := worker.CreateNativeCapability(wd, remoteServlet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := worker.Export("servlet", cap); err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "servlet.sock")
+	ln, err := Listen(worker, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Supervisor kernel: front server + bridge, servlet mounted remotely.
+	sup := core.MustNew(core.Options{})
+	bridge, err := httpd.NewBridge(sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Dial(sup, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	proxy, err := conn.Import("servlet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.MountRemote("remote", "/r/", proxy); err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest("GET", "/r/hello", nil)
+	rec := httptest.NewRecorder()
+	bridge.ServeHTTP(rec, req)
+	if rec.Code != 200 || rec.Body.String() != "remote:/r/hello" {
+		t.Fatalf("remote dispatch: %d %q", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Worker") != "1" {
+		t.Fatalf("headers lost: %v", rec.Header())
+	}
+
+	// Terminating one remote servlet revokes only its proxy: the
+	// connection, its domain, and other imports stay usable.
+	if err := bridge.TerminateServlet("remote"); err != nil {
+		t.Fatal(err)
+	}
+	if conn.Domain().Terminated() {
+		t.Fatal("terminating a remote servlet killed the whole connection domain")
+	}
+	if err := conn.Ping(2 * time.Second); err != nil {
+		t.Fatalf("connection unusable after remote servlet terminate: %v", err)
+	}
+	// Remount for the worker-death check below.
+	proxy2, err := conn.Import("servlet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.MountRemote("remote2", "/r/", proxy2); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	bridge.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("remounted servlet: %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Worker death degrades to 503 (unavailable), never a crash.
+	ln.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rec = httptest.NewRecorder()
+		bridge.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker death never surfaced")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if rec.Code != 503 {
+		t.Fatalf("dead worker: got %d %q, want 503", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,161 @@
+// Package remote extends the J-Kernel's capability discipline across
+// process boundaries: a supervisor kernel and worker kernels, each a full
+// single-process J-Kernel, exchange capabilities over a length-prefixed
+// wire protocol. Imported capabilities materialize as proxy gates that
+// plug into the ordinary core invoke path, so callers cannot tell a local
+// capability from a remote one — the paper's LRMI semantics (copy
+// non-capability arguments, pass capabilities by reference, propagate
+// revocation and termination as exceptions) hold across the wire.
+//
+// The protocol is symmetric: either end may export, import, and invoke.
+// Each connection keeps an export table (local capabilities the peer may
+// invoke, keyed by export id) and an import table (peer capabilities this
+// side holds proxies for). Arguments cross as an intermediate byte array
+// produced by internal/seri, with capability references encoded through
+// seri's External hook. Revocation — explicit, or implied by domain
+// termination — is pushed eagerly so proxies fail fast, and a lost
+// connection faults every proxy imported over it ("worker died" surfaces
+// as a capability fault, never as a supervisor crash).
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message types.
+const (
+	msgInvoke      byte = 1 // reqID, exportID, method, args stream
+	msgReply       byte = 2 // reqID, status, results stream | error
+	msgRevoke      byte = 3 // exportID, reason
+	msgLookup      byte = 4 // reqID, name
+	msgLookupReply byte = 5 // reqID, status, handle, methods | error
+	msgPing        byte = 6 // reqID: liveness/readiness probe
+	msgPong        byte = 7 // reqID
+)
+
+// Reply statuses.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// Wire error kinds, mapped back onto kernel sentinels by the caller.
+const (
+	errKindRevoked    byte = 1
+	errKindTerminated byte = 2
+	errKindNoMethod   byte = 3
+	errKindNotFound   byte = 4 // lookup of an unexported name
+	errKindRemote     byte = 5 // copied callee failure (class + message)
+	errKindProtocol   byte = 6
+)
+
+// Revocation reasons pushed with msgRevoke.
+const (
+	revokeReasonRevoked    byte = 0
+	revokeReasonTerminated byte = 1
+)
+
+// maxFrame bounds one protocol frame (header-declared length).
+const maxFrame = 1 << 24
+
+// Capability handles: a handle names a gate relative to the *sender*.
+// kind 0 means "owned by me, import it"; kind 1 means "owned by you,
+// here is your own export id back". Packed as id<<1|kind so a handle fits
+// seri's single-uint64 External contract.
+const (
+	handleKindTheirs = 0 // receiver should import (sender-owned)
+	handleKindYours  = 1 // receiver's own export returning home
+)
+
+func packHandle(id uint64, kind uint64) uint64 { return id<<1 | kind }
+func unpackHandle(h uint64) (id uint64, kind uint64) {
+	return h >> 1, h & 1
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("remote: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("remote: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// wbuf builds a frame payload.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte)        { w.b = append(w.b, v) }
+func (w *wbuf) uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+func (w *wbuf) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *wbuf) raw(p []byte) { w.b = append(w.b, p...) }
+
+// rbuf walks a frame payload.
+type rbuf struct {
+	b   []byte
+	pos int
+}
+
+func (r *rbuf) fail(what string) error {
+	return fmt.Errorf("remote: malformed frame: %s at offset %d", what, r.pos)
+}
+
+func (r *rbuf) u8() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, r.fail("truncated byte")
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *rbuf) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, r.fail("bad uvarint")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *rbuf) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		return "", r.fail("string overruns frame")
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+// rest returns the unread tail of the frame (the seri stream).
+func (r *rbuf) rest() []byte { return r.b[r.pos:] }

@@ -1,0 +1,77 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"jkernel/internal/core"
+)
+
+// EnvWorkerAddr steers a self-exec worker child: when set (to
+// "unix:/path/to.sock" or "tcp:host:port"), MaybeRunWorker turns the
+// process into a worker kernel listening there.
+const EnvWorkerAddr = "JK_WORKER_ADDR"
+
+// WorkerConfig describes one worker kernel process.
+type WorkerConfig struct {
+	// Network and Addr are the listen endpoint ("unix"/"tcp").
+	Network, Addr string
+	// Options configures the worker's kernel.
+	Options core.Options
+	// Setup populates the fresh kernel: create domains, create
+	// capabilities, and Kernel.Export the ones the supervisor may import.
+	Setup func(k *core.Kernel) error
+	// Ready, when set, is called once the listener is up (diagnostics).
+	Ready func(addr net.Addr)
+}
+
+// RunWorker boots a worker kernel and serves it until the process dies or
+// the listener is closed: the body of cmd/jkworker and of every self-exec
+// worker child.
+func RunWorker(cfg WorkerConfig) error {
+	if cfg.Setup == nil {
+		return fmt.Errorf("remote: worker needs a Setup function")
+	}
+	k, err := core.New(cfg.Options)
+	if err != nil {
+		return fmt.Errorf("remote: worker kernel: %w", err)
+	}
+	if err := cfg.Setup(k); err != nil {
+		return fmt.Errorf("remote: worker setup: %w", err)
+	}
+	if cfg.Network == "unix" {
+		// A crashed predecessor may have left its socket behind.
+		os.Remove(cfg.Addr)
+	}
+	ln, err := net.Listen(cfg.Network, cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("remote: worker listen: %w", err)
+	}
+	if cfg.Ready != nil {
+		cfg.Ready(ln.Addr())
+	}
+	return NewListener(k, ln).Serve()
+}
+
+// MaybeRunWorker turns the current process into a worker when the worker
+// environment variable is set, then exits; otherwise it returns
+// immediately. Call it first thing in main (or TestMain) of any binary
+// that spawns a self-exec worker pool.
+func MaybeRunWorker(setup func(k *core.Kernel) error) {
+	spec := os.Getenv(EnvWorkerAddr)
+	if spec == "" {
+		return
+	}
+	network, addr, ok := strings.Cut(spec, ":")
+	if !ok || (network != "unix" && network != "tcp") {
+		fmt.Fprintf(os.Stderr, "jkworker: bad %s=%q (want unix:PATH or tcp:ADDR)\n", EnvWorkerAddr, spec)
+		os.Exit(2)
+	}
+	if err := RunWorker(WorkerConfig{Network: network, Addr: addr, Setup: setup}); err != nil {
+		fmt.Fprintln(os.Stderr, "jkworker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -34,6 +34,7 @@ const (
 	tagPtr
 	tagRef   // back-reference to an already-encoded object
 	tagIface // dynamic value: type name + value
+	tagCap   // capability reference: passes by handle, never by copy
 )
 
 // Registry maps type names to concrete types for decoding. A nil *Registry
@@ -82,9 +83,28 @@ func (r *Registry) typeOf(name string) (reflect.Type, bool) {
 	return t, ok
 }
 
+// External resolves values that cross the stream by reference rather than
+// by copy — the J-Kernel's capabilities. The encoder offers every pointer
+// and interface value to EncodeExternal; a (handle, true) answer writes a
+// capability-reference tag instead of a deep copy, and the decoder hands
+// the handle back to DecodeExternal to produce the local stand-in (the
+// original capability, or a proxy for a remote one).
+type External interface {
+	// EncodeExternal reports whether v travels by reference, and under
+	// which handle.
+	EncodeExternal(v any) (handle uint64, ok bool)
+	// DecodeExternal resolves a handle read from the stream.
+	DecodeExternal(handle uint64) (any, error)
+}
+
 // Marshal encodes v into a fresh byte slice.
 func Marshal(r *Registry, v any) ([]byte, error) {
-	e := &encoder{reg: r, seen: map[unsafePtr]uint64{}}
+	return MarshalExt(r, v, nil)
+}
+
+// MarshalExt is Marshal with an External hook for capability references.
+func MarshalExt(r *Registry, v any, ext External) ([]byte, error) {
+	e := &encoder{reg: r, ext: ext, seen: map[unsafePtr]uint64{}}
 	if err := e.encodeIface(reflect.ValueOf(v)); err != nil {
 		return nil, err
 	}
@@ -93,7 +113,14 @@ func Marshal(r *Registry, v any) ([]byte, error) {
 
 // Unmarshal decodes a stream produced by Marshal.
 func Unmarshal(r *Registry, data []byte) (any, error) {
-	d := &decoder{reg: r, buf: data, objs: nil}
+	return UnmarshalExt(r, data, nil)
+}
+
+// UnmarshalExt is Unmarshal with an External hook for capability
+// references. A stream containing capability references fails to decode
+// without one.
+func UnmarshalExt(r *Registry, data []byte, ext External) (any, error) {
+	d := &decoder{reg: r, ext: ext, buf: data, objs: nil}
 	v, err := d.decodeIface()
 	if err != nil {
 		return nil, err
@@ -124,9 +151,26 @@ type unsafePtr struct {
 
 type encoder struct {
 	reg  *Registry
+	ext  External
 	buf  []byte
 	next uint64
 	seen map[unsafePtr]uint64
+}
+
+// encodeExternal writes a capability reference when the External hook
+// claims v. Only pointer and interface kinds can be capabilities, so the
+// hook is not consulted for primitives and containers.
+func (e *encoder) encodeExternal(v reflect.Value) (bool, error) {
+	if e.ext == nil || v.Kind() != reflect.Ptr || v.IsNil() || !v.CanInterface() {
+		return false, nil
+	}
+	h, ok := e.ext.EncodeExternal(v.Interface())
+	if !ok {
+		return false, nil
+	}
+	e.byte(tagCap)
+	e.uvarint(h)
+	return true, nil
 }
 
 func (e *encoder) byte(b byte)      { e.buf = append(e.buf, b) }
@@ -151,6 +195,9 @@ func (e *encoder) encodeIface(v reflect.Value) error {
 	if v.Kind() == reflect.Interface {
 		e.byte(tagNil)
 		return nil
+	}
+	if done, err := e.encodeExternal(v); done || err != nil {
+		return err
 	}
 	e.byte(tagIface)
 	name, err := e.typeName(v.Type())
@@ -288,6 +335,9 @@ func (e *encoder) encode(v reflect.Value) error {
 			e.byte(tagNil)
 			return nil
 		}
+		if done, err := e.encodeExternal(v); done || err != nil {
+			return err
+		}
 		key := unsafePtr{p: v.Pointer(), t: v.Type()}
 		if id, ok := e.seen[key]; ok {
 			e.byte(tagRef)
@@ -337,9 +387,26 @@ func (e *encoder) encodeElem(v reflect.Value) error {
 
 type decoder struct {
 	reg  *Registry
+	ext  External
 	buf  []byte
 	pos  int
 	objs []reflect.Value // id -> decoded heap object
+}
+
+// decodeExternal resolves a capability reference read from the stream.
+func (d *decoder) decodeExternal() (any, error) {
+	h, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if d.ext == nil {
+		return nil, d.fail("capability reference %d with no external decoder", h)
+	}
+	v, err := d.ext.DecodeExternal(h)
+	if err != nil {
+		return nil, fmt.Errorf("seri: capability reference %d: %w", h, err)
+	}
+	return v, nil
 }
 
 func (d *decoder) fail(format string, args ...any) error {
@@ -394,6 +461,9 @@ func (d *decoder) decodeIface() (any, error) {
 	}
 	if tag == tagNil {
 		return nil, nil
+	}
+	if tag == tagCap {
+		return d.decodeExternal()
 	}
 	if tag != tagIface {
 		return nil, d.fail("expected iface tag, got %d", tag)
@@ -641,6 +711,16 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 			return nil
 		}
 		return d.fail("cannot place %v into %v", xv.Type(), v.Type())
+	case tagCap:
+		x, err := d.decodeExternal()
+		if err != nil {
+			return err
+		}
+		xv := reflect.ValueOf(x)
+		if !xv.IsValid() || !xv.Type().AssignableTo(v.Type()) {
+			return d.fail("capability reference is not assignable to %v", v.Type())
+		}
+		v.Set(xv)
 	default:
 		return d.fail("unknown tag %d", tag)
 	}

@@ -1,6 +1,9 @@
 package vmkit
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Opcode enumerates the VM instruction set. The set is deliberately small
 // and orthogonal; it is sufficient to express the J-Kernel stubs, the
@@ -239,7 +242,7 @@ type MethodRef struct {
 
 // ParseFieldRef parses "Class.name:Desc".
 func ParseFieldRef(s string) (FieldRef, error) {
-	dot := lastIndexByte(s, '.')
+	dot := strings.LastIndexByte(s, '.')
 	if dot <= 0 {
 		return FieldRef{}, fmt.Errorf("vmkit: bad field ref %q", s)
 	}
@@ -257,9 +260,14 @@ func ParseFieldRef(s string) (FieldRef, error) {
 	return fr, nil
 }
 
-// ParseMethodRef parses "Class.name:(params)ret".
+// ParseMethodRef parses "Class.name:(params)ret". The class/name split is
+// the last '.' before the descriptor's '(' (class names may be dotted).
 func ParseMethodRef(s string) (MethodRef, error) {
-	dot := lastIndexByteBefore(s, '.', indexByteOr(s, '(', len(s)))
+	end := strings.IndexByte(s, '(')
+	if end < 0 {
+		end = len(s)
+	}
+	dot := strings.LastIndexByte(s[:end], '.')
 	if dot <= 0 {
 		return MethodRef{}, fmt.Errorf("vmkit: bad method ref %q", s)
 	}
@@ -277,39 +285,10 @@ func ParseMethodRef(s string) (MethodRef, error) {
 	return mr, nil
 }
 
-func lastIndexByte(s string, b byte) int {
-	for i := len(s) - 1; i >= 0; i-- {
-		if s[i] == b {
-			return i
-		}
-	}
-	return -1
-}
-
-func lastIndexByteBefore(s string, b byte, end int) int {
-	if end > len(s) {
-		end = len(s)
-	}
-	for i := end - 1; i >= 0; i-- {
-		if s[i] == b {
-			return i
-		}
-	}
-	return -1
-}
-
+// indexByteFrom finds b in s at or after from.
 func indexByteFrom(s string, b byte, from int) int {
-	for i := from; i < len(s); i++ {
-		if s[i] == b {
-			return i
-		}
+	if i := strings.IndexByte(s[from:], b); i >= 0 {
+		return from + i
 	}
 	return -1
-}
-
-func indexByteOr(s string, b byte, def int) int {
-	if i := indexByteFrom(s, b, 0); i >= 0 {
-		return i
-	}
-	return def
 }

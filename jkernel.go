@@ -32,6 +32,7 @@ package jkernel
 import (
 	"jkernel/internal/account"
 	"jkernel/internal/core"
+	"jkernel/internal/remote"
 	"jkernel/internal/vmkit"
 )
 
@@ -60,6 +61,18 @@ type (
 	Stats = account.Stats
 	// Profile selects the VM cost profile.
 	Profile = vmkit.Profile
+
+	// RemoteConn is a kernel-to-kernel connection: capabilities imported
+	// over it are proxies indistinguishable from local capabilities.
+	RemoteConn = remote.Conn
+	// RemoteListener serves a kernel's exports to remote kernels.
+	RemoteListener = remote.Listener
+	// WorkerPool supervises worker kernel processes, restarting crashes.
+	WorkerPool = remote.Pool
+	// WorkerPoolOptions configures StartWorkerPool.
+	WorkerPoolOptions = remote.PoolOptions
+	// WorkerConfig describes one worker kernel process (see RunWorker).
+	WorkerConfig = remote.WorkerConfig
 )
 
 // Sentinel errors.
@@ -109,4 +122,43 @@ func MustAssemble(src string) []byte {
 		panic(err)
 	}
 	return b
+}
+
+// Remote kernels. A supervisor kernel Listens (serving the capabilities it
+// has Exported via Kernel.Export) and Connects to worker kernels in other
+// processes; Import on the connection yields a proxy capability whose
+// Invoke/Bind/Revoke behave exactly like a local capability's, with
+// revocation and termination propagated across the wire and a lost worker
+// surfacing as ErrRevoked, never as a supervisor crash. See
+// examples/cluster and cmd/jkworker.
+
+// Listen serves k's exported capabilities on network/addr ("tcp" or
+// "unix") in the background.
+func Listen(k *Kernel, network, addr string) (*RemoteListener, error) {
+	return remote.Listen(k, network, addr)
+}
+
+// Connect dials a remote kernel; Import on the returned connection
+// retrieves proxies for the peer's exports.
+func Connect(k *Kernel, network, addr string) (*RemoteConn, error) {
+	return remote.Dial(k, network, addr)
+}
+
+// StartWorkerPool spawns and supervises worker kernel processes. With no
+// Command option the current binary re-executes itself; pair with
+// MaybeRunWorker at the top of main.
+func StartWorkerPool(opts WorkerPoolOptions) (*WorkerPool, error) {
+	return remote.StartPool(opts)
+}
+
+// RunWorker boots a worker kernel and serves it until the process exits.
+func RunWorker(cfg WorkerConfig) error {
+	return remote.RunWorker(cfg)
+}
+
+// MaybeRunWorker turns the process into a worker kernel when spawned by a
+// worker pool (the worker env var is set), and returns immediately
+// otherwise. Call it first thing in main.
+func MaybeRunWorker(setup func(k *Kernel) error) {
+	remote.MaybeRunWorker(setup)
 }

@@ -1,0 +1,140 @@
+package jkernel
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// remoteGreeter is the supervisor-side service the remote kernel imports.
+type remoteGreeter struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (g *remoteGreeter) Greet(name string) (string, error) {
+	g.mu.Lock()
+	g.calls++
+	g.mu.Unlock()
+	return "hello " + name, nil
+}
+
+// TestRemoteRevocationPropagation is the facade-level end-to-end check:
+// a capability exported by a supervisor kernel is imported and invoked by
+// a second kernel over the wire; after the supervisor revokes it, the
+// next remote invoke fails with the RevokedException analog (ErrRevoked),
+// exactly as a local stub would.
+func TestRemoteRevocationPropagation(t *testing.T) {
+	sup := New(Options{})
+	supDom, err := sup.NewDomain(DomainConfig{Name: "services"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := sup.CreateNativeCapability(supDom, &remoteGreeter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Export("greeter", cap); err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "sup.sock")
+	ln, err := Listen(sup, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// The "worker" side: a second kernel (the wire path is identical
+	// whether it lives in this process or another).
+	worker := New(Options{})
+	app, err := worker.NewDomain(DomainConfig{Name: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Connect(worker, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	proxy, err := conn.Import("greeter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := worker.NewDetachedTask(app, "remote-client")
+
+	res, err := proxy.InvokeFrom(task, "Greet", "cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != any("hello cluster") {
+		t.Fatalf("remote invoke: %#v", res)
+	}
+
+	// Revoke in the supervisor; the remote proxy must fault.
+	cap.Revoke()
+	if _, err := proxy.InvokeFrom(task, "Greet", "again"); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("invoke after supervisor revoke: %v", err)
+	}
+	// And the pushed revocation flips the proxy's state without a call.
+	deadline := time.Now().Add(2 * time.Second)
+	for !proxy.Revoked() {
+		if time.Now().After(deadline) {
+			t.Fatal("revocation never pushed to the remote proxy")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRemoteTypedBind drives the Bind stub path through the facade: a
+// typed struct of funcs bound to a remote proxy is indistinguishable from
+// one bound to a local capability.
+func TestRemoteTypedBind(t *testing.T) {
+	sup := New(Options{})
+	supDom, err := sup.NewDomain(DomainConfig{Name: "services"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := sup.CreateNativeCapability(supDom, &remoteGreeter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Export("greeter", cap); err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "sup.sock")
+	ln, err := Listen(sup, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	client := New(Options{})
+	app, err := client.NewDomain(DomainConfig{Name: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Connect(client, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	proxy, err := conn.Import("greeter")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	task := client.NewTask(app, "typed")
+	defer task.Close()
+	var svc struct {
+		Greet func(string) (string, error)
+	}
+	if err := proxy.Bind(&svc); err != nil {
+		t.Fatal(err)
+	}
+	out, err := svc.Greet("typed client")
+	if err != nil || out != "hello typed client" {
+		t.Fatalf("typed remote stub: %q %v", out, err)
+	}
+}
