@@ -2,15 +2,18 @@
 // original row/column format, alongside the published numbers, so shape
 // comparisons are direct; table 7 extends the evaluation to the remote
 // kernels subsystem (local LRMI vs cross-process capability invocation,
-// the Table 2-vs-3 contrast made concrete). See EXPERIMENTS.md for the
-// recorded results.
+// the Table 2-vs-3 contrast made concrete), and table 8 measures sync
+// per-call against async-batched remote invocation. See EXPERIMENTS.md
+// for the recorded results.
 //
-//	jkbench            # all tables
-//	jkbench -table 4   # one table
-//	jkbench -quick     # fewer iterations (CI-friendly)
+//	jkbench                  # all tables
+//	jkbench -table 4         # one table
+//	jkbench -quick           # fewer iterations (CI-friendly)
+//	jkbench -json BENCH.json # also write measured rows as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -29,8 +32,9 @@ import (
 )
 
 var (
-	tableFlag = flag.Int("table", 0, "run only this table (1-6); 0 = all")
+	tableFlag = flag.Int("table", 0, "run only this table (1-8); 0 = all")
 	quick     = flag.Bool("quick", false, "fewer iterations")
+	jsonFlag  = flag.String("json", "", "write measured rows (remote tables 7-8) as JSON to this file")
 )
 
 func main() {
@@ -49,6 +53,52 @@ func main() {
 	run(5, table5)
 	run(6, table6)
 	run(7, table7)
+	run(8, table8)
+	if *jsonFlag != "" {
+		writeBenchJSON(*jsonFlag)
+	}
+}
+
+// --- machine-readable results (the BENCH_*.json perf trajectory) -----------
+
+// benchRow is one measured configuration.
+type benchRow struct {
+	Table     int     `json:"table"`
+	Name      string  `json:"name"`
+	MicrosPer float64 `json:"us_per_op,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	Ratio     float64 `json:"ratio,omitempty"`
+}
+
+var benchRows []benchRow
+
+// record captures a measured row for the JSON artifact.
+func record(table int, name string, us float64) {
+	row := benchRow{Table: table, Name: name, MicrosPer: us}
+	if us > 0 {
+		row.OpsPerSec = 1e6 / us
+	}
+	benchRows = append(benchRows, row)
+}
+
+// recordRatio captures a derived speedup row.
+func recordRatio(table int, name string, ratio float64) {
+	benchRows = append(benchRows, benchRow{Table: table, Name: name, Ratio: ratio})
+}
+
+func writeBenchJSON(path string) {
+	doc := struct {
+		Generated string     `json:"generated"`
+		Quick     bool       `json:"quick"`
+		Rows      []benchRow `json:"rows"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Quick:     *quick,
+		Rows:      benchRows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	check(err)
+	check(os.WriteFile(path, append(data, '\n'), 0o644))
 }
 
 func iters(base int) int {
@@ -623,6 +673,7 @@ func table7() {
 	f := newFixture(vmkit.ProfileA)
 	lrmi := measure(iters(50000), f.loop("runLRMI"))
 	fmt.Printf("  %-46s %10.2f\n", "J-Kernel LRMI (VM, same kernel)", lrmi)
+	record(7, "J-Kernel LRMI (VM, same kernel)", lrmi)
 
 	kl := core.MustNew(core.Options{})
 	sd, err := kl.NewDomain(core.DomainConfig{Name: "s"})
@@ -638,6 +689,7 @@ func table7() {
 		}
 	})
 	fmt.Printf("  %-46s %10.2f\n", "native LRMI (Go, same kernel)", local)
+	record(7, "native LRMI (Go, same kernel)", local)
 
 	// In-process wire row: second kernel, same process, TCP loopback.
 	k2 := core.MustNew(core.Options{})
@@ -660,6 +712,7 @@ func table7() {
 	conn.Close()
 	ln.Close()
 	fmt.Printf("  %-46s %10.2f\n", "remote null call (2nd kernel, TCP loopback)", inproc)
+	record(7, "remote null call (2nd kernel, TCP loopback)", inproc)
 
 	// Cross-process row: a real worker process behind a unix socket.
 	pool, err := remote.StartPool(remote.PoolOptions{Workers: 1})
@@ -676,6 +729,104 @@ func table7() {
 	})
 	wconn.Close()
 	fmt.Printf("  %-46s %10.2f\n", "remote null call (worker process, unix socket)", cross)
+	record(7, "remote null call (worker process, unix socket)", cross)
+	fmt.Println()
+}
+
+// --- table 8: sync vs async-batched remote invocation ----------------------
+
+// measureAsyncBatched times null calls issued as windowed async fan-outs:
+// each wave queues `window` futures (the connection coalesces them into
+// multi-invoke frames), flushes, and joins. µs per call.
+func measureAsyncBatched(conn *remote.Conn, proxy *core.Capability, task *core.Task, n int) float64 {
+	const window = 512
+	futs := make([]*core.Future, 0, window)
+	return measure(n, func(n int) {
+		for done := 0; done < n; {
+			w := window
+			if w > n-done {
+				w = n - done
+			}
+			futs = futs[:0]
+			for i := 0; i < w; i++ {
+				futs = append(futs, proxy.InvokeAsyncFrom(task, "Null"))
+			}
+			conn.Flush()
+			for _, f := range futs {
+				if _, err := f.Wait(); err != nil {
+					check(err)
+				}
+			}
+			done += w
+		}
+	})
+}
+
+// table8 measures what batching buys on the wire: the same remote null
+// call issued synchronously (one frame and one round trip per call, the
+// Table 7 baseline) against async futures coalesced into multi-invoke
+// frames. The gap is the per-frame overhead — syscalls, wakeups, reply
+// dispatch — amortized over a whole batch, the wire-level version of the
+// paper's "one large object beats many small ones" (Table 4).
+func table8() {
+	fmt.Println("Table 8. Remote kernels: sync vs async-batched null calls (in µs/call; beyond the paper)")
+	fmt.Printf("  %-52s %10s %12s\n", "Configuration", "µs/call", "calls/sec")
+	row := func(name string, us float64) {
+		fmt.Printf("  %-52s %10.2f %12.0f\n", name, us, 1e6/us)
+		record(8, name, us)
+	}
+
+	kl := core.MustNew(core.Options{})
+	cd, err := kl.NewDomain(core.DomainConfig{Name: "app"})
+	check(err)
+	task := kl.NewDetachedTask(cd, "bench")
+
+	// In-process second kernel over TCP loopback.
+	k2 := core.MustNew(core.Options{})
+	s2, err := k2.NewDomain(core.DomainConfig{Name: "svc"})
+	check(err)
+	c2, err := k2.CreateNativeCapability(s2, benchNullSvc{})
+	check(err)
+	check(k2.Export("null", c2))
+	ln, err := remote.Listen(k2, "tcp", "127.0.0.1:0")
+	check(err)
+	conn, err := remote.Dial(kl, "tcp", ln.Addr().String())
+	check(err)
+	proxy, err := conn.Import("null")
+	check(err)
+	syncLoop := measureEach(iters(20000), func() {
+		if _, err := proxy.InvokeFrom(task, "Null"); err != nil {
+			check(err)
+		}
+	})
+	row("sync per-call (2nd kernel, TCP loopback)", syncLoop)
+	asyncLoop := measureAsyncBatched(conn, proxy, task, iters(200000))
+	row("async batched (2nd kernel, TCP loopback)", asyncLoop)
+	conn.Close()
+	ln.Close()
+
+	// Cross-process: a real worker behind a unix socket.
+	pool, err := remote.StartPool(remote.PoolOptions{Workers: 1})
+	check(err)
+	defer pool.Close()
+	wconn, err := pool.Worker(0).Dial(kl, 10*time.Second)
+	check(err)
+	wproxy, err := wconn.Import("null")
+	check(err)
+	syncCross := measureEach(iters(20000), func() {
+		if _, err := wproxy.InvokeFrom(task, "Null"); err != nil {
+			check(err)
+		}
+	})
+	row("sync per-call (worker process, unix socket)", syncCross)
+	asyncCross := measureAsyncBatched(wconn, wproxy, task, iters(200000))
+	row("async batched (worker process, unix socket)", asyncCross)
+	wconn.Close()
+
+	fmt.Printf("  %-52s %9.1fx\n", "batching speedup (TCP loopback)", syncLoop/asyncLoop)
+	fmt.Printf("  %-52s %9.1fx\n", "batching speedup (worker process)", syncCross/asyncCross)
+	recordRatio(8, "batching speedup (TCP loopback)", syncLoop/asyncLoop)
+	recordRatio(8, "batching speedup (worker process)", syncCross/asyncCross)
 	fmt.Println()
 }
 

@@ -65,6 +65,26 @@ func main() {
 		fmt.Printf("-- worker %d counter shard: %v\n", i, res[0])
 	}
 
+	// Fan out asynchronously: queue one future per call across both
+	// shards, flush, and join once. Calls queued on a connection coalesce
+	// into multi-invoke frames (the paper's Table 4 lesson applied to the
+	// wire), so this wave costs a handful of frames, not 100 round trips.
+	const wave = 100
+	futs := make([]*jkernel.Future, 0, wave)
+	for n := 0; n < wave; n++ {
+		shard := n % len(counters)
+		futs = append(futs, counters[shard].InvokeAsyncFrom(task, "Add", int64(1)))
+	}
+	for _, c := range conns {
+		c.Flush()
+	}
+	check(jkernel.WaitAll(futs...))
+	for i, c := range counters {
+		res, err := c.InvokeFrom(task, "Get")
+		check(err)
+		fmt.Printf("-- after async fan-out of %d: worker %d shard at %v\n", wave, i, res[0])
+	}
+
 	// Revocation across the wire: ask worker 1 to revoke its counter.
 	admin, err := conns[1].Import("admin")
 	check(err)

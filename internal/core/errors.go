@@ -26,6 +26,10 @@ var ErrNoSuchMethod = errors.New("jkernel: no such remote method")
 // has not entered a domain via NewTask.
 var ErrNotEntered = errors.New("jkernel: goroutine has no task (call Kernel.NewTask first)")
 
+// ErrCancelled is the resolution of a future abandoned via Future.Cancel
+// before it completed, faulted, or was revoked.
+var ErrCancelled = errors.New("jkernel: future cancelled")
+
 // RemoteError carries a failure out of a callee domain. Like the paper's
 // RemoteException, it is a *copy* of the failure: no callee objects leak to
 // the caller through the error path.

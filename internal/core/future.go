@@ -1,0 +1,242 @@
+package core
+
+import "sync"
+
+// Asynchronous invocation: InvokeAsync starts a cross-domain call and
+// returns a Future immediately, so a supervisor can fan one call out to
+// every worker shard and join — the remote follow-on to the paper's
+// Table 4 lesson that many small calls cost far more than one large one.
+// Futures are gate-flavor agnostic: local native gates run the ordinary
+// LRMI on a detached task, while transports that implement
+// AsyncProxyTarget (internal/remote) start a genuinely non-blocking wire
+// invocation, which is what lets the connection coalesce many pending
+// calls into one multi-invoke frame.
+//
+// Future semantics, proven equivalent for local and remote gates by the
+// conformance table in future_conformance_test.go:
+//
+//   - resolve-once: a future resolves exactly once, whichever of
+//     completion, Cancel, or revocation happens first; later outcomes are
+//     dropped.
+//   - fault propagation: callee failures surface from Wait exactly as
+//     they would from a synchronous Invoke (same sentinels, RemoteError
+//     copies).
+//   - revocation-aware: revoking the capability (or terminating its
+//     owner, or losing its connection) resolves every in-flight future
+//     with the capability fault — a join never outlives the gate.
+//   - Cancel is advisory: it resolves the future with ErrCancelled and
+//     releases the transport slot, but the call it abandoned may still
+//     execute on the callee (exactly like revocation mid-call).
+
+// Future is the pending result of an asynchronous cross-domain call.
+type Future struct {
+	method string
+
+	mu           sync.Mutex
+	resolved     bool
+	results      []any
+	err          error
+	onCancel     func() // transport hook: releases the pending wire slot
+	removeRevoke func() // gate hook deregistration, run on resolution
+
+	done chan struct{}
+}
+
+// newFuture creates an unresolved future for method name.
+func newFuture(method string) *Future {
+	return &Future{method: method, done: make(chan struct{})}
+}
+
+// resolvedFuture creates a future born resolved (immediate failures).
+func resolvedFuture(method string, results []any, err error) *Future {
+	f := newFuture(method)
+	f.resolve(results, err)
+	return f
+}
+
+// Method returns the remote method name the future is waiting on.
+func (f *Future) Method() string { return f.method }
+
+// resolve settles the future exactly once. The first caller wins; every
+// later resolution (a late reply racing a cancellation, say) is dropped.
+func (f *Future) resolve(results []any, err error) {
+	f.mu.Lock()
+	if f.resolved {
+		f.mu.Unlock()
+		return
+	}
+	f.resolved = true
+	f.results = results
+	f.err = err
+	remove := f.removeRevoke
+	f.removeRevoke = nil
+	f.onCancel = nil
+	f.mu.Unlock()
+	close(f.done)
+	if remove != nil {
+		remove()
+	}
+}
+
+// Done is closed when the future resolves.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Resolved reports whether the future has settled.
+func (f *Future) Resolved() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the future resolves and returns its results and
+// error, following the same conventions as Invoke. It is idempotent:
+// every call returns the same outcome.
+func (f *Future) Wait() ([]any, error) {
+	<-f.done
+	return f.results, f.err
+}
+
+// Cancel abandons the call: the future resolves with ErrCancelled and the
+// transport's pending slot is released. It is a no-op on a resolved
+// future — in particular, a future already holding a revocation fault
+// keeps it. The abandoned call may still run to completion on the callee;
+// its result is dropped.
+func (f *Future) Cancel() {
+	f.mu.Lock()
+	if f.resolved {
+		f.mu.Unlock()
+		return
+	}
+	cancel := f.onCancel
+	f.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	f.resolve(nil, ErrCancelled)
+}
+
+// setCancel installs the transport cancel hook unless the future already
+// resolved (in which case the transport slot is released immediately).
+func (f *Future) setCancel(cancel func()) {
+	f.mu.Lock()
+	if !f.resolved {
+		f.onCancel = cancel
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	cancel()
+}
+
+// setRemoveRevoke installs the gate-hook deregistration. Registration and
+// resolution race by design — a revocation can fire the hook (resolving
+// f) before OnRevoke even returns — so the handoff must go through f.mu:
+// an already-resolved future deregisters immediately instead.
+func (f *Future) setRemoveRevoke(remove func()) {
+	f.mu.Lock()
+	if !f.resolved {
+		f.removeRevoke = remove
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	remove()
+}
+
+// WaitAll joins a fan-out: it waits for every future and returns the
+// first error encountered (by argument order), or nil.
+func WaitAll(futures ...*Future) error {
+	var first error
+	for _, f := range futures {
+		if _, err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// revocationFault is the error an in-flight future resolves with when its
+// gate is severed: the recorded failure reason when one exists (e.g. a
+// transport's "connection lost"), else the termination or revocation
+// sentinel — identical to what a fresh synchronous Invoke would return.
+func (g *Gate) revocationFault() error {
+	if reason := g.failureReason(); reason != nil {
+		return reason
+	}
+	if g.owner != nil && g.owner.Terminated() {
+		return ErrDomainTerminated
+	}
+	return ErrRevoked
+}
+
+// InvokeAsync starts a cross-domain call from the calling goroutine's
+// task and returns immediately. The caller's task stays free for further
+// calls (sync or async) while the future is in flight.
+func (c *Capability) InvokeAsync(name string, args ...any) *Future {
+	k := c.g.k
+	task := k.currentTask()
+	if task == nil {
+		return resolvedFuture(name, nil, ErrNotEntered)
+	}
+	return c.invokeAsync(k.domainByID(task.Chain.Current().Domain), name, args)
+}
+
+// InvokeAsyncFrom is InvokeAsync with an explicit task naming the calling
+// domain. Unlike InvokeFrom, the task is not occupied by the call: the
+// invocation runs detached, so one task can fan out any number of
+// concurrent futures and keep making synchronous calls meanwhile.
+func (c *Capability) InvokeAsyncFrom(task *Task, name string, args ...any) *Future {
+	return c.invokeAsync(task.K.domainByID(task.Chain.Current().Domain), name, args)
+}
+
+// invokeAsync starts the call on behalf of caller.
+func (c *Capability) invokeAsync(caller *Domain, name string, args []any) *Future {
+	g := c.g
+	k := g.k
+	if caller == nil {
+		return resolvedFuture(name, nil, ErrNotEntered)
+	}
+	if caller.Terminated() {
+		return resolvedFuture(name, nil, ErrDomainTerminated)
+	}
+	f := newFuture(name)
+	// Revocation awareness: severing the gate — revocation, owner
+	// termination, or a transport fault — resolves the future with the
+	// capability fault. On an already-revoked gate the hook fires inline,
+	// resolving f before any transport work happens.
+	f.setRemoveRevoke(g.OnRevoke(func() {
+		f.resolve(nil, g.revocationFault())
+	}))
+	if f.Resolved() {
+		return f
+	}
+
+	// Transports that can start a call without blocking take the wire
+	// path: the completion callback runs on the transport's reader, and
+	// pending calls may be coalesced into batched frames.
+	if pb := g.proxy.Load(); pb != nil {
+		if apt, ok := pb.t.(AsyncProxyTarget); ok {
+			cancel := apt.InvokeProxyAsync(name, args, func(results []any, copied int64, err error) {
+				k.Meter.CrossCall(caller.ID, g.owner.ID, copied)
+				f.resolve(results, err)
+			})
+			f.setCancel(cancel)
+			return f
+		}
+	}
+
+	// Local gates (and transports without an async path) run the ordinary
+	// synchronous invoke on a detached task in the caller's domain, so the
+	// full LRMI semantics — segment switch, accounting, termination
+	// unwinding — hold unchanged.
+	task := k.NewDetachedTask(caller, "async:"+name)
+	go func() {
+		defer task.Close()
+		results, err := c.invokeFrom(task, name, args)
+		f.resolve(results, err)
+	}()
+	return f
+}

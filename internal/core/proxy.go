@@ -22,6 +22,20 @@ type ProxyTarget interface {
 	ProxyMethods() []string
 }
 
+// AsyncProxyTarget is the optional non-blocking half of a transport
+// proxy. InvokeProxyAsync starts one remote invocation and returns
+// without waiting: complete must be called exactly once, from any
+// goroutine, with the same results/copied/err contract as InvokeProxy.
+// The returned cancel releases the transport's pending slot when the
+// caller abandons the call (the reply, if it still arrives, is dropped).
+// Transports implement it so the kernel's InvokeAsync neither blocks nor
+// burns a goroutine per call — which is what allows the wire layer to
+// coalesce pending invokes into batched frames.
+type AsyncProxyTarget interface {
+	ProxyTarget
+	InvokeProxyAsync(method string, args []any, complete func(results []any, copied int64, err error)) (cancel func())
+}
+
 // proxyBox wraps the interface so the gate can hold it atomically.
 type proxyBox struct{ t ProxyTarget }
 

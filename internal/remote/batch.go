@@ -1,0 +1,154 @@
+package remote
+
+import "sync"
+
+// Wire-level batching: asynchronous invokes enqueue here instead of
+// writing their own frame, and a per-connection flusher goroutine drains
+// the queue into msgBatchInvoke frames. Flushing is "smart batching"
+// rather than timer-driven: whenever the flusher is idle it sends
+// whatever has queued immediately, so a lone call on an idle connection
+// pays no added latency, while calls arriving during a frame write pile
+// up and leave as one frame. The flush policy is therefore:
+//
+//   - occupancy: at most maxBatchCalls calls per frame;
+//   - size: at most maxBatchBytes of encoded calls per frame;
+//   - explicit: Conn.Flush drains the queue on the calling goroutine
+//     before returning.
+
+const (
+	// maxBatchCalls bounds calls per multi-invoke frame.
+	maxBatchCalls = 128
+	// maxBatchBytes bounds the encoded size of one multi-invoke frame
+	// (well under maxFrame; a single oversized call still travels alone
+	// and is rejected by the per-call frame check).
+	maxBatchBytes = 1 << 20
+)
+
+// batchedCall is one encoded, pending invocation awaiting a frame.
+type batchedCall struct {
+	reqID    uint64
+	exportID uint64
+	method   string
+	args     []byte
+}
+
+// wireSize is the call's encoded footprint (over-approximated headers).
+func (b batchedCall) wireSize() int {
+	return len(b.args) + len(b.method) + 32
+}
+
+// batcher coalesces pending asynchronous invokes for one connection.
+type batcher struct {
+	c *Conn
+
+	mu       sync.Mutex
+	q        []batchedCall
+	inflight int        // batches taken but not yet written
+	idle     *sync.Cond // signalled when inflight drops to zero
+
+	// kick signals the flusher that the queue is non-empty (capacity 1:
+	// a pending kick covers any number of enqueues).
+	kick chan struct{}
+}
+
+func newBatcher(c *Conn) *batcher {
+	b := &batcher{c: c, kick: make(chan struct{}, 1)}
+	b.idle = sync.NewCond(&b.mu)
+	return b
+}
+
+// enqueue adds one call and nudges the flusher.
+func (b *batcher) enqueue(call batchedCall) {
+	b.mu.Lock()
+	b.q = append(b.q, call)
+	b.mu.Unlock()
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the flusher goroutine: drain whenever kicked, exit with the
+// connection. Calls still queued at shutdown fail through their pending
+// completions (Conn.shutdown), not here.
+func (b *batcher) run() {
+	for {
+		select {
+		case <-b.kick:
+		case <-b.c.done:
+			return
+		}
+		b.drain()
+	}
+}
+
+// drain sends frames until the queue is empty. Safe to call concurrently
+// (Conn.Flush races the flusher): take is atomic, so each queued call is
+// sent exactly once.
+func (b *batcher) drain() {
+	for {
+		calls := b.take()
+		if len(calls) == 0 {
+			return
+		}
+		b.c.sendBatch(calls)
+		b.sent()
+	}
+}
+
+// flush is drain plus the guarantee Conn.Flush advertises: it also waits
+// out batches the background flusher popped but has not finished writing,
+// so "flush returned" means "every call enqueued before it is on the
+// wire (or has failed its pendings)".
+func (b *batcher) flush() {
+	b.drain()
+	b.mu.Lock()
+	for b.inflight > 0 || len(b.q) > 0 {
+		if len(b.q) > 0 {
+			// More calls queued while we waited; send them ourselves.
+			b.mu.Unlock()
+			b.drain()
+			b.mu.Lock()
+			continue
+		}
+		b.idle.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// sent retires one in-flight batch.
+func (b *batcher) sent() {
+	b.mu.Lock()
+	b.inflight--
+	if b.inflight == 0 {
+		b.idle.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// take pops up to one frame's worth of queued calls (occupancy and size
+// bound), marking them in flight until sent. A single call exceeding
+// maxBatchBytes still travels, alone.
+func (b *batcher) take() []batchedCall {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.q) == 0 {
+		return nil
+	}
+	b.inflight++
+	n, size := 0, 0
+	for n < len(b.q) && n < maxBatchCalls {
+		s := b.q[n].wireSize()
+		if n > 0 && size+s > maxBatchBytes {
+			break
+		}
+		size += s
+		n++
+	}
+	out := make([]batchedCall, n)
+	copy(out, b.q)
+	rest := copy(b.q, b.q[n:])
+	clear(b.q[rest:]) // drop arg references so sent calls are collectable
+	b.q = b.q[:rest]
+	return out
+}

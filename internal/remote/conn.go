@@ -36,7 +36,7 @@ type Conn struct {
 
 	mu         sync.Mutex
 	nextReq    uint64
-	pending    map[uint64]chan wireResult
+	pending    map[uint64]func(wireResult) // reqID -> completion (sync chan send or future resolve)
 	exports    map[uint64]*core.Capability // export id -> local capability
 	exportIDs  map[*core.Gate]uint64       // dedup: gate -> export id
 	nextExport uint64
@@ -45,6 +45,17 @@ type Conn struct {
 	unhook     []func()                    // OnRevoke deregistrations, run at shutdown
 	closed     bool
 	cause      error
+
+	// batch coalesces pending asynchronous invokes into multi-invoke
+	// frames (see batch.go).
+	batch *batcher
+
+	// exec runs inbound invocations on pooled goroutines. Fresh
+	// goroutines pay stack-growth copying on every call (reflect + seri
+	// are stack-hungry); pooled workers keep their grown stacks warm,
+	// which is most of the difference between sync and batched
+	// throughput on null calls.
+	exec *executor
 
 	// taskPool recycles detached tasks for inbound invocations, so the
 	// per-call cost is the LRMI plus the wire, not task setup.
@@ -78,18 +89,80 @@ func NewConn(k *core.Kernel, nc net.Conn) (*Conn, error) {
 		domain:     d,
 		nc:         nc,
 		bw:         bufio.NewWriter(nc),
-		pending:    make(map[uint64]chan wireResult),
+		pending:    make(map[uint64]func(wireResult)),
 		exports:    make(map[uint64]*core.Capability),
 		exportIDs:  make(map[*core.Gate]uint64),
 		imports:    make(map[uint64]*core.Capability),
 		preRevoked: make(map[uint64]byte),
 		done:       make(chan struct{}),
 	}
+	c.batch = newBatcher(c)
+	c.exec = newExecutor(c.done)
 	c.taskPool.New = func() any {
 		return k.NewDetachedTask(d, "remote-call")
 	}
 	go c.readLoop()
+	go c.batch.run()
 	return c, nil
+}
+
+// executor runs inbound-call jobs on a bounded pool of persistent
+// goroutines. Jobs never queue behind a blocked worker: submit hands the
+// job to an idle worker, grows the pool if there is room, and otherwise
+// falls back to a one-off goroutine — so a call that blocks (waiting on
+// another capability, say) can never stall an unrelated call, only
+// de-optimize it.
+type executor struct {
+	done    <-chan struct{}
+	jobs    chan func()
+	workers atomic.Int32
+	max     int32
+}
+
+func newExecutor(done <-chan struct{}) *executor {
+	// The cap tracks the deepest useful pipeline: a client fanning out
+	// full batch windows keeps ~hundreds of calls in flight, and a parked
+	// worker is only handed a job when it is actually idle, so the pool
+	// grows to what the load sustains and no further (idle stacks shrink
+	// at GC). Smaller caps measurably re-introduce stack-growth churn on
+	// the overflow path.
+	return &executor{done: done, jobs: make(chan func()), max: 512}
+}
+
+func (e *executor) submit(job func()) {
+	select {
+	case e.jobs <- job: // an idle pooled worker takes it
+		return
+	default:
+	}
+	if n := e.workers.Load(); n < e.max && e.workers.CompareAndSwap(n, n+1) {
+		go e.worker(job)
+		return
+	}
+	go job()
+}
+
+// worker runs its first job, then serves the pool until the connection
+// dies.
+func (e *executor) worker(job func()) {
+	job()
+	for {
+		select {
+		case j := <-e.jobs:
+			j()
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// Flush forces every queued asynchronous invoke onto the wire before
+// returning, including calls the background flusher was mid-write on.
+// The flusher already drains the queue whenever it is idle, so Flush is
+// only needed when the caller wants a hard everything-is-sent point (end
+// of a fan-out wave, say).
+func (c *Conn) Flush() {
+	c.batch.flush()
 }
 
 // Dial connects kernel k to a remote kernel listening on network/addr
@@ -151,8 +224,11 @@ func (c *Conn) Ping(timeout time.Duration) error {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case <-ch:
-		return nil
+	case res := <-ch:
+		// A genuine pong carries no error; a shutdown racing the probe
+		// delivers the connection fault here, and both this case and
+		// <-c.done may be ready — the fault must win either way.
+		return res.err
 	case <-c.done:
 		return c.closedErr()
 	case <-timer.C:
@@ -192,16 +268,28 @@ func (c *Conn) Import(name string) (*core.Capability, error) {
 	}
 }
 
-func (c *Conn) newPending() (uint64, chan wireResult, error) {
+// newPendingFn registers a completion callback under a fresh request id.
+// The callback runs at most once — on the reader goroutine when the reply
+// arrives, or on the shutdown path — unless dropPending removes it first.
+func (c *Conn) newPendingFn(fn func(wireResult)) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return 0, nil, c.causeLocked()
+		return 0, c.causeLocked()
 	}
 	c.nextReq++
 	id := c.nextReq
+	c.pending[id] = fn
+	return id, nil
+}
+
+// newPending is the synchronous flavor: the reply arrives on a channel.
+func (c *Conn) newPending() (uint64, chan wireResult, error) {
 	ch := make(chan wireResult, 1)
-	c.pending[id] = ch
+	id, err := c.newPendingFn(func(res wireResult) { ch <- res })
+	if err != nil {
+		return 0, nil, err
+	}
 	return id, ch, nil
 }
 
@@ -209,6 +297,18 @@ func (c *Conn) dropPending(id uint64) {
 	c.mu.Lock()
 	delete(c.pending, id)
 	c.mu.Unlock()
+}
+
+// complete resolves one pending request; unknown ids (dropped by
+// cancellation, or raced by shutdown) are ignored.
+func (c *Conn) complete(id uint64, res wireResult) {
+	c.mu.Lock()
+	fn := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if fn != nil {
+		fn(res)
+	}
 }
 
 func (c *Conn) closedErr() error {
@@ -344,11 +444,34 @@ type proxyTarget struct {
 
 func (p *proxyTarget) ProxyMethods() []string { return p.methods }
 
+// marshalVector encodes an argument/result vector. The empty vector is
+// the empty payload: zero-arg calls and void results — the bulk of small
+// batched traffic — skip the serializer entirely on both ends.
+func (c *Conn) marshalVector(vals []any) ([]byte, error) {
+	if len(vals) == 0 {
+		return nil, nil
+	}
+	return seri.MarshalExt(c.k.SeriRegistry(), vals, connExternal{c})
+}
+
+// unmarshalVector decodes what marshalVector produced.
+func (c *Conn) unmarshalVector(data []byte) ([]any, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	decoded, err := seri.UnmarshalExt(c.k.SeriRegistry(), data, connExternal{c})
+	if err != nil {
+		return nil, err
+	}
+	vals, _ := decoded.([]any)
+	return vals, nil
+}
+
 // InvokeProxy performs one remote invocation: marshal args (capabilities
 // by reference), one request/reply round trip, unmarshal results.
 func (p *proxyTarget) InvokeProxy(method string, args []any) ([]any, int64, error) {
 	c := p.conn
-	argBytes, err := seri.MarshalExt(c.k.SeriRegistry(), args, connExternal{c})
+	argBytes, err := c.marshalVector(args)
 	if err != nil {
 		return nil, 0, &core.CopyError{What: "remote arguments of " + method, Err: err}
 	}
@@ -386,6 +509,65 @@ func (p *proxyTarget) InvokeProxy(method string, args []any) ([]any, int64, erro
 	}
 }
 
+// InvokeProxyAsync implements core.AsyncProxyTarget: marshal, enqueue on
+// the connection's batcher, and return. The completion callback fires on
+// the reader goroutine when the (possibly batched) reply arrives, or on
+// the shutdown path when the connection dies first — either way exactly
+// once, unless cancel removes the pending slot before that.
+func (p *proxyTarget) InvokeProxyAsync(method string, args []any, complete func([]any, int64, error)) (cancel func()) {
+	c := p.conn
+	argBytes, err := c.marshalVector(args)
+	if err != nil {
+		complete(nil, 0, &core.CopyError{What: "remote arguments of " + method, Err: err})
+		return func() {}
+	}
+	if len(argBytes)+len(method)+64 > maxFrame {
+		complete(nil, 0, &core.CopyError{
+			What: "remote arguments of " + method,
+			Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", len(argBytes), maxFrame),
+		})
+		return func() {}
+	}
+	argLen := int64(len(argBytes))
+	reqID, err := c.newPendingFn(func(res wireResult) {
+		complete(res.results, argLen+res.copied, res.err)
+	})
+	if err != nil {
+		// The connection is already down: same capability fault the sync
+		// path reports.
+		complete(nil, 0, fmt.Errorf("%w: %v", core.ErrRevoked, err))
+		return func() {}
+	}
+	c.batch.enqueue(batchedCall{reqID: reqID, exportID: p.exportID, method: method, args: argBytes})
+	return func() { c.dropPending(reqID) }
+}
+
+// sendBatch writes queued calls as one frame: a lone call travels as an
+// ordinary msgInvoke (no batch envelope), several as msgBatchInvoke. A
+// failed write fails every call in the frame with the connection fault.
+func (c *Conn) sendBatch(calls []batchedCall) {
+	var w wbuf
+	if len(calls) == 1 {
+		w.u8(msgInvoke)
+		w.uvarint(calls[0].reqID)
+		w.uvarint(calls[0].exportID)
+		w.str(calls[0].method)
+		w.raw(calls[0].args)
+	} else {
+		w.u8(msgBatchInvoke)
+		w.uvarint(uint64(len(calls)))
+		for _, call := range calls {
+			appendBatchCall(&w, call.reqID, call.exportID, call.method, call.args)
+		}
+	}
+	if err := c.send(w.b); err != nil {
+		fault := fmt.Errorf("%w: remote send: %v", core.ErrRevoked, err)
+		for _, call := range calls {
+			c.complete(call.reqID, wireResult{err: fault})
+		}
+	}
+}
+
 // --- reader / inbound ------------------------------------------------------
 
 func (c *Conn) readLoop() {
@@ -403,128 +585,163 @@ func (c *Conn) readLoop() {
 	}
 }
 
+// dispatch decodes one frame (decodeFrame — the fuzzed surface) and acts
+// on the typed result. A decode error faults the whole connection: frame
+// structure is trusted-transport territory, unlike per-call argument
+// streams, which fail per call.
 func (c *Conn) dispatch(frame []byte) error {
-	r := &rbuf{b: frame}
-	t, err := r.u8()
+	t, v, err := decodeFrame(frame)
 	if err != nil {
 		return err
 	}
 	switch t {
 	case msgInvoke:
-		reqID, err := r.uvarint()
-		if err != nil {
-			return err
-		}
-		exportID, err := r.uvarint()
-		if err != nil {
-			return err
-		}
-		method, err := r.str()
-		if err != nil {
-			return err
-		}
-		args := r.rest()
-		// Handlers run concurrently so the reader keeps draining replies —
-		// a worker servicing a call can call back into us mid-request.
-		go c.handleInvoke(reqID, exportID, method, args)
-		return nil
+		// Handlers run off the reader so it keeps draining replies — a
+		// worker servicing a call can call back into us mid-request.
+		f := v.(invokeFrame)
+		c.exec.submit(func() { c.handleInvoke(f) })
+	case msgBatchInvoke:
+		go c.handleBatchInvoke(v.([]invokeFrame))
 	case msgReply:
-		return c.handleReply(r)
+		c.complete(v.(replyFrame).reqID, c.wireResultOf(v.(replyFrame)))
+	case msgBatchReply:
+		for _, rep := range v.([]replyFrame) {
+			c.complete(rep.reqID, c.wireResultOf(rep))
+		}
 	case msgRevoke:
-		exportID, err := r.uvarint()
-		if err != nil {
-			return err
-		}
-		reason, err := r.u8()
-		if err != nil {
-			return err
-		}
-		c.handleRevoke(exportID, reason)
-		return nil
+		f := v.(revokeFrame)
+		c.handleRevoke(f.exportID, f.reason)
 	case msgLookup:
-		reqID, err := r.uvarint()
-		if err != nil {
-			return err
-		}
-		name, err := r.str()
-		if err != nil {
-			return err
-		}
-		go c.handleLookup(reqID, name)
-		return nil
+		f := v.(lookupFrame)
+		go c.handleLookup(f.reqID, f.name)
 	case msgLookupReply:
-		return c.handleLookupReply(r)
+		c.handleLookupReply(v.(lookupReplyFrame))
 	case msgPing:
-		reqID, err := r.uvarint()
-		if err != nil {
-			return err
-		}
 		var w wbuf
 		w.u8(msgPong)
-		w.uvarint(reqID)
+		w.uvarint(v.(pingFrame).reqID)
 		return c.send(w.b)
 	case msgPong:
-		reqID, err := r.uvarint()
-		if err != nil {
-			return err
-		}
-		c.mu.Lock()
-		ch := c.pending[reqID]
-		delete(c.pending, reqID)
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- wireResult{}
-		}
-		return nil
-	default:
-		return fmt.Errorf("remote: unknown message type %d", t)
+		c.complete(v.(pingFrame).reqID, wireResult{})
 	}
+	return nil
 }
 
-// handleInvoke services one inbound call on a local export.
-func (c *Conn) handleInvoke(reqID, exportID uint64, method string, argBytes []byte) {
+// wireResultOf turns one decoded reply into a caller-facing result,
+// decoding the seri stream of successful replies.
+func (c *Conn) wireResultOf(rep replyFrame) wireResult {
+	res := wireResult{}
+	if rep.status == statusOK {
+		results, derr := c.unmarshalVector(rep.body)
+		if derr != nil {
+			res.err = fmt.Errorf("remote: decode results: %w", derr)
+		} else {
+			res.results = results
+			res.copied = int64(len(rep.body))
+		}
+		return res
+	}
+	res.err = decodeWireErr(rep.kind, rep.class, rep.msg)
+	return res
+}
+
+// serveInvoke runs one inbound call on a local export and builds its
+// reply. Every failure — unknown export, argument decode, callee error,
+// unencodable results — lands in the reply's own status, which is what
+// gives batched calls per-call error isolation for free.
+func (c *Conn) serveInvoke(f invokeFrame) replyFrame {
+	errRep := func(kind byte, class, msg string) replyFrame {
+		return replyFrame{reqID: f.reqID, status: statusErr, kind: kind, class: class, msg: msg}
+	}
 	c.mu.Lock()
-	cap := c.exports[exportID]
+	cap := c.exports[f.exportID]
 	c.mu.Unlock()
 	if cap == nil {
-		c.replyErr(reqID, errKindRevoked, "", fmt.Sprintf("unknown export %d", exportID))
-		return
+		return errRep(errKindRevoked, "", fmt.Sprintf("unknown export %d", f.exportID))
 	}
 	if cap.Stub != nil {
-		c.replyErr(reqID, errKindRemote, "UnsupportedOperation",
+		return errRep(errKindRemote, "UnsupportedOperation",
 			"remote invocation of VM capabilities is not supported yet")
-		return
 	}
-	decoded, err := seri.UnmarshalExt(c.k.SeriRegistry(), argBytes, connExternal{c})
+	args, err := c.unmarshalVector(f.args)
 	if err != nil {
-		c.replyErr(reqID, errKindProtocol, "", err.Error())
-		return
+		return errRep(errKindProtocol, "", err.Error())
 	}
-	args, _ := decoded.([]any)
 
 	task := c.taskPool.Get().(*core.Task)
-	results, callErr := cap.InvokeFrom(task, method, args...)
+	results, callErr := cap.InvokeFrom(task, f.method, args...)
 	c.taskPool.Put(task)
 
 	if callErr != nil {
 		kind, class, msg := encodeWireErr(callErr)
-		c.replyErr(reqID, kind, class, msg)
-		return
+		return errRep(kind, class, msg)
 	}
-	resBytes, err := seri.MarshalExt(c.k.SeriRegistry(), results, connExternal{c})
+	resBytes, err := c.marshalVector(results)
 	if err != nil {
-		c.replyErr(reqID, errKindProtocol, "", "encode results: "+err.Error())
-		return
+		return errRep(errKindProtocol, "", "encode results: "+err.Error())
 	}
+	if len(resBytes)+32 > maxFrame {
+		return errRep(errKindProtocol, "",
+			fmt.Sprintf("results of %d bytes exceed the frame limit", len(resBytes)))
+	}
+	return replyFrame{reqID: f.reqID, status: statusOK, body: resBytes}
+}
+
+// handleInvoke services one single-invoke frame.
+func (c *Conn) handleInvoke(f invokeFrame) {
+	rep := c.serveInvoke(f)
 	var w wbuf
 	w.u8(msgReply)
-	w.uvarint(reqID)
-	w.u8(statusOK)
-	w.raw(resBytes)
-	if err := c.send(w.b); err != nil {
-		// An unsendable success (e.g. results exceed the frame limit on a
-		// healthy connection) must still answer, or the caller hangs.
-		c.replyErr(reqID, errKindProtocol, "", "send results: "+err.Error())
+	w.uvarint(rep.reqID)
+	appendReplyBody(&w, rep, false)
+	if err := c.send(w.b); err != nil && rep.status == statusOK {
+		// An unsendable success must still answer, or the caller hangs.
+		c.replyErr(rep.reqID, errKindProtocol, "", "send results: "+err.Error())
+	}
+}
+
+// handleBatchInvoke services one multi-invoke frame: the calls run
+// concurrently (each is an independent invocation, exactly as if it had
+// arrived in its own frame) and the replies leave as one batch frame with
+// per-call status — one faulting call never poisons its batch.
+func (c *Conn) handleBatchInvoke(calls []invokeFrame) {
+	replies := make([]replyFrame, len(calls))
+	var wg sync.WaitGroup
+	wg.Add(len(calls))
+	for i := range calls {
+		i := i
+		c.exec.submit(func() {
+			defer wg.Done()
+			replies[i] = c.serveInvoke(calls[i])
+		})
+	}
+	wg.Wait()
+
+	// Chunk the batch reply by size so large result sets cannot overflow
+	// one frame; each chunk is a valid msgBatchReply.
+	for start := 0; start < len(replies); {
+		var w wbuf
+		end, size := start, 0
+		for end < len(replies) {
+			s := len(replies[end].body) + len(replies[end].class) + len(replies[end].msg) + 32
+			if end > start && size+s > maxBatchBytes {
+				break
+			}
+			size += s
+			end++
+		}
+		w.u8(msgBatchReply)
+		w.uvarint(uint64(end - start))
+		for _, rep := range replies[start:end] {
+			w.uvarint(rep.reqID)
+			appendReplyBody(&w, rep, true)
+		}
+		if err := c.send(w.b); err != nil {
+			// The connection is going down; pending completions fail
+			// through shutdown, so there is nobody left to answer.
+			return
+		}
+		start = end
 	}
 }
 
@@ -537,50 +754,6 @@ func (c *Conn) replyErr(reqID uint64, kind byte, class, msg string) {
 	w.str(class)
 	w.str(msg)
 	_ = c.send(w.b)
-}
-
-func (c *Conn) handleReply(r *rbuf) error {
-	reqID, err := r.uvarint()
-	if err != nil {
-		return err
-	}
-	status, err := r.u8()
-	if err != nil {
-		return err
-	}
-	res := wireResult{}
-	if status == statusOK {
-		body := r.rest()
-		decoded, derr := seri.UnmarshalExt(c.k.SeriRegistry(), body, connExternal{c})
-		if derr != nil {
-			res.err = fmt.Errorf("remote: decode results: %w", derr)
-		} else {
-			res.results, _ = decoded.([]any)
-			res.copied = int64(len(body))
-		}
-	} else {
-		kind, kerr := r.u8()
-		if kerr != nil {
-			return kerr
-		}
-		class, cerr := r.str()
-		if cerr != nil {
-			return cerr
-		}
-		msg, merr := r.str()
-		if merr != nil {
-			return merr
-		}
-		res.err = decodeWireErr(kind, class, msg)
-	}
-	c.mu.Lock()
-	ch := c.pending[reqID]
-	delete(c.pending, reqID)
-	c.mu.Unlock()
-	if ch != nil {
-		ch <- res
-	}
-	return nil
 }
 
 // handleRevoke applies a pushed revocation to the local proxy.
@@ -636,34 +809,10 @@ func (c *Conn) replyLookupErr(reqID uint64, kind byte, msg string) {
 	_ = c.send(w.b)
 }
 
-func (c *Conn) handleLookupReply(r *rbuf) error {
-	reqID, err := r.uvarint()
-	if err != nil {
-		return err
-	}
-	status, err := r.u8()
-	if err != nil {
-		return err
-	}
+func (c *Conn) handleLookupReply(f lookupReplyFrame) {
 	res := wireResult{}
-	if status == statusOK {
-		handle, herr := r.uvarint()
-		if herr != nil {
-			return herr
-		}
-		n, nerr := r.uvarint()
-		if nerr != nil {
-			return nerr
-		}
-		methods := make([]string, 0, n)
-		for i := uint64(0); i < n; i++ {
-			m, merr := r.str()
-			if merr != nil {
-				return merr
-			}
-			methods = append(methods, m)
-		}
-		id, kind := unpackHandle(handle)
+	if f.status == statusOK {
+		id, kind := unpackHandle(f.handle)
 		c.mu.Lock()
 		var cap *core.Capability
 		var ierr error
@@ -672,7 +821,7 @@ func (c *Conn) handleLookupReply(r *rbuf) error {
 				ierr = fmt.Errorf("remote: unknown returning export %d", id)
 			}
 		} else {
-			cap, ierr = c.importLocked(id, methods)
+			cap, ierr = c.importLocked(id, f.methods)
 		}
 		c.mu.Unlock()
 		if ierr != nil {
@@ -681,27 +830,9 @@ func (c *Conn) handleLookupReply(r *rbuf) error {
 			res.results = []any{cap}
 		}
 	} else {
-		kind, kerr := r.u8()
-		if kerr != nil {
-			return kerr
-		}
-		if _, err := r.str(); err != nil { // class, unused for lookups
-			return err
-		}
-		msg, merr := r.str()
-		if merr != nil {
-			return merr
-		}
-		res.err = decodeWireErr(kind, "", msg)
+		res.err = decodeWireErr(f.kind, "", f.msg)
 	}
-	c.mu.Lock()
-	ch := c.pending[reqID]
-	delete(c.pending, reqID)
-	c.mu.Unlock()
-	if ch != nil {
-		ch <- res
-	}
-	return nil
+	c.complete(f.reqID, res)
 }
 
 // --- error mapping ---------------------------------------------------------
@@ -768,7 +899,7 @@ func (c *Conn) shutdown(cause error) {
 	c.closed = true
 	c.cause = cause
 	pending := c.pending
-	c.pending = make(map[uint64]chan wireResult)
+	c.pending = make(map[uint64]func(wireResult))
 	imports := make([]*core.Capability, 0, len(c.imports))
 	for _, cap := range c.imports {
 		imports = append(imports, cap)
@@ -788,8 +919,8 @@ func (c *Conn) shutdown(cause error) {
 	for _, cap := range imports {
 		cap.RevokeWithReason(fault)
 	}
-	for _, ch := range pending {
-		ch <- wireResult{err: fmt.Errorf("%w: connection lost mid-call: %v", core.ErrRevoked, cause)}
+	for _, fn := range pending {
+		fn(wireResult{err: fmt.Errorf("%w: connection lost mid-call: %v", core.ErrRevoked, cause)})
 	}
 	c.domain.Terminate("remote connection closed")
 }

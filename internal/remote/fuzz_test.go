@@ -1,0 +1,243 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"jkernel/internal/core"
+	"jkernel/internal/seri"
+)
+
+// fuzzRef stands in for a capability in fuzzed streams: the External hook
+// accepts any handle, so the fuzzer can reach past the reference tags.
+type fuzzRef struct{ H uint64 }
+
+type fuzzWireExt struct{}
+
+func (fuzzWireExt) EncodeExternal(v any) (uint64, bool) {
+	if r, ok := v.(*fuzzRef); ok {
+		return r.H, true
+	}
+	return 0, false
+}
+
+func (fuzzWireExt) DecodeExternal(h uint64) (any, error) {
+	return &fuzzRef{H: h}, nil
+}
+
+// seedFrames builds one of every protocol frame with the same encoders
+// the live connection uses — a captured-traffic corpus without the
+// capture: these are byte-for-byte the frames a real exchange produces.
+func seedFrames() [][]byte {
+	reg := seri.NewRegistry()
+	args, err := seri.MarshalExt(reg, []any{"hello", int64(42), []byte{1, 2, 3}, &fuzzRef{H: 7}}, fuzzWireExt{})
+	if err != nil {
+		panic(err)
+	}
+	results, err := seri.Marshal(reg, []any{int64(1), "ok"})
+	if err != nil {
+		panic(err)
+	}
+
+	var frames [][]byte
+	add := func(w *wbuf) { frames = append(frames, w.b) }
+
+	// Single invoke.
+	w := &wbuf{}
+	w.u8(msgInvoke)
+	w.uvarint(1)
+	w.uvarint(0)
+	w.str("Echo")
+	w.raw(args)
+	add(w)
+
+	// Batched invoke.
+	w = &wbuf{}
+	w.u8(msgBatchInvoke)
+	w.uvarint(3)
+	appendBatchCall(w, 2, 0, "Null", nil)
+	appendBatchCall(w, 3, 1, "Sum", args)
+	appendBatchCall(w, 4, 0, "Echo", args)
+	add(w)
+
+	// Replies: success and error.
+	w = &wbuf{}
+	w.u8(msgReply)
+	w.uvarint(1)
+	appendReplyBody(w, replyFrame{reqID: 1, status: statusOK, body: results}, false)
+	add(w)
+	w = &wbuf{}
+	w.u8(msgReply)
+	w.uvarint(2)
+	appendReplyBody(w, replyFrame{reqID: 2, status: statusErr, kind: errKindRevoked, msg: "gone"}, false)
+	add(w)
+
+	// Batched reply with mixed per-call status.
+	w = &wbuf{}
+	w.u8(msgBatchReply)
+	w.uvarint(2)
+	w.uvarint(3)
+	appendReplyBody(w, replyFrame{status: statusOK, body: results}, true)
+	w.uvarint(4)
+	appendReplyBody(w, replyFrame{status: statusErr, kind: errKindRemote, class: "panic", msg: "boom"}, true)
+	add(w)
+
+	// Revocation push.
+	w = &wbuf{}
+	w.u8(msgRevoke)
+	w.uvarint(5)
+	w.u8(revokeReasonTerminated)
+	add(w)
+
+	// Lookup and its replies.
+	w = &wbuf{}
+	w.u8(msgLookup)
+	w.uvarint(6)
+	w.str("counter")
+	add(w)
+	w = &wbuf{}
+	w.u8(msgLookupReply)
+	w.uvarint(6)
+	w.u8(statusOK)
+	w.uvarint(packHandle(9, handleKindTheirs))
+	w.uvarint(2)
+	w.str("Add")
+	w.str("Get")
+	add(w)
+	w = &wbuf{}
+	w.u8(msgLookupReply)
+	w.uvarint(7)
+	w.u8(statusErr)
+	w.u8(errKindNotFound)
+	w.str("")
+	w.str("no export named \"x\"")
+	add(w)
+
+	// Liveness probes.
+	w = &wbuf{}
+	w.u8(msgPing)
+	w.uvarint(8)
+	add(w)
+	w = &wbuf{}
+	w.u8(msgPong)
+	w.uvarint(8)
+	add(w)
+
+	return frames
+}
+
+// FuzzDecodeFrame drives arbitrary bytes through the full inbound decode
+// surface: the frame parsers (decodeFrame, exactly what conn.dispatch
+// runs) and, for frames that carry them, the seri argument/result
+// streams. Malformed input must come back as an error — which faults the
+// connection — never as a panic.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, frame := range seedFrames() {
+		f.Add(frame)
+	}
+	reg := seri.NewRegistry()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, v, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		// Follow the dispatch path into the embedded seri streams.
+		switch typ {
+		case msgInvoke:
+			_, _ = seri.UnmarshalExt(reg, v.(invokeFrame).args, fuzzWireExt{})
+		case msgBatchInvoke:
+			for _, call := range v.([]invokeFrame) {
+				_, _ = seri.UnmarshalExt(reg, call.args, fuzzWireExt{})
+			}
+		case msgReply:
+			if rep := v.(replyFrame); rep.status == statusOK {
+				_, _ = seri.UnmarshalExt(reg, rep.body, fuzzWireExt{})
+			}
+		case msgBatchReply:
+			for _, rep := range v.([]replyFrame) {
+				if rep.status == statusOK {
+					_, _ = seri.UnmarshalExt(reg, rep.body, fuzzWireExt{})
+				}
+			}
+		}
+	})
+}
+
+// A malformed frame over a live connection faults that connection — and
+// only that connection: the serving kernel keeps serving.
+func TestMalformedFrameFaultsConnection(t *testing.T) {
+	server := core.MustNew(core.Options{})
+	sd, err := server.NewDomain(core.DomainConfig{Name: "svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := server.CreateNativeCapability(sd, echoSvc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Export("echo", cap); err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "fuzz.sock")
+	ln, err := Listen(server, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Raw client: a well-framed payload of garbage (bad message type, then
+	// a truncated batch on a second connection).
+	for _, garbage := range [][]byte{
+		{0xff, 0x01, 0x02},
+		{msgBatchInvoke, 0xce, 0xff, 0xff}, // count overruns frame
+		{msgReply},                         // truncated
+	} {
+		nc, err := net.Dial("unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(nc, garbage); err != nil {
+			t.Fatal(err)
+		}
+		// The server must close this connection (read returns EOF), not
+		// crash and not hang.
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 16)
+		if _, err := nc.Read(buf); err == nil {
+			// A reply to garbage would also be wrong, but keep reading: the
+			// close must still follow.
+			if _, err = nc.Read(buf); err == nil {
+				t.Fatal("server kept talking after a malformed frame")
+			}
+		}
+		nc.Close()
+	}
+
+	// The kernel behind the listener is unharmed: a fresh, well-behaved
+	// connection still imports and invokes.
+	client := core.MustNew(core.Options{})
+	cd, err := client.NewDomain(core.DomainConfig{Name: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Dial(client, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	proxy, err := conn.Import("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := client.NewDetachedTask(cd, "after-garbage")
+	res, err := proxy.InvokeFrom(task, "Echo", "still here")
+	if err != nil || res[0] != any("still here") {
+		t.Fatalf("server damaged by malformed frame: %#v %v", res, err)
+	}
+	if errors.Is(err, core.ErrRevoked) {
+		t.Fatal("unexpected revocation")
+	}
+}

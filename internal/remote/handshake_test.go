@@ -1,0 +1,109 @@
+package remote
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"jkernel/internal/core"
+)
+
+// A listener that accepts connections but never speaks the protocol — the
+// exact shape of the ping-probe race: a dying worker whose backlog still
+// accepts. The deadline-bound handshake must give up within its budget.
+func TestDialDeadlineAgainstDeadbeatListener(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "deadbeat.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer nc.Close() // hold it open, never answer
+		}
+	}()
+
+	k := core.MustNew(core.Options{})
+	w := &PoolWorker{network: "unix", addr: sock}
+	const timeout = 500 * time.Millisecond
+	start := time.Now()
+	conn, err := w.Dial(k, timeout)
+	elapsed := time.Since(start)
+	if err == nil {
+		conn.Close()
+		t.Fatal("Dial succeeded against a listener that never serves")
+	}
+	// The old probe waited a fixed 2s per ping regardless of the caller's
+	// deadline; the handshake must not overshoot it by more than slack.
+	if elapsed > timeout+500*time.Millisecond {
+		t.Fatalf("Dial overshot its deadline: %v (timeout %v): %v", elapsed, timeout, err)
+	}
+	if elapsed < timeout/2 {
+		t.Fatalf("Dial gave up before its deadline: %v (timeout %v): %v", elapsed, timeout, err)
+	}
+}
+
+// SIGKILL the worker while connects are in flight: every Dial must return
+// within its deadline (the kill can land between accept and serve, which
+// is the backlog race), and once the pool restarts the worker a Dial must
+// succeed against the fresh process.
+func TestDialDuringWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	sup := core.MustNew(core.Options{})
+	pool, err := StartPool(PoolOptions{Workers: 1, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	w := pool.Worker(0)
+
+	for round := 0; round < 3; round++ {
+		type dialResult struct {
+			conn *Conn
+			err  error
+		}
+		res := make(chan dialResult, 1)
+		go func() {
+			conn, err := w.Dial(sup, 10*time.Second)
+			res <- dialResult{conn, err}
+		}()
+		// Land the kill while the dial/handshake is in progress. The kill
+		// may race the pool's own restart of the previous round's kill, in
+		// which case there is briefly no process to kill — also fine, the
+		// dial is still racing a worker death.
+		time.Sleep(time.Duration(round) * 3 * time.Millisecond)
+		if err := w.Kill(); err != nil {
+			t.Logf("round %d kill raced the restart: %v", round, err)
+		}
+		select {
+		case r := <-res:
+			// Either outcome is legal — connected to the old incarnation
+			// just before the kill, to the restarted one, or timed out —
+			// as long as it returned and didn't wedge.
+			if r.conn != nil {
+				r.conn.Close()
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("round %d: Dial hung past its deadline through a worker kill", round)
+		}
+	}
+
+	// The slot must come back: a clean handshake against the restarted
+	// worker, well within the deadline.
+	conn, err := w.Dial(sup, 10*time.Second)
+	if err != nil {
+		t.Fatalf("restarted worker not reachable: %v", err)
+	}
+	defer conn.Close()
+	if err := conn.Ping(2 * time.Second); err != nil {
+		t.Fatalf("restarted worker not serving: %v", err)
+	}
+}

@@ -150,32 +150,74 @@ func (w *PoolWorker) Kill() error {
 	return w.cmd.Process.Kill()
 }
 
+// Handshake pacing: one probe never waits longer than pingProbeMax (a
+// healthy worker answers in microseconds; anything slower is a process
+// that accepted us into its backlog while dying), and retries are paced
+// by retryPause — both clipped to whatever remains of the caller's
+// deadline, so Dial returns within its timeout, never at timeout plus a
+// probe.
+const (
+	pingProbeMax = 2 * time.Second
+	retryPause   = 20 * time.Millisecond
+)
+
 // Dial connects kernel k to the worker, retrying until the worker's
 // listener is up (fresh spawns and restarts take a moment) or timeout
-// elapses. Every attempt is verified with a protocol ping: a dying worker
-// can still accept a connection into its listen backlog, and only an
-// answered ping proves the kernel behind the socket is serving.
+// elapses. Each attempt is a deadline-bound handshake — connect, then a
+// protocol ping with the remaining time budget: a dying worker can still
+// accept a connection into its listen backlog (or be SIGKILLed between
+// accept and serve), and only an answered ping proves the kernel behind
+// the socket is serving.
 func (w *PoolWorker) Dial(k *core.Kernel, timeout time.Duration) (*Conn, error) {
 	deadline := time.Now().Add(timeout)
+	var lastErr error = fmt.Errorf("no attempt completed")
 	for {
-		nc, err := net.DialTimeout(w.network, w.addr, timeout)
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("remote: worker %d not reachable after %v: %w", w.Index, timeout, lastErr)
+		}
+		conn, err := dialHandshake(k, w.network, w.addr, remaining)
 		if err == nil {
-			conn, cerr := NewConn(k, nc)
-			if cerr != nil {
-				nc.Close()
-				return nil, cerr
-			}
-			if perr := conn.Ping(2 * time.Second); perr == nil {
-				return conn, nil
-			}
-			conn.Close()
-			err = fmt.Errorf("connected but unresponsive")
+			return conn, nil
 		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("remote: worker %d not reachable after %v: %w", w.Index, timeout, err)
+		lastErr = err
+		pause := retryPause
+		if rem := time.Until(deadline); pause > rem {
+			pause = rem
 		}
-		time.Sleep(20 * time.Millisecond)
+		if pause > 0 {
+			time.Sleep(pause)
+		}
 	}
+}
+
+// dialHandshake performs one connect-and-ping handshake within budget.
+// Both phases share the budget: the connect may consume most of it, and
+// the readiness ping gets what is left (capped at pingProbeMax).
+func dialHandshake(k *core.Kernel, network, addr string, budget time.Duration) (*Conn, error) {
+	deadline := time.Now().Add(budget)
+	nc, err := net.DialTimeout(network, addr, budget)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := NewConn(k, nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	probe := time.Until(deadline)
+	if probe > pingProbeMax {
+		probe = pingProbeMax
+	}
+	if probe <= 0 {
+		conn.Close()
+		return nil, fmt.Errorf("remote: %s: connected with no time left to probe", addr)
+	}
+	if perr := conn.Ping(probe); perr != nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: %s: connected but unresponsive: %w", addr, perr)
+	}
+	return conn, nil
 }
 
 // spawn starts the worker process and its monitor.

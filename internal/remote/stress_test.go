@@ -1,0 +1,297 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jkernel/internal/core"
+)
+
+// capFault reports whether err is a legitimate capability fault — the
+// only failure a caller may see when gates are being revoked or workers
+// killed under it.
+func capFault(err error) bool {
+	return errors.Is(err, core.ErrRevoked) || errors.Is(err, core.ErrDomainTerminated)
+}
+
+// TestStressMixedTrafficWithRevocations hammers one connection from many
+// goroutines with interleaved sync invokes, single async invokes, and
+// batched async waves, while a chaos goroutine revokes a rolling set of
+// exported capabilities and others force flushes. Run under -race in CI;
+// invariants: no panic, no wedge, every failure is a capability fault,
+// and no successful counter update is lost.
+func TestStressMixedTrafficWithRevocations(t *testing.T) {
+	p := newPair(t)
+	p.export(t, "counter", &counterSvc{})
+	p.export(t, "echo", echoSvc{})
+
+	const revocables = 16
+	revCaps := make([]*core.Capability, revocables)
+	revProxies := make([]*core.Capability, revocables)
+	for i := range revCaps {
+		revCaps[i] = p.export(t, fmt.Sprintf("rev-%d", i), echoSvc{})
+		proxy, err := p.conn.Import(fmt.Sprintf("rev-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		revProxies[i] = proxy
+	}
+	counter, err := p.conn.Import("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo, err := p.conn.Import("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 8
+		iters   = 60
+		batch   = 16
+	)
+	var added atomic.Int64 // successful counter increments
+	var wg sync.WaitGroup
+	fail := make(chan string, workers+1)
+
+	// Chaos: revoke the rolling set while traffic is in flight.
+	stopChaos := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < revocables; i++ {
+			select {
+			case <-stopChaos:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			revCaps[i].Revoke()
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			task := p.client.NewDetachedTask(p.clientDom, fmt.Sprintf("stress-%d", w))
+			for i := 0; i < iters; i++ {
+				switch i % 3 {
+				case 0: // synchronous counter update
+					if _, err := counter.InvokeFrom(task, "Add", int64(1)); err != nil {
+						fail <- fmt.Sprintf("worker %d sync Add: %v", w, err)
+						return
+					}
+					added.Add(1)
+				case 1: // single async against a revocable target
+					target := revProxies[(w+i)%revocables]
+					fut := target.InvokeAsyncFrom(task, "Echo", "x")
+					if _, err := fut.Wait(); err != nil && !capFault(err) {
+						fail <- fmt.Sprintf("worker %d async rev echo: %v", w, err)
+						return
+					}
+				case 2: // batched async wave, mixed targets, explicit flush
+					futs := make([]*core.Future, 0, batch)
+					for j := 0; j < batch; j++ {
+						if j%4 == 0 {
+							futs = append(futs, counter.InvokeAsyncFrom(task, "Add", int64(1)))
+						} else {
+							futs = append(futs, echo.InvokeAsyncFrom(task, "Sum", int64(j), int64(1)))
+						}
+					}
+					p.conn.Flush()
+					for j, fut := range futs {
+						if _, err := fut.Wait(); err != nil {
+							fail <- fmt.Sprintf("worker %d batch[%d]: %v", w, j, err)
+							return
+						}
+						if j%4 == 0 {
+							added.Add(1)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case msg := <-fail:
+		close(stopChaos)
+		t.Fatal(msg)
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress run wedged")
+	}
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Every acknowledged Add must be present: batching loses no updates.
+	res, err := counter.InvokeFrom(p.task, "Add", int64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != any(added.Load()) {
+		t.Fatalf("lost updates: counter=%v acknowledged=%d", res[0], added.Load())
+	}
+}
+
+// TestStressWorkerKillMidStream kills a worker process while async and
+// sync invokes are streaming over its connection. Every future must
+// resolve (join never hangs), every failure must be a capability fault —
+// the supervisor never crashes — and the restarted worker must serve a
+// fresh connection.
+func TestStressWorkerKillMidStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	sup := core.MustNew(core.Options{})
+	supDom, err := sup.NewDomain(core.DomainConfig{Name: "sup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := StartPool(PoolOptions{Workers: 1, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	w := pool.Worker(0)
+	conn, err := w.Dial(sup, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := conn.Import("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 6
+	var wg sync.WaitGroup
+	bad := make(chan string, workers)
+	stop := make(chan struct{})
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			task := sup.NewDetachedTask(supDom, fmt.Sprintf("kill-stress-%d", g))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if i%2 == 0 {
+					_, err = counter.InvokeFrom(task, "Add", int64(1))
+				} else {
+					futs := []*core.Future{
+						counter.InvokeAsyncFrom(task, "Add", int64(1)),
+						counter.InvokeAsyncFrom(task, "Add", int64(1)),
+						counter.InvokeAsyncFrom(task, "Add", int64(1)),
+					}
+					conn.Flush()
+					err = core.WaitAll(futs...)
+				}
+				if err != nil {
+					if !capFault(err) {
+						bad <- fmt.Sprintf("goroutine %d: non-capability fault: %v", g, err)
+					}
+					return // connection is dead; this goroutine is done
+				}
+			}
+		}(g)
+	}
+
+	// Let traffic build, then kill the worker under it.
+	time.Sleep(100 * time.Millisecond)
+	if err := w.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("futures never resolved after worker kill")
+	}
+	close(stop)
+	select {
+	case msg := <-bad:
+		t.Fatal(msg)
+	default:
+	}
+
+	// The supervisor survived; the restarted worker serves fresh state.
+	conn2, err := w.Dial(sup, 15*time.Second)
+	if err != nil {
+		t.Fatalf("restarted worker not reachable: %v", err)
+	}
+	defer conn2.Close()
+	counter2, err := conn2.Import("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sup.NewDetachedTask(supDom, "after-restart")
+	fut := counter2.InvokeAsyncFrom(task, "Add", int64(1))
+	res, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != any(int64(1)) {
+		t.Fatalf("restarted worker state: %#v", res)
+	}
+}
+
+// TestBatchErrorIsolation puts failing and succeeding calls in the same
+// async wave: each call gets its own status, so the faulting ones error
+// individually and the rest of the batch is untouched.
+func TestBatchErrorIsolation(t *testing.T) {
+	p := newPair(t)
+	p.export(t, "echo", echoSvc{})
+	proxy, err := p.conn.Import("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	futs := make([]*core.Future, n)
+	for i := range futs {
+		switch i % 3 {
+		case 0:
+			futs[i] = proxy.InvokeAsyncFrom(p.task, "Sum", int64(i), int64(1))
+		case 1:
+			futs[i] = proxy.InvokeAsyncFrom(p.task, "Fail", fmt.Sprintf("boom-%d", i))
+		case 2:
+			futs[i] = proxy.InvokeAsyncFrom(p.task, "Nope") // no such method
+		}
+	}
+	p.conn.Flush()
+	for i, fut := range futs {
+		res, err := fut.Wait()
+		switch i % 3 {
+		case 0:
+			if err != nil {
+				t.Fatalf("fut %d poisoned by neighbors: %v", i, err)
+			}
+			if res[0] != any(int64(i+1)) {
+				t.Fatalf("fut %d: %#v", i, res)
+			}
+		case 1:
+			var re *core.RemoteError
+			if !errors.As(err, &re) || re.Msg != fmt.Sprintf("boom-%d", i) {
+				t.Fatalf("fut %d: want copied callee failure, got %v", i, err)
+			}
+		case 2:
+			if !errors.Is(err, core.ErrNoSuchMethod) {
+				t.Fatalf("fut %d: want ErrNoSuchMethod, got %v", i, err)
+			}
+		}
+	}
+}

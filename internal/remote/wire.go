@@ -33,6 +33,12 @@ const (
 	msgLookupReply byte = 5 // reqID, status, handle, methods | error
 	msgPing        byte = 6 // reqID: liveness/readiness probe
 	msgPong        byte = 7 // reqID
+	// Batched invokes (the paper's Table 4 lesson applied to the wire):
+	// many pending small calls coalesce into one multi-invoke frame, and
+	// the reply carries per-call status so one faulting call cannot
+	// poison its batch.
+	msgBatchInvoke byte = 8 // count, then per call: reqID, exportID, method, argLen, args
+	msgBatchReply  byte = 9 // count, then per call: reqID, status, bodyLen+body | error
 )
 
 // Reply statuses.
@@ -157,5 +163,330 @@ func (r *rbuf) str() (string, error) {
 	return s, nil
 }
 
+// count reads a collection count and rejects values that cannot fit in the
+// remaining frame bytes (each element needs at least elemMin bytes), so a
+// malformed frame cannot trigger a huge up-front allocation.
+func (r *rbuf) count(elemMin int) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if n > uint64(len(r.b)-r.pos)/uint64(elemMin) {
+		return 0, r.fail("collection overruns frame")
+	}
+	return int(n), nil
+}
+
+// bytes reads a length-prefixed byte payload (aliasing the frame buffer).
+func (r *rbuf) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		return nil, r.fail("bytes overrun frame")
+	}
+	b := r.b[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
 // rest returns the unread tail of the frame (the seri stream).
 func (r *rbuf) rest() []byte { return r.b[r.pos:] }
+
+// --- typed frames -----------------------------------------------------------
+//
+// Every inbound frame decodes through one of the parse functions below
+// before any side effect happens; conn.dispatch acts on the typed result.
+// The split keeps the full decode surface reachable from pure functions,
+// which is what FuzzDecodeFrame exercises: malformed input must return an
+// error (faulting the connection), never panic.
+
+// invokeFrame is one decoded invocation request (single or batched).
+type invokeFrame struct {
+	reqID    uint64
+	exportID uint64
+	method   string
+	args     []byte // seri stream, aliases the frame buffer
+}
+
+// replyFrame is one decoded invocation reply (single or batched).
+type replyFrame struct {
+	reqID  uint64
+	status byte
+	body   []byte // statusOK: seri stream of results
+	kind   byte   // statusErr: wire error kind
+	class  string
+	msg    string
+}
+
+// revokeFrame is a pushed revocation.
+type revokeFrame struct {
+	exportID uint64
+	reason   byte
+}
+
+// lookupFrame is an export-name lookup request.
+type lookupFrame struct {
+	reqID uint64
+	name  string
+}
+
+// lookupReplyFrame answers a lookup: a capability handle plus its method
+// manifest, or a wire error.
+type lookupReplyFrame struct {
+	reqID   uint64
+	status  byte
+	handle  uint64
+	methods []string
+	kind    byte
+	class   string
+	msg     string
+}
+
+// pingFrame is a liveness probe or its answer.
+type pingFrame struct {
+	reqID uint64
+}
+
+func parseInvoke(r *rbuf) (invokeFrame, error) {
+	var f invokeFrame
+	var err error
+	if f.reqID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	if f.exportID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	if f.method, err = r.str(); err != nil {
+		return f, err
+	}
+	f.args = r.rest()
+	return f, nil
+}
+
+// parseBatchInvoke decodes a multi-invoke frame. Per-call argument bytes
+// are length-prefixed (unlike the single-invoke frame, whose args run to
+// the end of the frame).
+func parseBatchInvoke(r *rbuf) ([]invokeFrame, error) {
+	n, err := r.count(4) // reqID + exportID + method len + arg len, 1 byte each minimum
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, r.fail("empty batch")
+	}
+	calls := make([]invokeFrame, 0, n)
+	for i := 0; i < n; i++ {
+		var f invokeFrame
+		if f.reqID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if f.exportID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if f.method, err = r.str(); err != nil {
+			return nil, err
+		}
+		if f.args, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		calls = append(calls, f)
+	}
+	if len(r.rest()) != 0 {
+		return nil, r.fail("trailing bytes after batch")
+	}
+	return calls, nil
+}
+
+// parseReplyError decodes the statusErr tail shared by reply flavors.
+func parseReplyError(r *rbuf, f *replyFrame) error {
+	var err error
+	if f.kind, err = r.u8(); err != nil {
+		return err
+	}
+	if f.class, err = r.str(); err != nil {
+		return err
+	}
+	f.msg, err = r.str()
+	return err
+}
+
+func parseReply(r *rbuf) (replyFrame, error) {
+	var f replyFrame
+	var err error
+	if f.reqID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	if f.status, err = r.u8(); err != nil {
+		return f, err
+	}
+	if f.status == statusOK {
+		f.body = r.rest()
+		return f, nil
+	}
+	return f, parseReplyError(r, &f)
+}
+
+// parseBatchReply decodes a multi-reply frame (per-call status).
+func parseBatchReply(r *rbuf) ([]replyFrame, error) {
+	n, err := r.count(3) // reqID + status + 1 byte of payload minimum
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, r.fail("empty batch reply")
+	}
+	replies := make([]replyFrame, 0, n)
+	for i := 0; i < n; i++ {
+		var f replyFrame
+		if f.reqID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if f.status, err = r.u8(); err != nil {
+			return nil, err
+		}
+		if f.status == statusOK {
+			if f.body, err = r.bytes(); err != nil {
+				return nil, err
+			}
+		} else if err = parseReplyError(r, &f); err != nil {
+			return nil, err
+		}
+		replies = append(replies, f)
+	}
+	if len(r.rest()) != 0 {
+		return nil, r.fail("trailing bytes after batch reply")
+	}
+	return replies, nil
+}
+
+func parseRevoke(r *rbuf) (revokeFrame, error) {
+	var f revokeFrame
+	var err error
+	if f.exportID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	f.reason, err = r.u8()
+	return f, err
+}
+
+func parseLookup(r *rbuf) (lookupFrame, error) {
+	var f lookupFrame
+	var err error
+	if f.reqID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	f.name, err = r.str()
+	return f, err
+}
+
+func parseLookupReply(r *rbuf) (lookupReplyFrame, error) {
+	var f lookupReplyFrame
+	var err error
+	if f.reqID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	if f.status, err = r.u8(); err != nil {
+		return f, err
+	}
+	if f.status != statusOK {
+		if f.kind, err = r.u8(); err != nil {
+			return f, err
+		}
+		if f.class, err = r.str(); err != nil {
+			return f, err
+		}
+		f.msg, err = r.str()
+		return f, err
+	}
+	if f.handle, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	n, err := r.count(1)
+	if err != nil {
+		return f, err
+	}
+	f.methods = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		m, merr := r.str()
+		if merr != nil {
+			return f, merr
+		}
+		f.methods = append(f.methods, m)
+	}
+	return f, nil
+}
+
+func parsePing(r *rbuf) (pingFrame, error) {
+	var f pingFrame
+	var err error
+	f.reqID, err = r.uvarint()
+	return f, err
+}
+
+// decodeFrame decodes one frame into its typed form: (msgType, frame,
+// nil) on success, an error on malformed input. It is the single decode
+// entry point for conn.dispatch and for the fuzz targets.
+func decodeFrame(frame []byte) (byte, any, error) {
+	r := &rbuf{b: frame}
+	t, err := r.u8()
+	if err != nil {
+		return 0, nil, err
+	}
+	var v any
+	switch t {
+	case msgInvoke:
+		v, err = parseInvoke(r)
+	case msgBatchInvoke:
+		v, err = parseBatchInvoke(r)
+	case msgReply:
+		v, err = parseReply(r)
+	case msgBatchReply:
+		v, err = parseBatchReply(r)
+	case msgRevoke:
+		v, err = parseRevoke(r)
+	case msgLookup:
+		v, err = parseLookup(r)
+	case msgLookupReply:
+		v, err = parseLookupReply(r)
+	case msgPing, msgPong:
+		v, err = parsePing(r)
+	default:
+		return t, nil, fmt.Errorf("remote: unknown message type %d", t)
+	}
+	if err != nil {
+		return t, nil, err
+	}
+	return t, v, nil
+}
+
+// --- frame encoders ---------------------------------------------------------
+
+// appendBatchCall appends one call to a msgBatchInvoke body.
+func appendBatchCall(w *wbuf, reqID, exportID uint64, method string, args []byte) {
+	w.uvarint(reqID)
+	w.uvarint(exportID)
+	w.str(method)
+	w.uvarint(uint64(len(args)))
+	w.raw(args)
+}
+
+// appendReplyBody appends the status tail of f (everything after reqID)
+// to a reply frame; batched reply bodies length-prefix their payload.
+func appendReplyBody(w *wbuf, f replyFrame, batched bool) {
+	w.u8(f.status)
+	if f.status == statusOK {
+		if batched {
+			w.uvarint(uint64(len(f.body)))
+		}
+		w.raw(f.body)
+		return
+	}
+	w.u8(f.kind)
+	w.str(f.class)
+	w.str(f.msg)
+}

@@ -1,0 +1,119 @@
+package seri
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// permissiveExt resolves any capability handle, so fuzzed streams can
+// reach past the reference tags the way a live connection's tables would.
+type permissiveExt struct{}
+
+func (permissiveExt) EncodeExternal(v any) (uint64, bool) {
+	if c, ok := v.(*fakeCap); ok {
+		return c.id, true
+	}
+	return 0, false
+}
+
+func (permissiveExt) DecodeExternal(h uint64) (any, error) {
+	return &fakeCap{id: h}, nil
+}
+
+// hiddenField has an unexported field the encoder skips — a wire stream
+// naming it is forged.
+type hiddenField struct {
+	Visible int64
+	hidden  int64 //nolint:unused // decode hardening target
+}
+
+// TestDecodeHardeningRegressions pins two crafted streams that panicked
+// the pre-hardened decoder (found by review of the fuzz surface): a
+// dynamic nil in a concrete-typed slot, and a struct stream naming an
+// unexported field. Both must come back as decode errors.
+func TestDecodeHardeningRegressions(t *testing.T) {
+	r := reg()
+	r.Register("Hidden", hiddenField{})
+	str := func(b []byte, s string) []byte {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		return append(b, s...)
+	}
+
+	// []string whose element claims dynamic type "any" holding nil:
+	// reflect.ValueOf(nil).Type() panicked in the tagIface slot branch.
+	var nilIface []byte
+	nilIface = append(nilIface, tagIface)
+	nilIface = str(nilIface, "[]string")
+	nilIface = append(nilIface, tagSlice)
+	nilIface = binary.AppendUvarint(nilIface, 1)
+	nilIface = append(nilIface, tagIface)
+	nilIface = str(nilIface, "any")
+	nilIface = append(nilIface, tagNil)
+
+	// A struct stream naming the unexported field: FieldByName returns a
+	// valid but non-settable value, and SetInt panicked.
+	var unexported []byte
+	unexported = append(unexported, tagIface)
+	unexported = str(unexported, "Hidden")
+	unexported = append(unexported, tagStruct)
+	unexported = binary.AppendUvarint(unexported, 1)
+	unexported = str(unexported, "hidden")
+	unexported = append(unexported, tagInt)
+	unexported = binary.AppendVarint(unexported, 7)
+
+	for name, stream := range map[string][]byte{
+		"nil dynamic value in concrete slot": nilIface,
+		"unexported struct field":            unexported,
+	} {
+		if _, err := Unmarshal(r, stream); err == nil {
+			t.Errorf("%s: forged stream decoded without error", name)
+		}
+	}
+}
+
+// FuzzSeriRoundtrip checks the decoder's core safety property against
+// arbitrary bytes: decoding never panics (malformed streams error), and
+// any value that does decode is well-formed enough to re-marshal and
+// decode again — the stream a connection re-encodes for a third kernel
+// must never be poison.
+func FuzzSeriRoundtrip(f *testing.F) {
+	r := reg()
+	ext := permissiveExt{}
+	doc := Doc{
+		Title: "seed",
+		Body:  []byte{1, 2, 3},
+		Tags:  []string{"a", "b"},
+		Meta:  map[string]int64{"x": 1},
+		At:    &Point{X: 3, Y: 4},
+	}
+	cycle := &Node{Val: 1}
+	cycle.Next = &Node{Val: 2, Next: cycle}
+	for _, v := range []any{
+		int64(-42),
+		"hello",
+		[]byte("bytes"),
+		doc,
+		cycle,
+		[]any{int64(1), "two", 3.5, nil, &fakeCap{id: 9}},
+		map[string]any{"k": []int64{1, 2, 3}},
+	} {
+		data, err := MarshalExt(r, v, ext)
+		if err != nil {
+			panic(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := UnmarshalExt(r, data, ext)
+		if err != nil {
+			return
+		}
+		out, err := MarshalExt(r, v, ext)
+		if err != nil {
+			t.Fatalf("decoded value failed to re-marshal: %v (%#v)", err, v)
+		}
+		if _, err := UnmarshalExt(r, out, ext); err != nil {
+			t.Fatalf("re-marshaled stream failed to decode: %v", err)
+		}
+	})
+}

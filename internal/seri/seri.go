@@ -385,12 +385,31 @@ func (e *encoder) encodeElem(v reflect.Value) error {
 	return e.encode(v)
 }
 
+// Decode hardening limits. Streams arriving over the wire are adversarial
+// (internal/remote feeds peer bytes straight in), so the decoder bounds
+// everything that could otherwise turn malformed input into a crash: the
+// recursion depth (a run of nested pointers would overflow the stack) and
+// type-name length (typeFor recurses per structural prefix). Allocation
+// counts are checked against the remaining buffer before any make.
+const (
+	maxDecodeDepth = 1000
+	maxTypeName    = 4096
+	// maxPrealloc bounds the bytes a single slice/map header may demand
+	// up front (count × element footprint). Element counts are already
+	// bounded by the remaining stream bytes, but a registered type with a
+	// large element (an embedded array, say) would otherwise let a small
+	// stream demand count × sizeof — a gigabyte-scale allocation from a
+	// kilobyte frame. Any plausible legitimate stream sits far below this.
+	maxPrealloc = 64 << 20
+)
+
 type decoder struct {
-	reg  *Registry
-	ext  External
-	buf  []byte
-	pos  int
-	objs []reflect.Value // id -> decoded heap object
+	reg   *Registry
+	ext   External
+	buf   []byte
+	pos   int
+	depth int
+	objs  []reflect.Value // id -> decoded heap object
 }
 
 // decodeExternal resolves a capability reference read from the stream.
@@ -472,6 +491,9 @@ func (d *decoder) decodeIface() (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(name) > maxTypeName {
+		return nil, d.fail("type name of %d bytes", len(name))
+	}
 	t, err := d.typeFor(name)
 	if err != nil {
 		return nil, err
@@ -540,6 +562,10 @@ func (d *decoder) typeFor(name string) (reflect.Type, error) {
 		if err != nil {
 			return nil, err
 		}
+		// reflect.MapOf panics on invalid key types (e.g. "map[bytes]...").
+		if kt.Kind() != reflect.Interface && !kt.Comparable() {
+			return nil, d.fail("invalid map key type in %q", name)
+		}
 		return reflect.MapOf(kt, vt), nil
 	}
 	if t, ok := d.reg.typeOf(name); ok {
@@ -548,8 +574,20 @@ func (d *decoder) typeFor(name string) (reflect.Type, error) {
 	return nil, d.fail("unknown type %q", name)
 }
 
-// decodeInto fills v (addressable) from the stream.
+// decodeInto fills v (addressable) from the stream, guarding recursion
+// depth: every nesting level of the encoding costs at least one stream
+// byte, so a depth bound rejects only pathological input.
 func (d *decoder) decodeInto(v reflect.Value) error {
+	if d.depth >= maxDecodeDepth {
+		return d.fail("nesting deeper than %d", maxDecodeDepth)
+	}
+	d.depth++
+	err := d.decodeInto0(v)
+	d.depth--
+	return err
+}
+
+func (d *decoder) decodeInto0(v reflect.Value) error {
 	if v.Kind() == reflect.Interface {
 		x, err := d.decodeIface()
 		if err != nil {
@@ -576,6 +614,9 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 	if err != nil {
 		return err
 	}
+	// A tag that does not match the slot's kind is a malformed stream
+	// (reflect's setters panic on kind mismatch, so check first).
+	wrongTag := func() error { return d.fail("tag %d cannot fill %v slot", tag, v.Type()) }
 	switch tag {
 	case tagNil:
 		v.Set(reflect.Zero(v.Type()))
@@ -584,11 +625,19 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 		if err != nil {
 			return err
 		}
+		if v.Kind() != reflect.Bool {
+			return wrongTag()
+		}
 		v.SetBool(b != 0)
 	case tagInt:
 		i, err := d.varint()
 		if err != nil {
 			return err
+		}
+		switch v.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		default:
+			return wrongTag()
 		}
 		v.SetInt(i)
 	case tagUint:
@@ -596,17 +645,28 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 		if err != nil {
 			return err
 		}
+		switch v.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		default:
+			return wrongTag()
+		}
 		v.SetUint(u)
 	case tagFloat:
 		u, err := d.uvarint()
 		if err != nil {
 			return err
 		}
+		if v.Kind() != reflect.Float32 && v.Kind() != reflect.Float64 {
+			return wrongTag()
+		}
 		v.SetFloat(math.Float64frombits(u))
 	case tagString:
 		s, err := d.str()
 		if err != nil {
 			return err
+		}
+		if v.Kind() != reflect.String {
+			return wrongTag()
 		}
 		v.SetString(s)
 	case tagBytes:
@@ -616,6 +676,9 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 		}
 		if n > uint64(len(d.buf)-d.pos) {
 			return d.fail("bytes of %d overruns buffer", n)
+		}
+		if v.Kind() != reflect.Slice || v.Type().Elem().Kind() != reflect.Uint8 {
+			return wrongTag()
 		}
 		b := make([]byte, n)
 		copy(b, d.buf[d.pos:])
@@ -630,6 +693,12 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 		if n > uint64(len(d.buf)-d.pos) {
 			return d.fail("slice of %d overruns buffer", n)
 		}
+		if v.Kind() != reflect.Slice {
+			return wrongTag()
+		}
+		if n*uint64(v.Type().Elem().Size()) > maxPrealloc {
+			return d.fail("slice of %d×%d-byte elements exceeds the preallocation bound", n, v.Type().Elem().Size())
+		}
 		s := reflect.MakeSlice(v.Type(), int(n), int(n))
 		v.Set(s)
 		d.objs = append(d.objs, v)
@@ -643,6 +712,16 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 		if err != nil {
 			return err
 		}
+		// Each entry needs at least two stream bytes (key + value tag).
+		if n > uint64(len(d.buf)-d.pos)/2 {
+			return d.fail("map of %d overruns buffer", n)
+		}
+		if v.Kind() != reflect.Map {
+			return wrongTag()
+		}
+		if entry := uint64(v.Type().Key().Size()+v.Type().Elem().Size()) + 16; n*entry > maxPrealloc {
+			return d.fail("map of %d×%d-byte entries exceeds the preallocation bound", n, entry)
+		}
 		mv := reflect.MakeMapWithSize(v.Type(), int(n))
 		v.Set(mv)
 		d.objs = append(d.objs, v)
@@ -652,6 +731,11 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 			if err := d.decodeInto(kv); err != nil {
 				return err
 			}
+			// A dynamically typed key may decode to an unhashable value
+			// (SetMapIndex would panic — "hash of unhashable type").
+			if !kv.Comparable() {
+				return d.fail("unhashable map key of type %v", kv.Type())
+			}
 			vv := reflect.New(vt).Elem()
 			if err := d.decodeInto(vv); err != nil {
 				return err
@@ -659,6 +743,9 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 			mv.SetMapIndex(kv, vv)
 		}
 	case tagPtr:
+		if v.Kind() != reflect.Ptr {
+			return wrongTag()
+		}
 		p := reflect.New(v.Type().Elem())
 		v.Set(p)
 		d.objs = append(d.objs, v)
@@ -677,7 +764,10 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 				return err
 			}
 			f := v.FieldByName(fname)
-			if !f.IsValid() {
+			// Unexported fields resolve to valid but non-settable values
+			// (the setters would panic); the encoder never writes them, so
+			// a stream naming one is malformed.
+			if !f.IsValid() || !f.CanSet() {
 				return d.fail("no field %q in %v", fname, v.Type())
 			}
 			if err := d.decodeInto(f); err != nil {
@@ -704,6 +794,12 @@ func (d *decoder) decodeInto(v reflect.Value) error {
 		x, err := d.decodeIface()
 		if err != nil {
 			return err
+		}
+		// The encoder writes tagNil directly for nil values, so a dynamic
+		// nil here ("any" payload holding nothing) is malformed — and
+		// reflect.ValueOf(nil) has no Type to consult.
+		if x == nil {
+			return d.fail("nil dynamic value for %v slot", v.Type())
 		}
 		xv := reflect.ValueOf(x)
 		if xv.Type().ConvertibleTo(v.Type()) {

@@ -57,6 +57,10 @@ type (
 	Task = core.Task
 	// RemoteError is a copied callee failure.
 	RemoteError = core.RemoteError
+	// Future is the pending result of an asynchronous invocation
+	// (Capability.InvokeAsync / InvokeAsyncFrom): resolve-once, fault
+	// propagation identical to Invoke, revocation-aware, cancellable.
+	Future = core.Future
 	// Stats is a domain's resource-accounting snapshot.
 	Stats = account.Stats
 	// Profile selects the VM cost profile.
@@ -87,7 +91,15 @@ var (
 	ErrNoSuchMethod = core.ErrNoSuchMethod
 	// ErrNotEntered reports a call from a goroutine without a Task.
 	ErrNotEntered = core.ErrNotEntered
+	// ErrCancelled reports a future abandoned via Future.Cancel.
+	ErrCancelled = core.ErrCancelled
 )
+
+// WaitAll joins a fan-out of futures, returning the first error (in
+// argument order), or nil when every call succeeded.
+func WaitAll(futures ...*Future) error {
+	return core.WaitAll(futures...)
+}
 
 // VM cost profiles (Table 1 models two commercial JVMs).
 var (
