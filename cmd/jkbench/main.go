@@ -2,9 +2,11 @@
 // original row/column format, alongside the published numbers, so shape
 // comparisons are direct; table 7 extends the evaluation to the remote
 // kernels subsystem (local LRMI vs cross-process capability invocation,
-// the Table 2-vs-3 contrast made concrete), and table 8 measures sync
-// per-call against async-batched remote invocation. See EXPERIMENTS.md
-// for the recorded results.
+// the Table 2-vs-3 contrast made concrete), table 8 measures sync
+// per-call against async-batched remote invocation, and table 9 measures
+// capability churn (export → inline import → invoke → release) and
+// verifies the per-connection tables return to baseline — the export-GC
+// leak gate as a benchmark. See EXPERIMENTS.md for the recorded results.
 //
 //	jkbench                  # all tables
 //	jkbench -table 4         # one table
@@ -32,9 +34,9 @@ import (
 )
 
 var (
-	tableFlag = flag.Int("table", 0, "run only this table (1-8); 0 = all")
+	tableFlag = flag.Int("table", 0, "run only this table (1-9); 0 = all")
 	quick     = flag.Bool("quick", false, "fewer iterations")
-	jsonFlag  = flag.String("json", "", "write measured rows (remote tables 7-8) as JSON to this file")
+	jsonFlag  = flag.String("json", "", "write measured rows (remote tables 7-9) as JSON to this file")
 )
 
 func main() {
@@ -54,6 +56,7 @@ func main() {
 	run(6, table6)
 	run(7, table7)
 	run(8, table8)
+	run(9, table9)
 	if *jsonFlag != "" {
 		writeBenchJSON(*jsonFlag)
 	}
@@ -827,6 +830,92 @@ func table8() {
 	fmt.Printf("  %-52s %9.1fx\n", "batching speedup (worker process)", syncCross/asyncCross)
 	recordRatio(8, "batching speedup (TCP loopback)", syncLoop/asyncLoop)
 	recordRatio(8, "batching speedup (worker process)", syncCross/asyncCross)
+	fmt.Println()
+}
+
+// --- table 9: capability churn and table hygiene ---------------------------
+
+// benchMakerSvc mints a fresh capability per call — the churn workload's
+// server half: every cycle creates a new gate, exports it inline, and
+// expects release (or revocation) to return the tables to baseline.
+type benchMakerSvc struct {
+	k *core.Kernel
+	d *core.Domain
+}
+
+// Make returns a fresh null-service capability.
+func (m *benchMakerSvc) Make() (*core.Capability, error) {
+	return m.k.CreateNativeCapability(m.d, benchNullSvc{})
+}
+
+// table9 measures the full capability lifecycle on the wire: mint a
+// capability remotely, import it inline (no manifest), invoke it, release
+// it — then verifies the reference-counted export GC actually collected
+// everything, on both ends of the connection. The leaked-entries rows are
+// the benchmark-shaped version of the churn regression test: any value
+// above zero is a table leak.
+func table9() {
+	fmt.Println("Table 9. Remote kernels: capability churn and table hygiene (beyond the paper)")
+	fmt.Printf("  %-52s %10s %12s\n", "Configuration", "µs/cycle", "cycles/sec")
+
+	kl := core.MustNew(core.Options{})
+	cd, err := kl.NewDomain(core.DomainConfig{Name: "app"})
+	check(err)
+	task := kl.NewDetachedTask(cd, "bench")
+
+	k2 := core.MustNew(core.Options{})
+	s2, err := k2.NewDomain(core.DomainConfig{Name: "svc"})
+	check(err)
+	maker, err := k2.CreateNativeCapability(s2, &benchMakerSvc{k: k2, d: s2})
+	check(err)
+	check(k2.Export("maker", maker))
+	ln, err := remote.Listen(k2, "tcp", "127.0.0.1:0")
+	check(err)
+	conn, err := remote.Dial(kl, "tcp", ln.Addr().String())
+	check(err)
+	proxy, err := conn.Import("maker")
+	check(err)
+
+	us := measureEach(iters(20000), func() {
+		res, err := proxy.InvokeFrom(task, "Make")
+		check(err)
+		cap := res[0].(*core.Capability)
+		if _, err := cap.InvokeFrom(task, "Null"); err != nil {
+			check(err)
+		}
+		remote.ReleaseProxy(cap)
+	})
+	fmt.Printf("  %-52s %10.2f %12.0f\n", "churn cycle: make+invoke+release (TCP loopback)", us, 1e6/us)
+	record(9, "churn cycle: make+invoke+release (TCP loopback)", us)
+
+	// Leak gate: once the release sweep drains, the client connection
+	// holds exactly its lookup import, and the server connection exactly
+	// the one export backing it.
+	conn.Flush()
+	leaked := func(c *remote.Conn, base remote.TableSizes) float64 {
+		deadline := time.Now().Add(10 * time.Second)
+		sz := c.TableSizes()
+		for time.Now().Before(deadline) {
+			if sz = c.TableSizes(); sz == base {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return float64(sz.Exports - base.Exports + sz.ExportIDs - base.ExportIDs +
+			sz.Imports - base.Imports + sz.PreRevoked - base.PreRevoked +
+			sz.Unhook - base.Unhook + sz.Pending - base.Pending)
+	}
+	clientLeak := leaked(conn, remote.TableSizes{Imports: 1})
+	var serverLeak float64
+	if conns := ln.Conns(); len(conns) == 1 {
+		serverLeak = leaked(conns[0], remote.TableSizes{Exports: 1, ExportIDs: 1, Unhook: 1})
+	}
+	fmt.Printf("  %-52s %10.0f\n", "post-churn leaked table entries, client (want 0)", clientLeak)
+	fmt.Printf("  %-52s %10.0f\n", "post-churn leaked table entries, server (want 0)", serverLeak)
+	recordRatio(9, "post-churn leaked table entries (client)", clientLeak)
+	recordRatio(9, "post-churn leaked table entries (server)", serverLeak)
+	conn.Close()
+	ln.Close()
 	fmt.Println()
 }
 

@@ -101,6 +101,16 @@ func (g *Gate) OnRevoke(fn func()) (remove func()) {
 	}
 }
 
+// RevokeHooks reports the number of registered revocation observers.
+// Diagnostics only: a transport must deregister its hooks when its
+// connection dies or its export table entry is released, so a gate that
+// accumulates hooks across connection churn is leaking.
+func (g *Gate) RevokeHooks() int {
+	g.hookMu.Lock()
+	defer g.hookMu.Unlock()
+	return len(g.onRevoke)
+}
+
 // failureReason returns the recorded failure, or nil.
 func (g *Gate) failureReason() error {
 	if p := g.failure.Load(); p != nil {

@@ -61,7 +61,10 @@ func (k *Kernel) CreateNativeCapability(d *Domain, target any) (*Capability, err
 
 // Methods returns the remote method names of a native capability, sorted
 // (empty for VM capabilities). For proxy capabilities it reports the
-// method manifest received from the remote kernel, when one was sent.
+// remote kernel's method manifest; a proxy imported inline (as an
+// argument or result) that arrived without one fetches it lazily from the
+// exporting kernel — one wire round trip on the first call, cached on the
+// proxy thereafter.
 func (c *Capability) Methods() []string {
 	if pb := c.g.proxy.Load(); pb != nil {
 		return pb.t.ProxyMethods()

@@ -17,8 +17,10 @@ import "fmt"
 // for the caller domain's account.
 type ProxyTarget interface {
 	InvokeProxy(method string, args []any) (results []any, copied int64, err error)
-	// ProxyMethods lists the remote method names, when known (empty for
-	// proxies imported inline without a method manifest).
+	// ProxyMethods lists the remote method names. A transport whose
+	// import arrived without a manifest may fetch one on first call
+	// (internal/remote does, with a single cached round trip), so callers
+	// should treat this as potentially blocking.
 	ProxyMethods() []string
 }
 

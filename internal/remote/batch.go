@@ -22,6 +22,9 @@ const (
 	// (well under maxFrame; a single oversized call still travels alone
 	// and is rejected by the per-call frame check).
 	maxBatchBytes = 1 << 20
+	// maxReleaseEntries bounds entries per msgRelease frame (each entry is
+	// three uvarints, so even the cap is a small frame).
+	maxReleaseEntries = 4096
 )
 
 // batchedCall is one encoded, pending invocation awaiting a frame.
@@ -37,14 +40,16 @@ func (b batchedCall) wireSize() int {
 	return len(b.args) + len(b.method) + 32
 }
 
-// batcher coalesces pending asynchronous invokes for one connection.
+// batcher coalesces pending asynchronous invokes — and capability
+// releases — for one connection.
 type batcher struct {
 	c *Conn
 
 	mu       sync.Mutex
 	q        []batchedCall
-	inflight int        // batches taken but not yet written
-	idle     *sync.Cond // signalled when inflight drops to zero
+	rq       []releaseEntry // pending import releases, coalesced per frame
+	inflight int            // batches taken but not yet written
+	idle     *sync.Cond     // signalled when inflight drops to zero
 
 	// kick signals the flusher that the queue is non-empty (capacity 1:
 	// a pending kick covers any number of enqueues).
@@ -62,6 +67,20 @@ func (b *batcher) enqueue(call batchedCall) {
 	b.mu.Lock()
 	b.q = append(b.q, call)
 	b.mu.Unlock()
+	b.nudge()
+}
+
+// enqueueRelease queues one import release. Releases churned in a burst (a
+// table sweep, a fan of proxies dying together) leave as one msgRelease
+// frame, exactly as batched invokes do.
+func (b *batcher) enqueueRelease(e releaseEntry) {
+	b.mu.Lock()
+	b.rq = append(b.rq, e)
+	b.mu.Unlock()
+	b.nudge()
+}
+
+func (b *batcher) nudge() {
 	select {
 	case b.kick <- struct{}{}:
 	default:
@@ -82,16 +101,23 @@ func (b *batcher) run() {
 	}
 }
 
-// drain sends frames until the queue is empty. Safe to call concurrently
-// (Conn.Flush races the flusher): take is atomic, so each queued call is
-// sent exactly once.
+// drain sends frames until both queues are empty. Safe to call
+// concurrently (Conn.Flush races the flusher): take/takeReleases are
+// atomic, so each queued call and release is sent exactly once. Invokes
+// drain before releases, so a call enqueued before its proxy was released
+// reaches the exporter while the export entry is still live.
 func (b *batcher) drain() {
 	for {
-		calls := b.take()
-		if len(calls) == 0 {
+		if calls := b.take(); len(calls) != 0 {
+			b.c.sendBatch(calls)
+			b.sent()
+			continue
+		}
+		rels := b.takeReleases()
+		if len(rels) == 0 {
 			return
 		}
-		b.c.sendBatch(calls)
+		b.c.sendReleases(rels)
 		b.sent()
 	}
 }
@@ -103,9 +129,9 @@ func (b *batcher) drain() {
 func (b *batcher) flush() {
 	b.drain()
 	b.mu.Lock()
-	for b.inflight > 0 || len(b.q) > 0 {
-		if len(b.q) > 0 {
-			// More calls queued while we waited; send them ourselves.
+	for b.inflight > 0 || len(b.q) > 0 || len(b.rq) > 0 {
+		if len(b.q) > 0 || len(b.rq) > 0 {
+			// More work queued while we waited; send it ourselves.
 			b.mu.Unlock()
 			b.drain()
 			b.mu.Lock()
@@ -150,5 +176,25 @@ func (b *batcher) take() []batchedCall {
 	rest := copy(b.q, b.q[n:])
 	clear(b.q[rest:]) // drop arg references so sent calls are collectable
 	b.q = b.q[:rest]
+	return out
+}
+
+// takeReleases pops up to one frame's worth of queued releases, marking
+// them in flight until sent.
+func (b *batcher) takeReleases() []releaseEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.rq) == 0 {
+		return nil
+	}
+	b.inflight++
+	n := len(b.rq)
+	if n > maxReleaseEntries {
+		n = maxReleaseEntries
+	}
+	out := make([]releaseEntry, n)
+	copy(out, b.rq)
+	rest := copy(b.rq, b.rq[n:])
+	b.rq = b.rq[:rest]
 	return out
 }

@@ -34,20 +34,20 @@ type Conn struct {
 	wmu sync.Mutex // serializes frame writes
 	bw  *bufio.Writer
 
-	mu         sync.Mutex
-	nextReq    uint64
-	pending    map[uint64]func(wireResult) // reqID -> completion (sync chan send or future resolve)
-	exports    map[uint64]*core.Capability // export id -> local capability
-	exportIDs  map[*core.Gate]uint64       // dedup: gate -> export id
-	nextExport uint64
-	imports    map[uint64]*core.Capability // peer export id -> local proxy
-	preRevoked map[uint64]byte             // revokes that raced ahead of the import
-	unhook     []func()                    // OnRevoke deregistrations, run at shutdown
-	closed     bool
-	cause      error
+	mu            sync.Mutex
+	nextReq       uint64
+	pending       map[uint64]func(wireResult) // reqID -> completion (sync chan send or future resolve)
+	exports       map[uint64]*exportEntry     // export id -> refcounted local capability
+	exportIDs     map[*core.Gate]uint64       // dedup: gate -> export id
+	nextExport    uint64
+	imports       map[uint64]*importEntry // peer export id -> local proxy + receipt count
+	nextImportGen uint64                  // generation stamped on fresh imports (release dedup)
+	preRevoked    map[uint64]parkedRevoke // revokes that raced ahead of the import
+	closed        bool
+	cause         error
 
 	// batch coalesces pending asynchronous invokes into multi-invoke
-	// frames (see batch.go).
+	// frames, and import releases into msgRelease frames (see batch.go).
 	batch *batcher
 
 	// exec runs inbound invocations on pooled goroutines. Fresh
@@ -90,10 +90,10 @@ func NewConn(k *core.Kernel, nc net.Conn) (*Conn, error) {
 		nc:         nc,
 		bw:         bufio.NewWriter(nc),
 		pending:    make(map[uint64]func(wireResult)),
-		exports:    make(map[uint64]*core.Capability),
+		exports:    make(map[uint64]*exportEntry),
 		exportIDs:  make(map[*core.Gate]uint64),
-		imports:    make(map[uint64]*core.Capability),
-		preRevoked: make(map[uint64]byte),
+		imports:    make(map[uint64]*importEntry),
+		preRevoked: make(map[uint64]parkedRevoke),
 		done:       make(chan struct{}),
 	}
 	c.batch = newBatcher(c)
@@ -156,11 +156,11 @@ func (e *executor) worker(job func()) {
 	}
 }
 
-// Flush forces every queued asynchronous invoke onto the wire before
-// returning, including calls the background flusher was mid-write on.
-// The flusher already drains the queue whenever it is idle, so Flush is
-// only needed when the caller wants a hard everything-is-sent point (end
-// of a fan-out wave, say).
+// Flush forces every queued asynchronous invoke — and every queued
+// capability release — onto the wire before returning, including frames
+// the background flusher was mid-write on. The flusher already drains the
+// queues whenever it is idle, so Flush is only needed when the caller
+// wants a hard everything-is-sent point (end of a fan-out wave, say).
 func (c *Conn) Flush() {
 	c.batch.flush()
 }
@@ -177,6 +177,41 @@ func Dial(k *core.Kernel, network, addr string) (*Conn, error) {
 
 // Domain returns the connection's host domain (owner of its proxies).
 func (c *Conn) Domain() *core.Domain { return c.domain }
+
+// TableSizes is a snapshot of one connection's table occupancy, for leak
+// diagnostics: on a healthy connection whose peers release what they are
+// done with, every field returns to baseline after a burst of traffic.
+type TableSizes struct {
+	Exports    int // live export entries (capabilities the peer may invoke)
+	ExportIDs  int // gate -> export id dedup entries (== Exports when healthy)
+	Imports    int // live proxies for peer capabilities
+	PreRevoked int // revocations parked for imports still in flight
+	Unhook     int // gate revocation hooks held (one per live export)
+	Pending    int // requests awaiting replies
+}
+
+// TableSizes reports the connection's current table occupancy. Parked
+// revocations past their in-flight window are pruned first, so the
+// snapshot never counts garbage a quiet connection would only have shed
+// on its next pushed revocation.
+func (c *Conn) TableSizes() TableSizes {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prunePreRevokedLocked(time.Now())
+	t := TableSizes{
+		Exports:    len(c.exports),
+		ExportIDs:  len(c.exportIDs),
+		Imports:    len(c.imports),
+		PreRevoked: len(c.preRevoked),
+		Pending:    len(c.pending),
+	}
+	for _, e := range c.exports {
+		if e.unhook != nil {
+			t.Unhook++
+		}
+	}
+	return t
+}
 
 // Done is closed when the connection shuts down.
 func (c *Conn) Done() <-chan struct{} { return c.done }
@@ -326,24 +361,55 @@ func (c *Conn) causeLocked() error {
 
 // --- export side -----------------------------------------------------------
 
-// exportLocked registers cap in the export table (idempotent per gate) and
-// arranges revocation push. Caller holds c.mu.
+// exportEntry is one row of the per-connection export table. refs counts
+// the handles shipped to the peer that the peer has not yet released; the
+// entry — and its gate revocation hook — dies when refs reaches zero
+// (msgRelease) or when the gate is revoked, whichever happens first, so a
+// long-lived connection does not pin dead gates.
+type exportEntry struct {
+	cap    *core.Capability
+	refs   uint64 // handles sent minus handles released
+	relGen uint64 // highest release generation applied (stale-release guard)
+	unhook func() // OnRevoke deregistration for the revocation-push hook
+}
+
+// importEntry is one row of the import table. recv counts how many times
+// the peer shipped this handle; the release sent when the proxy dies
+// carries exactly that count, which is what makes a release racing a
+// re-export benign (the exporter's refcount nets out, never underflows).
+// gen is a connection-unique generation stamped when the proxy was
+// created: the exporter ignores a release whose generation it has already
+// applied, so a duplicated or superseded release cannot double-decrement.
+type importEntry struct {
+	cap  *core.Capability
+	recv uint64
+	gen  uint64
+}
+
+// exportLocked registers cap in the export table (idempotent per gate),
+// counts one wire reference, and arranges revocation push. Caller holds
+// c.mu.
 func (c *Conn) exportLocked(cap *core.Capability) uint64 {
 	g := cap.Gate()
 	if id, ok := c.exportIDs[g]; ok {
+		c.exports[id].refs++
 		return id
 	}
 	id := c.nextExport
 	c.nextExport++
-	c.exports[id] = cap
+	e := &exportEntry{cap: cap, refs: 1}
+	c.exports[id] = e
 	c.exportIDs[g] = id
 	// Push revocation to the peer the moment the gate dies, so remote
-	// proxies fail fast instead of on their next wire round-trip. The hook
-	// fires immediately if the gate is already revoked; the peer tolerates
-	// a revoke arriving before the handle that names it. Shutdown
-	// unregisters the hook so closed connections don't stay pinned to
-	// long-lived gates.
-	c.unhook = append(c.unhook, g.OnRevoke(func() {
+	// proxies fail fast instead of on their next wire round-trip, then
+	// drop the table entry: a revoked gate answers every call with the
+	// same fault the push delivered, so nothing is lost, and the table
+	// returns to baseline without waiting for the peer's release. The
+	// hook fires immediately if the gate is already revoked — while this
+	// goroutine holds c.mu — which is why the table cleanup runs on its
+	// own goroutine. The peer tolerates a revoke arriving before the
+	// handle that names it (preRevoked).
+	e.unhook = g.OnRevoke(func() {
 		reason := revokeReasonRevoked
 		if cap.Owner().Terminated() {
 			reason = revokeReasonTerminated
@@ -353,31 +419,133 @@ func (c *Conn) exportLocked(cap *core.Capability) uint64 {
 		w.uvarint(id)
 		w.u8(reason)
 		_ = c.send(w.b) // a dead connection needs no push
-	}))
+		go c.dropExport(id, g)
+	})
 	return id
 }
 
+// dropExport removes one export entry unconditionally (gate revoked).
+func (c *Conn) dropExport(id uint64, g *core.Gate) {
+	c.mu.Lock()
+	e := c.exports[id]
+	if e == nil {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.exports, id)
+	if c.exportIDs[g] == id {
+		delete(c.exportIDs, g)
+	}
+	c.mu.Unlock()
+	if e.unhook != nil {
+		e.unhook() // no-op post-fire, but uniform with the refcount path
+	}
+}
+
+// dropExportRefsLocked returns n of an export's wire references, deleting
+// the entry at zero. It returns the gate-hook deregistration to run after
+// c.mu is released (nil when the entry survives or is already gone), and
+// an error when the peer releases more references than it was ever sent —
+// a protocol violation that faults the connection. Caller holds c.mu.
+func (c *Conn) dropExportRefsLocked(id, n uint64) (unhook func(), err error) {
+	e := c.exports[id]
+	if e == nil {
+		// Already dropped — the gate's revocation raced the peer's
+		// release, or a rollback beat it. Benign either way.
+		return nil, nil
+	}
+	if n > e.refs {
+		return nil, fmt.Errorf("remote: protocol error: release of %d refs for export %d holding %d", n, id, e.refs)
+	}
+	e.refs -= n
+	if e.refs > 0 {
+		return nil, nil
+	}
+	delete(c.exports, id)
+	if g := e.cap.Gate(); c.exportIDs[g] == id {
+		delete(c.exportIDs, g)
+	}
+	return e.unhook, nil
+}
+
 // importLocked returns (creating if needed) the proxy for the peer's
-// export id. A cached proxy that was revoked locally (e.g. an unmounted
-// remote servlet) is replaced: revocation kills the handle, not the
+// export id, counting one handle receipt. A cached proxy that was revoked
+// locally (e.g. an unmounted remote servlet, or an explicit ReleaseProxy
+// racing a re-send) is replaced: revocation kills the handle, not the
 // peer's export, and a fresh import is a fresh grant — if the peer side
-// is what died, the new proxy's first invoke fails there anyway. Caller
-// holds c.mu.
-func (c *Conn) importLocked(id uint64, methods []string) (*core.Capability, error) {
-	if cap, ok := c.imports[id]; ok && !cap.Revoked() {
-		return cap, nil
+// is what died, the new proxy's first invoke fails there anyway. When a
+// pushed revocation raced ahead of the import, the parked reason is
+// returned as pre; the caller must apply it with RevokeWithReason outside
+// c.mu (firing the proxy's revocation hooks under the connection lock
+// would deadlock against the release path). created reports whether this
+// call minted the proxy, so a decode that fails mid-vector can release
+// exactly the entries nothing else will ever own. Caller holds c.mu.
+func (c *Conn) importLocked(id uint64, methods []string) (cap *core.Capability, pre error, created bool, err error) {
+	if e, ok := c.imports[id]; ok {
+		if !e.cap.Revoked() {
+			e.recv++
+			return e.cap, nil, false, nil
+		}
+		// Replacing a dead proxy: release the stale entry's receipts now.
+		// Its revocation hook will find the entry replaced and no-op, so
+		// this is the only release for that generation — and any in-flight
+		// async invokes on the old proxy were already resolved with the
+		// capability fault when its gate was severed.
+		c.batch.enqueueRelease(releaseEntry{exportID: id, count: e.recv, gen: e.gen})
 	}
-	pt := &proxyTarget{conn: c, exportID: id, methods: methods}
-	cap, err := c.k.CreateProxyCapability(c.domain, pt)
+	pt := &proxyTarget{conn: c, exportID: id, methods: methods, fetched: methods != nil}
+	cap, err = c.k.CreateProxyCapability(c.domain, pt)
 	if err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
-	c.imports[id] = cap
-	if reason, raced := c.preRevoked[id]; raced {
+	created = true
+	c.nextImportGen++
+	e := &importEntry{cap: cap, recv: 1, gen: c.nextImportGen}
+	c.imports[id] = e
+	gen := e.gen
+	// The proxy's death — explicit ReleaseProxy, local revocation, pushed
+	// revocation, or connection teardown — releases its wire references.
+	// The hook cannot fire inline here (the gate is fresh and every revoke
+	// path serializes on c.mu, which we hold), and it runs on its own
+	// goroutine so no revoker ever blocks on the connection lock.
+	cap.Gate().OnRevoke(func() { go c.releaseImport(id, gen) })
+	if p, raced := c.preRevoked[id]; raced {
 		delete(c.preRevoked, id)
-		cap.RevokeWithReason(revokeFault(reason))
+		pre = revokeFault(p.reason)
 	}
-	return cap, nil
+	return cap, pre, created, nil
+}
+
+// releaseImport drops the import-table entry for id (if it still holds
+// the generation the dying proxy was created under) and queues a batched
+// release for every handle receipt it accumulated.
+func (c *Conn) releaseImport(id, gen uint64) {
+	c.mu.Lock()
+	e := c.imports[id]
+	if e == nil || e.gen != gen || c.closed {
+		// Replaced, already released, or the whole connection is going
+		// down (shutdown clears the tables wholesale).
+		c.mu.Unlock()
+		return
+	}
+	delete(c.imports, id)
+	delete(c.preRevoked, id) // a parked revoke for a dead handle expires with it
+	rel := releaseEntry{exportID: id, count: e.recv, gen: e.gen}
+	c.mu.Unlock()
+	c.batch.enqueueRelease(rel)
+}
+
+// ReleaseProxy severs a wire proxy's local handle, releasing its wire
+// reference so the exporting kernel can drop its table entry once every
+// handle is gone. It reports whether cap was a live wire proxy. Releasing
+// is revocation of the handle, not of the peer's capability: importing
+// the same export again yields a fresh, working proxy.
+func ReleaseProxy(cap *core.Capability) bool {
+	if proxyOf(cap) == nil {
+		return false
+	}
+	cap.RevokeWithReason(fmt.Errorf("%w: proxy released", core.ErrRevoked))
+	return true
 }
 
 // revokeFault builds the local error for a pushed revocation.
@@ -391,10 +559,19 @@ func revokeFault(reason byte) error {
 // --- seri External bridge --------------------------------------------------
 
 // connExternal implements seri.External over the connection's tables:
-// capabilities cross the stream as handles, everything else by copy.
-type connExternal struct{ c *Conn }
+// capabilities cross the stream as handles, everything else by copy. One
+// instance lives per marshal/unmarshal so an encode that counted wire
+// references and then failed (a later unencodable value, an oversized
+// frame) can return them — otherwise the peer would owe releases for
+// handles it never received — and so a decode that fails mid-vector can
+// release the proxies it minted that nothing else will ever own.
+type connExternal struct {
+	c       *Conn
+	sent    []uint64           // export ids refcounted by this encode, for rollback
+	created []*core.Capability // proxies minted by this decode, for rollback
+}
 
-func (e connExternal) EncodeExternal(v any) (uint64, bool) {
+func (e *connExternal) EncodeExternal(v any) (uint64, bool) {
 	cap, ok := v.(*core.Capability)
 	if !ok {
 		return 0, false
@@ -408,23 +585,72 @@ func (e connExternal) EncodeExternal(v any) (uint64, bool) {
 	if pt := proxyOf(cap); pt != nil && pt.conn == c {
 		return packHandle(pt.exportID, handleKindYours), true
 	}
-	return packHandle(c.exportLocked(cap), handleKindTheirs), true
+	id := c.exportLocked(cap)
+	e.sent = append(e.sent, id)
+	return packHandle(id, handleKindTheirs), true
 }
 
-func (e connExternal) DecodeExternal(h uint64) (any, error) {
+// rollback returns the wire references this encode counted, for payloads
+// that never reach the wire.
+func (e *connExternal) rollback() {
+	if len(e.sent) == 0 {
+		return
+	}
+	c := e.c
+	var unhooks []func()
+	c.mu.Lock()
+	for _, id := range e.sent {
+		// The refs being returned are ours, so over-release is impossible.
+		if unhook, _ := c.dropExportRefsLocked(id, 1); unhook != nil {
+			unhooks = append(unhooks, unhook)
+		}
+	}
+	c.mu.Unlock()
+	e.sent = nil
+	for _, unhook := range unhooks {
+		unhook()
+	}
+}
+
+func (e *connExternal) DecodeExternal(h uint64) (any, error) {
 	id, kind := unpackHandle(h)
 	c := e.c
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if kind == handleKindYours {
 		// Our own export returning home: hand back the original.
-		cap, ok := c.exports[id]
-		if !ok {
+		ent := c.exports[id]
+		c.mu.Unlock()
+		if ent == nil {
 			return nil, fmt.Errorf("remote: unknown returning export %d", id)
 		}
-		return cap, nil
+		return ent.cap, nil
 	}
-	return c.importLocked(id, nil)
+	cap, pre, created, err := c.importLocked(id, nil)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if created {
+		e.created = append(e.created, cap)
+	}
+	if pre != nil {
+		cap.RevokeWithReason(pre)
+	}
+	return cap, nil
+}
+
+// releaseCreated revokes the proxies this decode minted when the vector
+// they arrived in never reaches its caller (a later value failed to
+// decode). Nothing else will ever own them, so without this the import
+// entry — and the sender's export reference — would outlive the failed
+// call; revoking them routes through the ordinary release path. A proxy
+// that was merely re-received by this decode (entry pre-existed) is left
+// alone: its receipts are real and its owner releases them.
+func (e *connExternal) releaseCreated() {
+	for _, cap := range e.created {
+		cap.RevokeWithReason(fmt.Errorf("%w: argument vector never delivered", core.ErrRevoked))
+	}
+	e.created = nil
 }
 
 // proxyOf returns cap's proxy target when cap is a wire proxy.
@@ -439,28 +665,93 @@ func proxyOf(cap *core.Capability) *proxyTarget {
 type proxyTarget struct {
 	conn     *Conn
 	exportID uint64 // the PEER's export id
-	methods  []string
+
+	// The method manifest. Lookup-imported proxies are born with it;
+	// proxies imported inline (as arguments or results) fetch it lazily on
+	// the first ProxyMethods call — one msgManifest round trip, cached.
+	mmu     sync.Mutex
+	methods []string
+	fetched bool
 }
 
-func (p *proxyTarget) ProxyMethods() []string { return p.methods }
+// ProxyMethods reports the remote method names, fetching the manifest
+// from the exporting kernel on first use for inline imports. A fetch that
+// fails (connection lost, export already dropped) reports no methods and
+// leaves the cache empty, so a transient failure does not poison a
+// later call.
+func (p *proxyTarget) ProxyMethods() []string {
+	p.mmu.Lock()
+	defer p.mmu.Unlock()
+	if p.fetched {
+		return p.methods
+	}
+	ms, err := p.conn.fetchManifest(p.exportID)
+	if err != nil {
+		return nil
+	}
+	p.methods = ms
+	p.fetched = true
+	return ms
+}
+
+// fetchManifest performs one manifest round trip for the peer's export.
+func (c *Conn) fetchManifest(exportID uint64) ([]string, error) {
+	reqID, ch, err := c.newPending()
+	if err != nil {
+		return nil, err
+	}
+	var w wbuf
+	w.u8(msgManifest)
+	w.uvarint(reqID)
+	w.uvarint(exportID)
+	if err := c.send(w.b); err != nil {
+		c.dropPending(reqID)
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		// results[0] carries the manifest smuggled through the reply path.
+		ms, _ := res.results[0].([]string)
+		return ms, nil
+	case <-c.done:
+		return nil, c.closedErr()
+	}
+}
 
 // marshalVector encodes an argument/result vector. The empty vector is
 // the empty payload: zero-arg calls and void results — the bulk of small
-// batched traffic — skip the serializer entirely on both ends.
-func (c *Conn) marshalVector(vals []any) ([]byte, error) {
+// batched traffic — skip the serializer entirely on both ends. rollback
+// returns the wire references the encode counted; callers must run it
+// when the payload is abandoned before reaching the wire (it is a no-op
+// after a successful send, because the handles really did ship).
+func (c *Conn) marshalVector(vals []any) (data []byte, rollback func(), err error) {
 	if len(vals) == 0 {
-		return nil, nil
+		return nil, func() {}, nil
 	}
-	return seri.MarshalExt(c.k.SeriRegistry(), vals, connExternal{c})
+	ext := &connExternal{c: c}
+	data, err = seri.MarshalExt(c.k.SeriRegistry(), vals, ext)
+	if err != nil {
+		ext.rollback()
+		return nil, nil, err
+	}
+	return data, ext.rollback, nil
 }
 
-// unmarshalVector decodes what marshalVector produced.
+// unmarshalVector decodes what marshalVector produced. A vector that
+// fails mid-decode releases the proxies it already minted — the decode
+// side of the encode rollback, keeping both ends' tables honest when a
+// call's arguments or results turn out undecodable.
 func (c *Conn) unmarshalVector(data []byte) ([]any, error) {
 	if len(data) == 0 {
 		return nil, nil
 	}
-	decoded, err := seri.UnmarshalExt(c.k.SeriRegistry(), data, connExternal{c})
+	ext := &connExternal{c: c}
+	decoded, err := seri.UnmarshalExt(c.k.SeriRegistry(), data, ext)
 	if err != nil {
+		ext.releaseCreated()
 		return nil, err
 	}
 	vals, _ := decoded.([]any)
@@ -471,13 +762,14 @@ func (c *Conn) unmarshalVector(data []byte) ([]any, error) {
 // by reference), one request/reply round trip, unmarshal results.
 func (p *proxyTarget) InvokeProxy(method string, args []any) ([]any, int64, error) {
 	c := p.conn
-	argBytes, err := c.marshalVector(args)
+	argBytes, rollback, err := c.marshalVector(args)
 	if err != nil {
 		return nil, 0, &core.CopyError{What: "remote arguments of " + method, Err: err}
 	}
 	// Oversized arguments are a copy failure on a healthy connection, not
 	// a revocation; reject before the frame writer does.
 	if len(argBytes)+len(method)+32 > maxFrame {
+		rollback()
 		return nil, 0, &core.CopyError{
 			What: "remote arguments of " + method,
 			Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", len(argBytes), maxFrame),
@@ -485,6 +777,7 @@ func (p *proxyTarget) InvokeProxy(method string, args []any) ([]any, int64, erro
 	}
 	reqID, ch, err := c.newPending()
 	if err != nil {
+		rollback()
 		return nil, 0, err
 	}
 	var w wbuf
@@ -516,12 +809,13 @@ func (p *proxyTarget) InvokeProxy(method string, args []any) ([]any, int64, erro
 // once, unless cancel removes the pending slot before that.
 func (p *proxyTarget) InvokeProxyAsync(method string, args []any, complete func([]any, int64, error)) (cancel func()) {
 	c := p.conn
-	argBytes, err := c.marshalVector(args)
+	argBytes, rollback, err := c.marshalVector(args)
 	if err != nil {
 		complete(nil, 0, &core.CopyError{What: "remote arguments of " + method, Err: err})
 		return func() {}
 	}
 	if len(argBytes)+len(method)+64 > maxFrame {
+		rollback()
 		complete(nil, 0, &core.CopyError{
 			What: "remote arguments of " + method,
 			Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", len(argBytes), maxFrame),
@@ -535,6 +829,7 @@ func (p *proxyTarget) InvokeProxyAsync(method string, args []any, complete func(
 	if err != nil {
 		// The connection is already down: same capability fault the sync
 		// path reports.
+		rollback()
 		complete(nil, 0, fmt.Errorf("%w: %v", core.ErrRevoked, err))
 		return func() {}
 	}
@@ -566,6 +861,19 @@ func (c *Conn) sendBatch(calls []batchedCall) {
 			c.complete(call.reqID, wireResult{err: fault})
 		}
 	}
+}
+
+// sendReleases writes queued import releases as one msgRelease frame. A
+// failed write needs no recovery: the connection is dying, and teardown
+// clears both ends' tables wholesale.
+func (c *Conn) sendReleases(entries []releaseEntry) {
+	var w wbuf
+	w.u8(msgRelease)
+	w.uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		appendReleaseEntry(&w, e)
+	}
+	_ = c.send(w.b)
 }
 
 // --- reader / inbound ------------------------------------------------------
@@ -610,7 +918,15 @@ func (c *Conn) dispatch(frame []byte) error {
 		}
 	case msgRevoke:
 		f := v.(revokeFrame)
-		c.handleRevoke(f.exportID, f.reason)
+		return c.handleRevoke(f.exportID, f.reason)
+	case msgRelease:
+		return c.handleRelease(v.([]releaseEntry))
+	case msgManifest:
+		// Off the reader: a manifest of a re-exported proxy may itself
+		// need a wire round trip on another connection.
+		go c.handleManifest(v.(manifestFrame))
+	case msgManifestReply:
+		c.handleManifestReply(v.(manifestReplyFrame))
 	case msgLookup:
 		f := v.(lookupFrame)
 		go c.handleLookup(f.reqID, f.name)
@@ -654,7 +970,10 @@ func (c *Conn) serveInvoke(f invokeFrame) replyFrame {
 		return replyFrame{reqID: f.reqID, status: statusErr, kind: kind, class: class, msg: msg}
 	}
 	c.mu.Lock()
-	cap := c.exports[f.exportID]
+	var cap *core.Capability
+	if e := c.exports[f.exportID]; e != nil {
+		cap = e.cap
+	}
 	c.mu.Unlock()
 	if cap == nil {
 		return errRep(errKindRevoked, "", fmt.Sprintf("unknown export %d", f.exportID))
@@ -676,11 +995,12 @@ func (c *Conn) serveInvoke(f invokeFrame) replyFrame {
 		kind, class, msg := encodeWireErr(callErr)
 		return errRep(kind, class, msg)
 	}
-	resBytes, err := c.marshalVector(results)
+	resBytes, rollback, err := c.marshalVector(results)
 	if err != nil {
 		return errRep(errKindProtocol, "", "encode results: "+err.Error())
 	}
 	if len(resBytes)+32 > maxFrame {
+		rollback()
 		return errRep(errKindProtocol, "",
 			fmt.Sprintf("results of %d bytes exceed the frame limit", len(resBytes)))
 	}
@@ -756,17 +1076,127 @@ func (c *Conn) replyErr(reqID uint64, kind byte, class, msg string) {
 	_ = c.send(w.b)
 }
 
-// handleRevoke applies a pushed revocation to the local proxy.
-func (c *Conn) handleRevoke(exportID uint64, reason byte) {
+// parkedRevoke is a pushed revocation waiting for its import: the frame
+// carrying the handle was sent after the revocation push (the hook fires
+// during marshal, before the invoke frame leaves), so on a FIFO stream
+// the handle follows within one in-flight window. at bounds that window:
+// a parked entry that old is garbage — most commonly a revocation racing
+// a release the importer already sent, for an id that will never arrive
+// again — and is pruned rather than kept forever.
+type parkedRevoke struct {
+	reason byte
+	at     time.Time
+}
+
+// maxPreRevoked caps the parked-revocation table. Entries are consumed by
+// the import they raced, expired after preRevokedTTL (or when the handle
+// they would have revoked is released), and cleared at teardown — so the
+// table only grows when a peer floods revocations for exports it never
+// ships. A peer that parks maxPreRevoked of them inside one TTL window is
+// malfunctioning or hostile, and the connection faults rather than grow
+// without bound.
+const (
+	maxPreRevoked = 1024
+	preRevokedTTL = 5 * time.Second
+)
+
+// prunePreRevokedLocked drops parked revocations past their in-flight
+// window. Caller holds c.mu.
+func (c *Conn) prunePreRevokedLocked(now time.Time) {
+	for id, p := range c.preRevoked {
+		if now.Sub(p.at) > preRevokedTTL {
+			delete(c.preRevoked, id)
+		}
+	}
+}
+
+// handleRevoke applies a pushed revocation to the local proxy, or parks
+// it for an import still in flight.
+func (c *Conn) handleRevoke(exportID uint64, reason byte) error {
 	c.mu.Lock()
-	cap := c.imports[exportID]
-	if cap == nil {
-		c.preRevoked[exportID] = reason
+	var cap *core.Capability
+	if e := c.imports[exportID]; e != nil {
+		cap = e.cap
+	} else {
+		now := time.Now()
+		c.prunePreRevokedLocked(now)
+		if len(c.preRevoked) >= maxPreRevoked {
+			c.mu.Unlock()
+			return fmt.Errorf("remote: protocol error: %d revocations parked for never-imported exports", maxPreRevoked)
+		}
+		c.preRevoked[exportID] = parkedRevoke{reason: reason, at: now}
 	}
 	c.mu.Unlock()
 	if cap != nil {
 		cap.RevokeWithReason(revokeFault(reason))
 	}
+	return nil
+}
+
+// handleRelease returns wire references the peer is done with, dropping
+// export entries — and their gate revocation hooks — at refcount zero.
+// The generation guard makes duplicate or superseded releases inert; a
+// release of more references than were ever sent faults the connection.
+func (c *Conn) handleRelease(entries []releaseEntry) error {
+	var unhooks []func()
+	c.mu.Lock()
+	for _, re := range entries {
+		e := c.exports[re.exportID]
+		if e == nil || re.gen <= e.relGen {
+			continue // dropped by revocation GC, or a stale duplicate
+		}
+		e.relGen = re.gen
+		unhook, err := c.dropExportRefsLocked(re.exportID, re.count)
+		if err != nil {
+			c.mu.Unlock()
+			return err
+		}
+		if unhook != nil {
+			unhooks = append(unhooks, unhook)
+		}
+	}
+	c.mu.Unlock()
+	for _, unhook := range unhooks {
+		unhook()
+	}
+	return nil
+}
+
+// handleManifest answers a lazy manifest fetch out of the export table.
+func (c *Conn) handleManifest(f manifestFrame) {
+	c.mu.Lock()
+	var cap *core.Capability
+	if e := c.exports[f.exportID]; e != nil {
+		cap = e.cap
+	}
+	c.mu.Unlock()
+	var w wbuf
+	w.u8(msgManifestReply)
+	w.uvarint(f.reqID)
+	if cap == nil {
+		w.u8(statusErr)
+		w.u8(errKindRevoked)
+		w.str("")
+		w.str(fmt.Sprintf("unknown export %d", f.exportID))
+	} else {
+		methods := cap.Methods()
+		w.u8(statusOK)
+		w.uvarint(uint64(len(methods)))
+		for _, m := range methods {
+			w.str(m)
+		}
+	}
+	_ = c.send(w.b)
+}
+
+func (c *Conn) handleManifestReply(f manifestReplyFrame) {
+	res := wireResult{}
+	if f.status == statusOK {
+		res.results = []any{f.methods}
+	} else {
+		res.err = decodeWireErr(f.kind, f.class, f.msg)
+	}
+	c.complete(f.reqID, res)
 }
 
 // handleLookup answers an Import from the peer out of the kernel's export
@@ -813,17 +1243,22 @@ func (c *Conn) handleLookupReply(f lookupReplyFrame) {
 	res := wireResult{}
 	if f.status == statusOK {
 		id, kind := unpackHandle(f.handle)
-		c.mu.Lock()
 		var cap *core.Capability
-		var ierr error
+		var pre, ierr error
+		c.mu.Lock()
 		if kind == handleKindYours {
-			if cap = c.exports[id]; cap == nil {
+			if e := c.exports[id]; e != nil {
+				cap = e.cap
+			} else {
 				ierr = fmt.Errorf("remote: unknown returning export %d", id)
 			}
 		} else {
-			cap, ierr = c.importLocked(id, f.methods)
+			cap, pre, _, ierr = c.importLocked(id, f.methods)
 		}
 		c.mu.Unlock()
+		if pre != nil {
+			cap.RevokeWithReason(pre)
+		}
 		if ierr != nil {
 			res.err = ierr
 		} else {
@@ -901,11 +1336,21 @@ func (c *Conn) shutdown(cause error) {
 	pending := c.pending
 	c.pending = make(map[uint64]func(wireResult))
 	imports := make([]*core.Capability, 0, len(c.imports))
-	for _, cap := range c.imports {
-		imports = append(imports, cap)
+	for _, e := range c.imports {
+		imports = append(imports, e.cap)
 	}
-	unhook := c.unhook
-	c.unhook = nil
+	c.imports = make(map[uint64]*importEntry)
+	c.preRevoked = make(map[uint64]parkedRevoke)
+	// Unregister every export's revocation hook so a closed connection
+	// does not stay pinned to long-lived gates.
+	unhook := make([]func(), 0, len(c.exports))
+	for _, e := range c.exports {
+		if e.unhook != nil {
+			unhook = append(unhook, e.unhook)
+		}
+	}
+	c.exports = make(map[uint64]*exportEntry)
+	c.exportIDs = make(map[*core.Gate]uint64)
 	c.mu.Unlock()
 
 	for _, remove := range unhook {

@@ -126,6 +126,38 @@ func seedFrames() [][]byte {
 	w.uvarint(8)
 	add(w)
 
+	// Batched import releases (export id, receipt count, generation).
+	w = &wbuf{}
+	w.u8(msgRelease)
+	w.uvarint(3)
+	appendReleaseEntry(w, releaseEntry{exportID: 9, count: 2, gen: 4})
+	appendReleaseEntry(w, releaseEntry{exportID: 0, count: 1, gen: 1})
+	appendReleaseEntry(w, releaseEntry{exportID: 1 << 40, count: 7, gen: 300})
+	add(w)
+
+	// Lazy manifest fetch and its replies.
+	w = &wbuf{}
+	w.u8(msgManifest)
+	w.uvarint(10)
+	w.uvarint(9)
+	add(w)
+	w = &wbuf{}
+	w.u8(msgManifestReply)
+	w.uvarint(10)
+	w.u8(statusOK)
+	w.uvarint(2)
+	w.str("Add")
+	w.str("Get")
+	add(w)
+	w = &wbuf{}
+	w.u8(msgManifestReply)
+	w.uvarint(11)
+	w.u8(statusErr)
+	w.u8(errKindRevoked)
+	w.str("")
+	w.str("unknown export 9")
+	add(w)
+
 	return frames
 }
 

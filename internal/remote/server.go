@@ -93,6 +93,18 @@ func (l *Listener) isClosed() bool {
 // Addr returns the listening address.
 func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
 
+// Conns returns the currently live accepted connections (diagnostics:
+// table-occupancy inspection, leak tests).
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	conns := make([]*Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	return conns
+}
+
 // Close stops accepting and tears down every live connection.
 func (l *Listener) Close() error {
 	l.mu.Lock()

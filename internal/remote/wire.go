@@ -39,6 +39,19 @@ const (
 	// poison its batch.
 	msgBatchInvoke byte = 8 // count, then per call: reqID, exportID, method, argLen, args
 	msgBatchReply  byte = 9 // count, then per call: reqID, status, bodyLen+body | error
+	// Capability lifecycle: imports release their wire references when the
+	// local proxy dies (explicit ReleaseProxy, local revocation, or a
+	// pushed revocation), and the export side drops its table entry when
+	// the reference count reaches zero. Releases are batched — one frame
+	// carries any number of (exportID, count, generation) entries — and
+	// the generation counter makes a stale or duplicated release for a
+	// re-imported id harmless (see Conn.handleRelease).
+	msgRelease byte = 10 // count, then per entry: exportID, count, gen
+	// Lazy method manifests: capabilities imported inline (as arguments or
+	// results) carry no method list; the first Methods() call fetches it
+	// with one round trip and caches it on the proxy.
+	msgManifest      byte = 11 // reqID, exportID
+	msgManifestReply byte = 12 // reqID, status, methods | error
 )
 
 // Reply statuses.
@@ -252,6 +265,32 @@ type pingFrame struct {
 	reqID uint64
 }
 
+// releaseEntry is one import's released wire references: the peer's export
+// id, how many handles the importer received for it, and the import-entry
+// generation those receipts belong to.
+type releaseEntry struct {
+	exportID uint64
+	count    uint64
+	gen      uint64
+}
+
+// manifestFrame asks for an export's method list.
+type manifestFrame struct {
+	reqID    uint64
+	exportID uint64
+}
+
+// manifestReplyFrame answers a manifest fetch: the method list, or a wire
+// error (unknown or revoked export).
+type manifestReplyFrame struct {
+	reqID   uint64
+	status  byte
+	methods []string
+	kind    byte
+	class   string
+	msg     string
+}
+
 func parseInvoke(r *rbuf) (invokeFrame, error) {
 	var f invokeFrame
 	var err error
@@ -428,6 +467,78 @@ func parsePing(r *rbuf) (pingFrame, error) {
 	return f, err
 }
 
+func parseRelease(r *rbuf) ([]releaseEntry, error) {
+	n, err := r.count(3) // exportID + count + gen, 1 byte each minimum
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, r.fail("empty release")
+	}
+	entries := make([]releaseEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var e releaseEntry
+		if e.exportID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if e.count, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if e.gen, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	if len(r.rest()) != 0 {
+		return nil, r.fail("trailing bytes after release")
+	}
+	return entries, nil
+}
+
+func parseManifest(r *rbuf) (manifestFrame, error) {
+	var f manifestFrame
+	var err error
+	if f.reqID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	f.exportID, err = r.uvarint()
+	return f, err
+}
+
+func parseManifestReply(r *rbuf) (manifestReplyFrame, error) {
+	var f manifestReplyFrame
+	var err error
+	if f.reqID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	if f.status, err = r.u8(); err != nil {
+		return f, err
+	}
+	if f.status != statusOK {
+		if f.kind, err = r.u8(); err != nil {
+			return f, err
+		}
+		if f.class, err = r.str(); err != nil {
+			return f, err
+		}
+		f.msg, err = r.str()
+		return f, err
+	}
+	n, err := r.count(1)
+	if err != nil {
+		return f, err
+	}
+	f.methods = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		m, merr := r.str()
+		if merr != nil {
+			return f, merr
+		}
+		f.methods = append(f.methods, m)
+	}
+	return f, nil
+}
+
 // decodeFrame decodes one frame into its typed form: (msgType, frame,
 // nil) on success, an error on malformed input. It is the single decode
 // entry point for conn.dispatch and for the fuzz targets.
@@ -455,6 +566,12 @@ func decodeFrame(frame []byte) (byte, any, error) {
 		v, err = parseLookupReply(r)
 	case msgPing, msgPong:
 		v, err = parsePing(r)
+	case msgRelease:
+		v, err = parseRelease(r)
+	case msgManifest:
+		v, err = parseManifest(r)
+	case msgManifestReply:
+		v, err = parseManifestReply(r)
 	default:
 		return t, nil, fmt.Errorf("remote: unknown message type %d", t)
 	}
@@ -473,6 +590,13 @@ func appendBatchCall(w *wbuf, reqID, exportID uint64, method string, args []byte
 	w.str(method)
 	w.uvarint(uint64(len(args)))
 	w.raw(args)
+}
+
+// appendReleaseEntry appends one entry to a msgRelease body.
+func appendReleaseEntry(w *wbuf, e releaseEntry) {
+	w.uvarint(e.exportID)
+	w.uvarint(e.count)
+	w.uvarint(e.gen)
 }
 
 // appendReplyBody appends the status tail of f (everything after reqID)

@@ -69,6 +69,9 @@ type (
 	// RemoteConn is a kernel-to-kernel connection: capabilities imported
 	// over it are proxies indistinguishable from local capabilities.
 	RemoteConn = remote.Conn
+	// RemoteTableSizes is a snapshot of one connection's table occupancy
+	// (RemoteConn.TableSizes) — leak diagnostics for long-lived links.
+	RemoteTableSizes = remote.TableSizes
 	// RemoteListener serves a kernel's exports to remote kernels.
 	RemoteListener = remote.Listener
 	// WorkerPool supervises worker kernel processes, restarting crashes.
@@ -154,6 +157,16 @@ func Listen(k *Kernel, network, addr string) (*RemoteListener, error) {
 // retrieves proxies for the peer's exports.
 func Connect(k *Kernel, network, addr string) (*RemoteConn, error) {
 	return remote.Dial(k, network, addr)
+}
+
+// ReleaseProxy severs a capability imported over a RemoteConn, returning
+// its wire reference so the exporting kernel can drop its table entry
+// once every handle is gone. Call it when a domain is done with an
+// imported capability; releasing is revocation of the local handle only —
+// the exporter's capability stays live, and importing it again yields a
+// fresh, working proxy. Reports whether cap was a live wire proxy.
+func ReleaseProxy(cap *Capability) bool {
+	return remote.ReleaseProxy(cap)
 }
 
 // StartWorkerPool spawns and supervises worker kernel processes. With no

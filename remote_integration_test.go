@@ -138,3 +138,76 @@ func TestRemoteTypedBind(t *testing.T) {
 		t.Fatalf("typed remote stub: %q %v", out, err)
 	}
 }
+
+// TestRemoteReleaseLifecycle drives the handle lifecycle through the
+// facade: releasing an imported proxy drains the connection's tables on
+// both ends without revoking the supervisor's capability, and a fresh
+// import is a fresh grant.
+func TestRemoteReleaseLifecycle(t *testing.T) {
+	sup := New(Options{})
+	supDom, err := sup.NewDomain(DomainConfig{Name: "services"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := sup.CreateNativeCapability(supDom, &remoteGreeter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Export("greeter", cap); err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "sup.sock")
+	ln, err := Listen(sup, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	client := New(Options{})
+	app, err := client.NewDomain(DomainConfig{Name: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Connect(client, "unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	proxy, err := conn.Import("greeter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := client.NewDetachedTask(app, "release-client")
+	if _, err := proxy.InvokeFrom(task, "Greet", "once"); err != nil {
+		t.Fatal(err)
+	}
+	if got := conn.TableSizes(); got.Imports != 1 {
+		t.Fatalf("before release: %+v", got)
+	}
+
+	if !ReleaseProxy(proxy) {
+		t.Fatal("ReleaseProxy rejected a live wire proxy")
+	}
+	if _, err := proxy.InvokeFrom(task, "Greet", "late"); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("released proxy still invokable: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for conn.TableSizes() != (RemoteTableSizes{}) {
+		if time.Now().After(deadline) {
+			t.Fatalf("client tables never drained: %+v", conn.TableSizes())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if cap.Revoked() {
+		t.Fatal("release revoked the supervisor's capability")
+	}
+
+	// The release returned the handle, not the grant.
+	again, err := conn.Import("greeter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := again.InvokeFrom(task, "Greet", "twice"); err != nil || res[0] != any("hello twice") {
+		t.Fatalf("re-import after release: %#v %v", res, err)
+	}
+}
