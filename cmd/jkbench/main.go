@@ -18,9 +18,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,9 +36,11 @@ import (
 )
 
 var (
-	tableFlag = flag.Int("table", 0, "run only this table (1-9); 0 = all")
+	tableFlag = flag.Int("table", 0, "run only this table (1-10); 0 = all")
 	quick     = flag.Bool("quick", false, "fewer iterations")
-	jsonFlag  = flag.String("json", "", "write measured rows (remote tables 7-9) as JSON to this file")
+	jsonFlag  = flag.String("json", "", "write measured rows (remote tables 7-10) as JSON to this file")
+	gateFlag  = flag.Float64("telemetry-gate", 0,
+		"fail (exit 1) if table 10's telemetry on/off ratio exceeds this (0 = no gate; CI uses 1.10)")
 )
 
 func main() {
@@ -57,8 +61,14 @@ func main() {
 	run(7, table7)
 	run(8, table8)
 	run(9, table9)
+	run(10, table10)
 	if *jsonFlag != "" {
 		writeBenchJSON(*jsonFlag)
+	}
+	if *gateFlag > 0 && telemetryRatio > *gateFlag {
+		fmt.Fprintf(os.Stderr, "jkbench: telemetry overhead gate FAILED: on/off ratio %.3f > %.3f\n",
+			telemetryRatio, *gateFlag)
+		os.Exit(1)
 	}
 }
 
@@ -916,6 +926,72 @@ func table9() {
 	recordRatio(9, "post-churn leaked table entries (server)", serverLeak)
 	conn.Close()
 	ln.Close()
+	fmt.Println()
+}
+
+// --- table 10: telemetry overhead ------------------------------------------
+
+// telemetryRatio is table 10's measured on/off ratio, checked against
+// -telemetry-gate in main after the JSON artifact is written.
+var telemetryRatio float64
+
+// table10 measures what the observability layer costs on the hottest wire
+// path: the async-batched null call of Table 8, with telemetry enabled
+// (the default — frame counters, latency histograms, a client span per
+// call) against a kernel built with DisableTelemetry. Each configuration
+// runs three times interleaved and keeps its best, so the ratio compares
+// steady states rather than scheduler noise.
+func table10() {
+	fmt.Println("Table 10. Telemetry overhead on async-batched null calls (in µs/call; beyond the paper)")
+	fmt.Printf("  %-52s %10s %12s\n", "Configuration", "µs/call", "calls/sec")
+
+	bench := func(disable bool) float64 {
+		kl := core.MustNew(core.Options{DisableTelemetry: disable, TelemetryNode: "bench-app"})
+		cd, err := kl.NewDomain(core.DomainConfig{Name: "app"})
+		check(err)
+		task := kl.NewDetachedTask(cd, "bench")
+		k2 := core.MustNew(core.Options{DisableTelemetry: disable, TelemetryNode: "bench-svc"})
+		s2, err := k2.NewDomain(core.DomainConfig{Name: "svc"})
+		check(err)
+		c2, err := k2.CreateNativeCapability(s2, benchNullSvc{})
+		check(err)
+		check(k2.Export("null", c2))
+		ln, err := remote.Listen(k2, "tcp", "127.0.0.1:0")
+		check(err)
+		conn, err := remote.Dial(kl, "tcp", ln.Addr().String())
+		check(err)
+		proxy, err := conn.Import("null")
+		check(err)
+		us := measureAsyncBatched(conn, proxy, task, iters(200000))
+		conn.Close()
+		ln.Close()
+		return us
+	}
+
+	// Paired rounds, median ratio: the ratio compares two ~3µs/call
+	// timings, so scheduler and neighbor noise moves either side far more
+	// than the telemetry work itself does — but noise drifts slowly, so an
+	// on-run and the off-run right next to it see the same conditions.
+	// Each round therefore produces its own on/off ratio, and the median
+	// over five rounds discards the rounds a noise spike landed in.
+	const rounds = 5
+	ratios := make([]float64, 0, rounds)
+	on, off := math.Inf(1), math.Inf(1)
+	for i := 0; i < rounds; i++ {
+		o, f := bench(false), bench(true)
+		ratios = append(ratios, o/f)
+		on = math.Min(on, o)
+		off = math.Min(off, f)
+	}
+	sort.Float64s(ratios)
+
+	fmt.Printf("  %-52s %10.2f %12.0f\n", "async batched, telemetry enabled", on, 1e6/on)
+	record(10, "async batched, telemetry enabled", on)
+	fmt.Printf("  %-52s %10.2f %12.0f\n", "async batched, telemetry disabled", off, 1e6/off)
+	record(10, "async batched, telemetry disabled", off)
+	telemetryRatio = ratios[rounds/2]
+	fmt.Printf("  %-52s %9.3fx\n", "telemetry overhead ratio (on/off)", telemetryRatio)
+	recordRatio(10, "telemetry overhead ratio (on/off)", telemetryRatio)
 	fmt.Println()
 }
 

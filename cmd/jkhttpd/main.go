@@ -14,6 +14,8 @@
 //	POST   /admin/upload?name=&prefix=&main=   upload a VM servlet bundle
 //	DELETE /admin/servlet?name=         terminate a servlet domain
 //	GET    /admin/servlets              list mounted servlets
+//	GET    /debug/jk                    telemetry snapshot (+ ?trace=<id>)
+//	GET    /debug/pprof/                Go profiler
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"jkernel"
@@ -49,6 +52,17 @@ func main() {
 	if err := toolchain.MountServlets(bridge); err != nil {
 		log.Fatal(err)
 	}
+	// Observability: live metrics/traces at /debug/jk, profiler under
+	// /debug/pprof/; everything else routes through the bridge.
+	mux := http.NewServeMux()
+	mux.Handle("/debug/jk", jkernel.DebugHandler(k))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", bridge)
+
 	fmt.Printf("jkhttpd listening on http://%s (servlets: %v)\n", *addr, bridge.Router.Names())
-	log.Fatal(http.ListenAndServe(*addr, bridge))
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }

@@ -27,6 +27,7 @@ var (
 	listenFlag   = flag.String("listen", "unix:/tmp/jkworker.sock", "listen endpoint: unix:PATH or tcp:ADDR")
 	servicesFlag = flag.String("services", "echo,counter,kv", "comma-separated services to export")
 	quietFlag    = flag.Bool("quiet", false, "suppress startup output")
+	debugFlag    = flag.String("debug", "", "serve /debug/jk and /debug/pprof/ on this TCP addr (e.g. 127.0.0.1:0)")
 )
 
 func main() {
@@ -40,13 +41,17 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := remote.WorkerConfig{
-		Network: network,
-		Addr:    addr,
-		Setup:   setup(strings.Split(*servicesFlag, ",")),
+		Network:   network,
+		Addr:      addr,
+		Setup:     setup(strings.Split(*servicesFlag, ",")),
+		DebugAddr: *debugFlag,
 	}
 	if !*quietFlag {
 		cfg.Ready = func(a net.Addr) {
 			fmt.Printf("jkworker: pid %d serving %s on %s\n", os.Getpid(), *servicesFlag, a)
+		}
+		cfg.DebugReady = func(a net.Addr) {
+			fmt.Printf("jkworker: debug listener on http://%s/debug/jk\n", a)
 		}
 	}
 	if err := remote.RunWorker(cfg); err != nil {

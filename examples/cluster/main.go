@@ -10,13 +10,22 @@
 //     supervisor crash — and the pool restarts the process, after which
 //     the supervisor reconnects and resumes.
 //
+// It then demonstrates the observability layer: a traced relay chain
+// (supervisor → worker 0 → worker 1) is stitched into one trace and
+// retrieved from the supervisor's /debug/jk endpoint, alongside a
+// telemetry snapshot with the cross-domain call graph.
+//
 // Run: go run ./examples/cluster
 // (the binary re-executes itself as the worker processes).
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -29,7 +38,7 @@ func main() {
 	jkernel.MaybeRunWorker(workerSetup)
 
 	fmt.Println("== J-Kernel cluster: supervisor + 2 worker processes ==")
-	sup := jkernel.New(jkernel.Options{})
+	sup := jkernel.New(jkernel.Options{TelemetryNode: "supervisor"})
 	app, err := sup.NewDomain(jkernel.DomainConfig{Name: "app"})
 	check(err)
 	task := sup.NewTask(app, "supervisor")
@@ -85,6 +94,75 @@ func main() {
 		fmt.Printf("-- after async fan-out of %d: worker %d shard at %v\n", wave, i, res[0])
 	}
 
+	// --- Observability ---------------------------------------------------
+	// A traced relay chain: the supervisor begins a trace and asks worker 0
+	// to Relay into worker 1's counter. The capability argument is the
+	// supervisor's proxy to worker 1, so the hop routes worker0 → supervisor
+	// → worker1 — three kernels, one trace id carried in every frame.
+	relay, err := conns[0].Import("relay")
+	check(err)
+	tc := task.BeginTrace()
+	res, err := relay.InvokeFrom(task, "Relay", counters[1], int64(1))
+	check(err)
+	task.EndTrace()
+	fmt.Printf("-- traced relay chain returned %v under trace %s\n",
+		res[0], jkernel.FormatTraceID(tc.TraceID))
+
+	// Serve /debug/jk on the supervisor, stitching worker spans in via each
+	// worker's exported jk.telemetry capability, and query the trace back.
+	queryTask := sup.NewDetachedTask(app, "trace-query")
+	remoteSpans := func(traceID uint64) []jkernel.Span {
+		var out []jkernel.Span
+		for _, c := range conns {
+			tcap, err := c.Import("jk.telemetry")
+			if err != nil {
+				continue
+			}
+			res, err := tcap.InvokeFrom(queryTask, "Spans", jkernel.FormatTraceID(traceID))
+			if err != nil {
+				continue
+			}
+			raw, _ := res[0].([]byte)
+			var spans []jkernel.Span
+			if json.Unmarshal(raw, &spans) == nil {
+				out = append(out, spans...)
+			}
+		}
+		return out
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	defer ln.Close()
+	go http.Serve(ln, jkernel.DebugHandlerWith(sup, remoteSpans))
+
+	var page struct {
+		Trace string         `json:"trace"`
+		Spans []jkernel.Span `json:"spans"`
+	}
+	getJSON(fmt.Sprintf("http://%s/debug/jk?trace=%s", ln.Addr(), jkernel.FormatTraceID(tc.TraceID)), &page)
+	nodes := map[string]bool{}
+	fmt.Printf("-- /debug/jk?trace=%s: %d spans\n", page.Trace, len(page.Spans))
+	for _, s := range page.Spans {
+		nodes[s.Node] = true
+		fmt.Printf("     [%s] %-6s %s -> %s %s (%v)\n", s.Node, s.Kind, s.Caller, s.Callee, s.Method, s.Dur)
+	}
+	if len(page.Spans) < 3 || len(nodes) < 2 {
+		fail("trace did not stitch: %d spans across %d kernels", len(page.Spans), len(nodes))
+	}
+	fmt.Printf("-- trace stitched across %d kernels\n", len(nodes))
+
+	// Telemetry snapshot: the supervisor's own registry, including the
+	// cross-domain call graph and wire counters.
+	snap := jkernel.Metrics(sup).Snapshot()
+	fmt.Printf("-- supervisor snapshot: %d async starts, %d batch frames out\n",
+		snap.Counters["core.async.starts"], snap.Counters["remote.frames_out.batch_invoke"])
+	if h, ok := snap.Histograms["remote.invoke.latency_ns"]; ok {
+		fmt.Printf("   wire invoke latency: n=%d p50=%.0fns p99=%.0fns\n", h.Count, h.P50, h.P99)
+	}
+	for _, e := range snap.CallGraph {
+		fmt.Printf("   edge %s -> %s: %d calls\n", e.Caller, e.Callee, e.Calls)
+	}
+
 	// Revocation across the wire: ask worker 1 to revoke its counter.
 	admin, err := conns[1].Import("admin")
 	check(err)
@@ -121,7 +199,7 @@ func main() {
 	defer conn.Close()
 	counter, err := conn.Import("counter")
 	check(err)
-	res, err := counter.InvokeFrom(task, "Add", int64(1))
+	res, err = counter.InvokeFrom(task, "Add", int64(1))
 	check(err)
 	fmt.Printf("-- worker 0 restarted (restarts=%d): fresh counter shard at %v\n",
 		pool.Worker(0).Restarts(), res[0])
@@ -147,7 +225,54 @@ func workerSetup(k *jkernel.Kernel) error {
 	if err != nil {
 		return err
 	}
-	return k.Export("admin", admin)
+	if err := k.Export("admin", admin); err != nil {
+		return err
+	}
+	relay, err := k.CreateNativeCapability(d, &relaySvc{k: k, d: d})
+	if err != nil {
+		return err
+	}
+	if err := k.Export("relay", relay); err != nil {
+		return err
+	}
+	tel, err := k.CreateNativeCapability(d, &telemetrySvc{k: k})
+	if err != nil {
+		return err
+	}
+	return k.Export("jk.telemetry", tel)
+}
+
+// relaySvc hops a call onward through whatever capability it is handed —
+// here the supervisor passes its worker-1 proxy, so the hop chains
+// worker0 → supervisor → worker1 under one trace.
+type relaySvc struct {
+	k *jkernel.Kernel
+	d *jkernel.Domain
+}
+
+// Relay invokes Add(d) on the given capability and returns its result.
+func (s *relaySvc) Relay(cap *jkernel.Capability, d int64) (int64, error) {
+	t := s.k.NewTask(s.d, "relay")
+	defer t.Close()
+	res, err := cap.InvokeFrom(t, "Add", d)
+	if err != nil {
+		return 0, err
+	}
+	out, _ := res[0].(int64)
+	return out, nil
+}
+
+// telemetrySvc exports the worker's recorded spans so the supervisor can
+// stitch cross-process traces from its own /debug/jk endpoint.
+type telemetrySvc struct{ k *jkernel.Kernel }
+
+// Spans returns the worker's retained spans for one trace id, as JSON.
+func (t *telemetrySvc) Spans(traceHex string) ([]byte, error) {
+	id, err := jkernel.ParseTraceID(traceHex)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jkernel.Traces(t.k).TraceSpans(id))
 }
 
 type counterSvc struct {
@@ -188,4 +313,17 @@ func check(err error) {
 func fail(f string, a ...any) {
 	fmt.Fprintf(os.Stderr, "cluster: "+f+"\n", a...)
 	os.Exit(1)
+}
+
+// getJSON fetches url and decodes the JSON body into v.
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		fail("GET %s: %s: %s", url, resp.Status, body)
+	}
+	check(json.Unmarshal(body, v))
 }

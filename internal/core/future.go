@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"jkernel/internal/telemetry"
+)
 
 // Asynchronous invocation: InvokeAsync starts a cross-domain call and
 // returns a Future immediately, so a supervisor can fan one call out to
@@ -38,6 +42,7 @@ type Future struct {
 	err          error
 	onCancel     func() // transport hook: releases the pending wire slot
 	removeRevoke func() // gate hook deregistration, run on resolution
+	onResolve    func() // telemetry hook: runs exactly once, on resolution
 
 	done chan struct{}
 }
@@ -71,10 +76,15 @@ func (f *Future) resolve(results []any, err error) {
 	remove := f.removeRevoke
 	f.removeRevoke = nil
 	f.onCancel = nil
+	hook := f.onResolve
+	f.onResolve = nil
 	f.mu.Unlock()
 	close(f.done)
 	if remove != nil {
 		remove()
+	}
+	if hook != nil {
+		hook()
 	}
 }
 
@@ -181,7 +191,7 @@ func (c *Capability) InvokeAsync(name string, args ...any) *Future {
 	if task == nil {
 		return resolvedFuture(name, nil, ErrNotEntered)
 	}
-	return c.invokeAsync(k.domainByID(task.Chain.Current().Domain), name, args)
+	return c.invokeAsync(task, k.domainByID(task.Chain.Current().Domain), name, args)
 }
 
 // InvokeAsyncFrom is InvokeAsync with an explicit task naming the calling
@@ -189,11 +199,12 @@ func (c *Capability) InvokeAsync(name string, args ...any) *Future {
 // invocation runs detached, so one task can fan out any number of
 // concurrent futures and keep making synchronous calls meanwhile.
 func (c *Capability) InvokeAsyncFrom(task *Task, name string, args ...any) *Future {
-	return c.invokeAsync(task.K.domainByID(task.Chain.Current().Domain), name, args)
+	return c.invokeAsync(task, task.K.domainByID(task.Chain.Current().Domain), name, args)
 }
 
-// invokeAsync starts the call on behalf of caller.
-func (c *Capability) invokeAsync(caller *Domain, name string, args []any) *Future {
+// invokeAsync starts the call on behalf of caller, from task (which stays
+// free; it only contributes the calling context).
+func (c *Capability) invokeAsync(task *Task, caller *Domain, name string, args []any) *Future {
 	g := c.g
 	k := g.k
 	if caller == nil {
@@ -203,6 +214,7 @@ func (c *Capability) invokeAsync(caller *Domain, name string, args []any) *Futur
 		return resolvedFuture(name, nil, ErrDomainTerminated)
 	}
 	f := newFuture(name)
+	k.tm.asyncStart(f)
 	// Revocation awareness: severing the gate — revocation, owner
 	// termination, or a transport fault — resolves the future with the
 	// capability fault. On an already-revoked gate the hook fires inline,
@@ -219,10 +231,23 @@ func (c *Capability) invokeAsync(caller *Domain, name string, args []any) *Futur
 	// pending calls may be coalesced into batched frames.
 	if pb := g.proxy.Load(); pb != nil {
 		if apt, ok := pb.t.(AsyncProxyTarget); ok {
-			cancel := apt.InvokeProxyAsync(name, args, func(results []any, copied int64, err error) {
+			complete := func(results []any, copied int64, err error) {
 				k.Meter.CrossCall(caller.ID, g.owner.ID, copied)
 				f.resolve(results, err)
-			})
+			}
+			var cancel func()
+			// Traced transports receive the active context so it crosses
+			// the wire inside the (possibly batched) invoke frame.
+			tc := telemetry.TraceContext{}
+			if k.tm != nil {
+				tc = task.effectiveTrace()
+			}
+			if tapt, ok := apt.(TracedAsyncProxyTarget); ok && tc.Active() {
+				cancel = tapt.InvokeProxyAsyncTraced(name, args, tc, complete)
+			} else {
+				cancel = apt.InvokeProxyAsync(name, args, complete)
+			}
+			k.tm.edgeInc(task, caller, g.owner)
 			f.setCancel(cancel)
 			return f
 		}
@@ -232,10 +257,13 @@ func (c *Capability) invokeAsync(caller *Domain, name string, args []any) *Futur
 	// synchronous invoke on a detached task in the caller's domain, so the
 	// full LRMI semantics — segment switch, accounting, termination
 	// unwinding — hold unchanged.
-	task := k.NewDetachedTask(caller, "async:"+name)
+	dt := k.NewDetachedTask(caller, "async:"+name)
+	if k.tm != nil {
+		dt.trace = task.effectiveTrace()
+	}
 	go func() {
-		defer task.Close()
-		results, err := c.invokeFrom(task, name, args)
+		defer dt.Close()
+		results, err := c.invokeFrom(dt, name, args)
 		f.resolve(results, err)
 	}()
 	return f

@@ -89,6 +89,9 @@ func (g *Gate) callVM(env *vmkit.Env, idx int64, argsArr *vmkit.Object) (vmkit.V
 		callArgs[1+i] = cv
 	}
 
+	tm := k.tm
+	tmStart := tm.callStart(task)
+
 	// Segment switch: push the callee segment (lock pair #1). Buffered
 	// step charges flush at each switch so work lands on the right domain.
 	// Under the heavy-lock profile each pair pays the Sun-VM-style
@@ -114,6 +117,13 @@ func (g *Gate) callVM(env *vmkit.Env, idx int64, argsArr *vmkit.Object) (vmkit.V
 	// Account the call: bytes copied in both directions so far.
 	defer func() {
 		k.Meter.CrossCall(callerDomain.ID, g.owner.ID, ctx.bytes)
+		if tm != nil {
+			var callErr error
+			if thrown != nil {
+				callErr = errors.New("vm exception")
+			}
+			tm.vm(task, task.effectiveTrace(), callerDomain, g.owner, m.Name, tmStart, callErr)
+		}
 	}()
 
 	if thrown != nil {

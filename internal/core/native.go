@@ -135,6 +135,9 @@ func (c *Capability) invokeFrom(task *Task, name string, args []any) ([]any, err
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchMethod, name)
 	}
 
+	tm := k.tm
+	start := tm.callStart(task)
+
 	// Copy arguments in (capabilities by reference).
 	var copied int64
 	ft := fn.Type()
@@ -179,6 +182,9 @@ func (c *Capability) invokeFrom(task *Task, name string, args []any) ([]any, err
 	}
 
 	k.Meter.CrossCall(callerDomain.ID, g.owner.ID, copied)
+	if tm != nil {
+		tm.lrmi(task, task.effectiveTrace(), callerDomain, g.owner, name, start, callErr)
+	}
 
 	if callErr != nil {
 		return nil, callErr

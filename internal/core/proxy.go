@@ -82,7 +82,24 @@ func (c *Capability) invokeProxy(task *Task, caller *Domain, pt ProxyTarget, nam
 	k.segs.Store(seg.ID, seg)
 	g.owner.addSeg(seg)
 
-	results, copied, err := pt.InvokeProxy(name, args)
+	var results []any
+	var copied int64
+	var err error
+	// Traced transports receive the active context so it crosses the wire;
+	// the type assertion is paid only when a trace is actually running.
+	if tm := k.tm; tm != nil {
+		if tc := task.effectiveTrace(); tc.Active() {
+			if tpt, ok := pt.(TracedProxyTarget); ok {
+				results, copied, err = tpt.InvokeProxyTraced(name, args, tc)
+			} else {
+				results, copied, err = pt.InvokeProxy(name, args)
+			}
+		} else {
+			results, copied, err = pt.InvokeProxy(name, args)
+		}
+	} else {
+		results, copied, err = pt.InvokeProxy(name, args)
+	}
 
 	g.owner.removeSeg(seg)
 	k.segs.Delete(seg.ID)
@@ -92,5 +109,8 @@ func (c *Capability) invokeProxy(task *Task, caller *Domain, pt ProxyTarget, nam
 		return nil, perr
 	}
 	k.Meter.CrossCall(caller.ID, g.owner.ID, copied)
+	// The transport records the wire client span (it sees the peer and the
+	// reply timing); the kernel only keeps the call-graph edge.
+	k.tm.edge(caller, g.owner).Inc()
 	return results, err
 }

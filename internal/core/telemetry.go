@@ -1,0 +1,273 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jkernel/internal/telemetry"
+)
+
+// Kernel-side telemetry: a per-kernel registry + tracer with the hot-path
+// instruments pre-resolved, so the LRMI paths update plain atomics and
+// never take the registry's sharded locks per call. A kernel built with
+// Options.DisableTelemetry carries a nil *kernelMetrics, and every method
+// here is nil-safe, so the disabled fast path is one pointer test.
+
+type kernelMetrics struct {
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+
+	lrmiCalls   *telemetry.Counter
+	lrmiLatency *telemetry.Histogram
+	vmCalls     *telemetry.Counter
+	vmLatency   *telemetry.Histogram
+	asyncStarts *telemetry.Counter
+	// asyncDones mirrors asyncStarts on resolution; the in-flight gauge is
+	// starts-dones, computed at snapshot time. Two monotonic counters keep
+	// each cache line owned by one side (launch vs resolve goroutine)
+	// instead of ping-ponging a single gauge between them every call.
+	asyncDones *telemetry.Counter
+
+	// asyncDone increments asyncDones; allocated once so the per-future
+	// resolve hook does not allocate a closure per call.
+	asyncDone func()
+
+	// Cross-domain call-graph edge counters, cached by packed
+	// caller<<32|callee domain id in a copy-on-write map: the per-call
+	// lookup is one atomic load + map read (no lock, no interface boxing,
+	// no string building). Misses rebuild the map under edgeMu.
+	edgeMu sync.Mutex
+	edges  atomic.Pointer[map[uint64]*telemetry.Counter]
+}
+
+func newKernelMetrics(node string) *kernelMetrics {
+	reg := telemetry.NewRegistry(node)
+	m := &kernelMetrics{
+		reg:         reg,
+		tracer:      telemetry.NewTracer(node),
+		lrmiCalls:   reg.Counter("core.lrmi.calls"),
+		lrmiLatency: reg.Histogram("core.lrmi.latency_ns"),
+		vmCalls:     reg.Counter("core.vm.calls"),
+		vmLatency:   reg.Histogram("core.vm.latency_ns"),
+		asyncStarts: reg.Counter("core.async.starts"),
+		asyncDones:  reg.Counter("core.async.dones"),
+	}
+	m.edges.Store(&map[uint64]*telemetry.Counter{})
+	dones := m.asyncDones
+	m.asyncDone = func() { dones.Inc() }
+	starts := m.asyncStarts
+	// Read dones first: starts only ever leads dones, so this order can
+	// never report a negative in-flight count.
+	reg.GaugeFunc("core.async.inflight", func() int64 {
+		d := dones.Value()
+		return starts.Value() - d
+	})
+	return m
+}
+
+// Telemetry returns the kernel's metrics registry (nil when disabled).
+func (k *Kernel) Telemetry() *telemetry.Registry {
+	if k.tm == nil {
+		return nil
+	}
+	return k.tm.reg
+}
+
+// Tracer returns the kernel's span recorder (nil when disabled).
+func (k *Kernel) Tracer() *telemetry.Tracer {
+	if k.tm == nil {
+		return nil
+	}
+	return k.tm.tracer
+}
+
+// edgeInc counts one call on the caller→callee edge. The task's one-entry
+// cache covers the overwhelming case — a task calling along the edge it
+// just used — so most calls never touch the shared edge map at all.
+func (m *kernelMetrics) edgeInc(t *Task, caller, callee *Domain) {
+	if m == nil {
+		return
+	}
+	key := uint64(uint32(caller.ID))<<32 | uint64(uint32(callee.ID))
+	if t != nil && t.edgeCtr != nil && t.edgeKey == key {
+		t.edgeCtr.IncAt(t.stripe)
+		return
+	}
+	c := m.edge(caller, callee)
+	if t != nil {
+		t.edgeKey, t.edgeCtr = key, c
+		c.IncAt(t.stripe)
+		return
+	}
+	c.Inc()
+}
+
+// edge returns the caller→callee call-graph counter, caching by domain id.
+func (m *kernelMetrics) edge(caller, callee *Domain) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	key := uint64(uint32(caller.ID))<<32 | uint64(uint32(callee.ID))
+	if c := (*m.edges.Load())[key]; c != nil {
+		return c
+	}
+	c := m.reg.Edge(caller.Name, callee.Name)
+	m.edgeMu.Lock()
+	old := *m.edges.Load()
+	next := make(map[uint64]*telemetry.Counter, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = c
+	m.edges.Store(&next)
+	m.edgeMu.Unlock()
+	return c
+}
+
+// callStart returns the start timestamp for one cross-domain call, or
+// the zero time when the call falls outside the untraced 1-in-64 sample.
+// Traced calls are always profiled; for sampled-out calls the exact
+// counters still count them, but the latency histograms and trace ring
+// are skipped — along with both clock reads, which dominate the
+// per-call cost of telemetry. The sample tick lives on the task
+// (goroutine-affine), so the decision touches no shared cache line.
+func (m *kernelMetrics) callStart(t *Task) time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	t.sampleTick++
+	if t.sampleTick&telemetry.UntracedSampleMask == 0 || t.effectiveTrace().Active() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// span records one completed cross-domain call as a trace span continuing
+// tc. The caller has already made the sampling decision (callStart).
+// Untraced calls — even sampled ones — only materialize a span when they
+// fail or cross the slow-call threshold: the latency histograms already
+// carry their timing, and the span allocation plus trace-ring insert is
+// the single most expensive piece of the whole instrumentation (GC
+// pressure on an otherwise allocation-free hot loop), so it is reserved
+// for spans someone will actually look at.
+func (m *kernelMetrics) span(kind string, tc telemetry.TraceContext, caller, callee *Domain, method string, start time.Time, err error) {
+	if m == nil {
+		return
+	}
+	dur := time.Since(start)
+	if !tc.Active() && err == nil {
+		if thr := m.tracer.SlowThreshold(); thr <= 0 || dur < thr {
+			return
+		}
+	}
+	s := &telemetry.Span{
+		TraceID: tc.TraceID,
+		SpanID:  telemetry.NewID(),
+		Parent:  tc.SpanID,
+		Kind:    kind,
+		Caller:  caller.Name,
+		Callee:  callee.Name,
+		Method:  method,
+		Start:   start,
+		Dur:     dur,
+	}
+	if s.TraceID == 0 {
+		s.TraceID = s.SpanID // untraced calls get a local single-span trace
+	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	m.tracer.Record(s)
+}
+
+// lrmi records one native-path LRMI. A zero start means the call fell
+// outside the sample (callStart): count it exactly, skip the latency
+// histogram and span.
+func (m *kernelMetrics) lrmi(t *Task, tc telemetry.TraceContext, caller, callee *Domain, method string, start time.Time, err error) {
+	if m == nil {
+		return
+	}
+	m.lrmiCalls.IncAt(t.stripe)
+	m.edgeInc(t, caller, callee)
+	if start.IsZero() {
+		return
+	}
+	m.lrmiLatency.ObserveSince(start)
+	m.span("local", tc, caller, callee, method, start, err)
+}
+
+// vm records one VM-path LRMI (same sampling contract as lrmi).
+func (m *kernelMetrics) vm(t *Task, tc telemetry.TraceContext, caller, callee *Domain, method string, start time.Time, err error) {
+	if m == nil {
+		return
+	}
+	m.vmCalls.IncAt(t.stripe)
+	m.edgeInc(t, caller, callee)
+	if start.IsZero() {
+		return
+	}
+	m.vmLatency.ObserveSince(start)
+	m.span("vm", tc, caller, callee, method, start, err)
+}
+
+// asyncStart counts a future launch and installs the resolution counter
+// on its resolve hook (in-flight = starts - dones, see newKernelMetrics).
+// The hook is stored directly: asyncStart runs right after newFuture,
+// before the future escapes to any other goroutine, so the lock that
+// setOnResolve takes for the general install/resolve race is not needed.
+func (m *kernelMetrics) asyncStart(f *Future) {
+	if m == nil {
+		return
+	}
+	m.asyncStarts.Inc()
+	f.onResolve = m.asyncDone
+}
+
+// --- trace contexts on tasks -------------------------------------------------
+
+// BeginTrace starts a new trace on the task: subsequent calls made with it
+// (and their onward hops, across the wire) record spans under one trace
+// id. It returns the new context; pass its TraceID to /debug/jk?trace= to
+// retrieve the stitched spans.
+func (t *Task) BeginTrace() telemetry.TraceContext {
+	tc := telemetry.TraceContext{TraceID: telemetry.NewID(), SpanID: telemetry.NewID()}
+	t.trace = tc
+	return tc
+}
+
+// EndTrace clears the task's trace context.
+func (t *Task) EndTrace() { t.trace = telemetry.TraceContext{} }
+
+// TraceContext returns the task's own trace context (zero when none).
+func (t *Task) TraceContext() telemetry.TraceContext { return t.trace }
+
+// SetTraceContext installs an inbound trace context on the task — the
+// serving side of a traced remote invoke joins the caller's trace.
+func (t *Task) SetTraceContext(tc telemetry.TraceContext) { t.trace = tc }
+
+// effectiveTrace resolves the context governing a call made with this
+// task: the task's own context, else the goroutine-bound context (set
+// around served traced invokes, so handler code that builds fresh tasks
+// still joins the inbound trace). Both lookups are free when no trace is
+// active anywhere.
+func (t *Task) effectiveTrace() telemetry.TraceContext {
+	if t.trace.Active() {
+		return t.trace
+	}
+	return telemetry.GoroutineContext()
+}
+
+// TracedProxyTarget is the optional traced variant of ProxyTarget: a
+// transport that implements it receives the caller's trace context and
+// propagates it to the serving kernel inside the invoke frame.
+type TracedProxyTarget interface {
+	ProxyTarget
+	InvokeProxyTraced(method string, args []any, tc telemetry.TraceContext) (results []any, copied int64, err error)
+}
+
+// TracedAsyncProxyTarget is the traced variant of AsyncProxyTarget.
+type TracedAsyncProxyTarget interface {
+	AsyncProxyTarget
+	InvokeProxyAsyncTraced(method string, args []any, tc telemetry.TraceContext, complete func(results []any, copied int64, err error)) (cancel func())
+}

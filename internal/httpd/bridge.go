@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"jkernel/internal/core"
 	"jkernel/internal/vmkit"
@@ -172,9 +173,19 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+
+	// Per-servlet telemetry: latency and status counters under the kernel
+	// registry (free when telemetry is disabled).
+	start := time.Now()
+	status := http.StatusOK
+	if b.K.Telemetry() != nil {
+		defer func() { b.observe(rt.name, status, start) }()
+	}
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<22))
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		status = http.StatusBadRequest
+		http.Error(w, "read body: "+err.Error(), status)
 		return
 	}
 
@@ -186,7 +197,7 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if rt.isVM {
 		out, err := rt.cap.InvokeVM(task, "service", r.Method, r.URL.RequestURI(), body)
 		if err != nil {
-			servletError(w, err)
+			status = servletError(w, err)
 			return
 		}
 		data, _ := out.([]byte)
@@ -205,18 +216,19 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := rt.cap.InvokeFrom(task, "Service", req)
 	if err != nil {
-		servletError(w, err)
+		status = servletError(w, err)
 		return
 	}
 	resp, _ := results[0].(*Response)
 	if resp == nil {
-		http.Error(w, "servlet returned no response", http.StatusBadGateway)
+		status = http.StatusBadGateway
+		http.Error(w, "servlet returned no response", status)
 		return
 	}
 	for k, v := range resp.Headers {
 		w.Header().Set(k, v)
 	}
-	status := resp.Status
+	status = resp.Status
 	if status == 0 {
 		status = http.StatusOK
 	}
@@ -227,14 +239,28 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // servletError maps kernel failures onto HTTP statuses: a dead or revoked
 // servlet — local, or a remote worker that crashed — is a gateway
-// failure, not a server crash.
-func servletError(w http.ResponseWriter, err error) {
+// failure, not a server crash. Returns the status it wrote.
+func servletError(w http.ResponseWriter, err error) int {
 	switch {
 	case errors.Is(err, core.ErrRevoked) || errors.Is(err, core.ErrDomainTerminated):
 		http.Error(w, "servlet unavailable: "+err.Error(), http.StatusServiceUnavailable)
+		return http.StatusServiceUnavailable
 	default:
 		http.Error(w, "servlet failed: "+err.Error(), http.StatusBadGateway)
+		return http.StatusBadGateway
 	}
+}
+
+// observe records one routed request: total count, per-servlet latency,
+// and a per-servlet, per-status counter.
+func (b *Bridge) observe(name string, status int, start time.Time) {
+	reg := b.K.Telemetry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("httpd.requests").Inc()
+	reg.Histogram("httpd.req." + name + ".latency_ns").ObserveSince(start)
+	reg.Counter("httpd.req." + name + ".status_" + strconv.Itoa(status)).Inc()
 }
 
 // serveAdmin handles upload and termination.

@@ -32,12 +32,17 @@ type batchedCall struct {
 	reqID    uint64
 	exportID uint64
 	method   string
-	args     []byte
+	// traceID/parentSpan are the call's wire trace block (zero traceID
+	// encodes as the one-byte untraced flags).
+	traceID    uint64
+	parentSpan uint64
+	args       []byte
 }
 
-// wireSize is the call's encoded footprint (over-approximated headers).
+// wireSize is the call's encoded footprint (over-approximated headers,
+// including the worst-case trace block).
 func (b batchedCall) wireSize() int {
-	return len(b.args) + len(b.method) + 32
+	return len(b.args) + len(b.method) + 64
 }
 
 // batcher coalesces pending asynchronous invokes — and capability
@@ -177,6 +182,13 @@ func (b *batcher) take() []batchedCall {
 	clear(b.q[rest:]) // drop arg references so sent calls are collectable
 	b.q = b.q[:rest]
 	return out
+}
+
+// releaseBacklog reports the queued-release count (telemetry gauge).
+func (b *batcher) releaseBacklog() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.rq)
 }
 
 // takeReleases pops up to one frame's worth of queued releases, marking

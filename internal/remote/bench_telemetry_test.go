@@ -1,0 +1,79 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"jkernel/internal/core"
+)
+
+// benchPair builds an app kernel connected to a service kernel over TCP
+// loopback, mirroring jkbench's Table 10 setup.
+func benchPair(b *testing.B, disable bool) (*Conn, *core.Capability, *core.Task, func()) {
+	b.Helper()
+	app := core.MustNew(core.Options{DisableTelemetry: disable, TelemetryNode: "bench-app"})
+	svc := core.MustNew(core.Options{DisableTelemetry: disable, TelemetryNode: "bench-svc"})
+	sd, err := svc.NewDomain(core.DomainConfig{Name: "svc"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cap, err := svc.CreateNativeCapability(sd, nullSvc{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Export("null", cap); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := Listen(svc, "tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ad, err := app.NewDomain(core.DomainConfig{Name: "app"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := app.NewDetachedTask(ad, "bench")
+	conn, err := Dial(app, "tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	proxy, err := conn.Import("null")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return conn, proxy, task, func() { conn.Close(); ln.Close() }
+}
+
+type nullSvc struct{}
+
+func (nullSvc) Null() error { return nil }
+
+func benchAsyncBatched(b *testing.B, disable bool) {
+	conn, proxy, task, done := benchPair(b, disable)
+	defer done()
+	const window = 512
+	futs := make([]*core.Future, 0, window)
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		w := window
+		if w > b.N-n {
+			w = b.N - n
+		}
+		futs = futs[:0]
+		for i := 0; i < w; i++ {
+			futs = append(futs, proxy.InvokeAsyncFrom(task, "Null"))
+		}
+		conn.Flush()
+		for _, f := range futs {
+			if _, err := f.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		n += w
+	}
+	b.StopTimer()
+	_ = time.Now()
+}
+
+func BenchmarkAsyncBatchedTelemetryOn(b *testing.B)  { benchAsyncBatched(b, false) }
+func BenchmarkAsyncBatchedTelemetryOff(b *testing.B) { benchAsyncBatched(b, true) }

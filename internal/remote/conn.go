@@ -12,6 +12,7 @@ import (
 
 	"jkernel/internal/core"
 	"jkernel/internal/seri"
+	"jkernel/internal/telemetry"
 )
 
 // connSeq numbers connections for domain naming.
@@ -61,6 +62,10 @@ type Conn struct {
 	// per-call cost is the LRMI plus the wire, not task setup.
 	taskPool sync.Pool
 
+	// metrics is the connection's telemetry bundle; nil when the kernel
+	// has telemetry disabled (every use is nil-guarded).
+	metrics *connMetrics
+
 	done chan struct{}
 }
 
@@ -101,6 +106,7 @@ func NewConn(k *core.Kernel, nc net.Conn) (*Conn, error) {
 	c.taskPool.New = func() any {
 		return k.NewDetachedTask(d, "remote-call")
 	}
+	c.metrics = newConnMetrics(k, c)
 	go c.readLoop()
 	go c.batch.run()
 	return c, nil
@@ -232,6 +238,9 @@ func (c *Conn) Close() error {
 
 // send frames and writes one message.
 func (c *Conn) send(payload []byte) error {
+	if len(payload) > 0 {
+		c.metrics.frameOut(payload[0])
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if err := writeFrame(c.bw, payload); err != nil {
@@ -761,44 +770,65 @@ func (c *Conn) unmarshalVector(data []byte) ([]any, error) {
 // InvokeProxy performs one remote invocation: marshal args (capabilities
 // by reference), one request/reply round trip, unmarshal results.
 func (p *proxyTarget) InvokeProxy(method string, args []any) ([]any, int64, error) {
+	return p.invoke(method, args, telemetry.TraceContext{})
+}
+
+// InvokeProxyTraced implements core.TracedProxyTarget: the caller's trace
+// context crosses the wire inside the invoke frame.
+func (p *proxyTarget) InvokeProxyTraced(method string, args []any, tc telemetry.TraceContext) ([]any, int64, error) {
+	return p.invoke(method, args, tc)
+}
+
+func (p *proxyTarget) invoke(method string, args []any, tc telemetry.TraceContext) ([]any, int64, error) {
 	c := p.conn
+	m := c.metrics
+	start := m.sampleStart(tc.Active())
+	var spanID uint64
+	if m != nil && tc.Active() {
+		spanID = telemetry.NewID() // this hop's span, the wire parent of the callee's
+	}
+	finish := func(results []any, copied int64, err error) ([]any, int64, error) {
+		m.clientSpan(tc, spanID, method, start, err)
+		return results, copied, err
+	}
 	argBytes, rollback, err := c.marshalVector(args)
 	if err != nil {
-		return nil, 0, &core.CopyError{What: "remote arguments of " + method, Err: err}
+		return finish(nil, 0, &core.CopyError{What: "remote arguments of " + method, Err: err})
 	}
 	// Oversized arguments are a copy failure on a healthy connection, not
 	// a revocation; reject before the frame writer does.
-	if len(argBytes)+len(method)+32 > maxFrame {
+	if len(argBytes)+len(method)+64 > maxFrame {
 		rollback()
-		return nil, 0, &core.CopyError{
+		return finish(nil, 0, &core.CopyError{
 			What: "remote arguments of " + method,
 			Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", len(argBytes), maxFrame),
-		}
+		})
 	}
 	reqID, ch, err := c.newPending()
 	if err != nil {
 		rollback()
-		return nil, 0, err
+		return finish(nil, 0, err)
 	}
 	var w wbuf
 	w.u8(msgInvoke)
 	w.uvarint(reqID)
 	w.uvarint(p.exportID)
 	w.str(method)
+	appendTrace(&w, tc.TraceID, spanID)
 	w.raw(argBytes)
 	if err := c.send(w.b); err != nil {
 		c.dropPending(reqID)
 		// A failed write means the peer is gone: same capability fault as
 		// any other connection loss.
-		return nil, 0, fmt.Errorf("%w: remote send %s: %v", core.ErrRevoked, method, err)
+		return finish(nil, 0, fmt.Errorf("%w: remote send %s: %v", core.ErrRevoked, method, err))
 	}
 	select {
 	case res := <-ch:
-		return res.results, int64(len(argBytes)) + res.copied, res.err
+		return finish(res.results, int64(len(argBytes))+res.copied, res.err)
 	case <-c.done:
 		// A call interrupted by connection loss is a capability fault, the
 		// same as revocation, so callers need only one failure model.
-		return nil, int64(len(argBytes)), fmt.Errorf("%w: %v", core.ErrRevoked, c.closedErr())
+		return finish(nil, int64(len(argBytes)), fmt.Errorf("%w: %v", core.ErrRevoked, c.closedErr()))
 	}
 }
 
@@ -808,32 +838,51 @@ func (p *proxyTarget) InvokeProxy(method string, args []any) ([]any, int64, erro
 // the shutdown path when the connection dies first — either way exactly
 // once, unless cancel removes the pending slot before that.
 func (p *proxyTarget) InvokeProxyAsync(method string, args []any, complete func([]any, int64, error)) (cancel func()) {
+	return p.invokeAsync(method, args, telemetry.TraceContext{}, complete)
+}
+
+// InvokeProxyAsyncTraced implements core.TracedAsyncProxyTarget: the
+// caller's trace context crosses inside the (possibly batched) frame.
+func (p *proxyTarget) InvokeProxyAsyncTraced(method string, args []any, tc telemetry.TraceContext, complete func([]any, int64, error)) (cancel func()) {
+	return p.invokeAsync(method, args, tc, complete)
+}
+
+func (p *proxyTarget) invokeAsync(method string, args []any, tc telemetry.TraceContext, complete func([]any, int64, error)) (cancel func()) {
 	c := p.conn
+	m := c.metrics
+	start := m.sampleStart(tc.Active())
+	var spanID uint64
+	if m != nil && tc.Active() {
+		spanID = telemetry.NewID() // this hop's span, the wire parent of the callee's
+	}
+	fail := func(err error) func() {
+		m.clientSpan(tc, spanID, method, start, err)
+		complete(nil, 0, err)
+		return func() {}
+	}
 	argBytes, rollback, err := c.marshalVector(args)
 	if err != nil {
-		complete(nil, 0, &core.CopyError{What: "remote arguments of " + method, Err: err})
-		return func() {}
+		return fail(&core.CopyError{What: "remote arguments of " + method, Err: err})
 	}
 	if len(argBytes)+len(method)+64 > maxFrame {
 		rollback()
-		complete(nil, 0, &core.CopyError{
+		return fail(&core.CopyError{
 			What: "remote arguments of " + method,
 			Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", len(argBytes), maxFrame),
 		})
-		return func() {}
 	}
 	argLen := int64(len(argBytes))
 	reqID, err := c.newPendingFn(func(res wireResult) {
+		m.clientSpan(tc, spanID, method, start, res.err)
 		complete(res.results, argLen+res.copied, res.err)
 	})
 	if err != nil {
 		// The connection is already down: same capability fault the sync
 		// path reports.
 		rollback()
-		complete(nil, 0, fmt.Errorf("%w: %v", core.ErrRevoked, err))
-		return func() {}
+		return fail(fmt.Errorf("%w: %v", core.ErrRevoked, err))
 	}
-	c.batch.enqueue(batchedCall{reqID: reqID, exportID: p.exportID, method: method, args: argBytes})
+	c.batch.enqueue(batchedCall{reqID: reqID, exportID: p.exportID, method: method, traceID: tc.TraceID, parentSpan: spanID, args: argBytes})
 	return func() { c.dropPending(reqID) }
 }
 
@@ -841,18 +890,22 @@ func (p *proxyTarget) InvokeProxyAsync(method string, args []any, complete func(
 // ordinary msgInvoke (no batch envelope), several as msgBatchInvoke. A
 // failed write fails every call in the frame with the connection fault.
 func (c *Conn) sendBatch(calls []batchedCall) {
+	if m := c.metrics; m != nil {
+		m.batchOccupancy.Observe(int64(len(calls)))
+	}
 	var w wbuf
 	if len(calls) == 1 {
 		w.u8(msgInvoke)
 		w.uvarint(calls[0].reqID)
 		w.uvarint(calls[0].exportID)
 		w.str(calls[0].method)
+		appendTrace(&w, calls[0].traceID, calls[0].parentSpan)
 		w.raw(calls[0].args)
 	} else {
 		w.u8(msgBatchInvoke)
 		w.uvarint(uint64(len(calls)))
 		for _, call := range calls {
-			appendBatchCall(&w, call.reqID, call.exportID, call.method, call.args)
+			appendBatchCall(&w, call.reqID, call.exportID, call.method, call.traceID, call.parentSpan, call.args)
 		}
 	}
 	if err := c.send(w.b); err != nil {
@@ -899,6 +952,13 @@ func (c *Conn) readLoop() {
 // streams, which fail per call.
 func (c *Conn) dispatch(frame []byte) error {
 	t, v, err := decodeFrame(frame)
+	if m := c.metrics; m != nil {
+		m.frameIn(t)
+		if err != nil {
+			m.badFrames.Inc()
+			m.reg.Eventf("conn %s: malformed %s frame faulted the connection: %v", m.peer, msgName(t), err)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -987,9 +1047,37 @@ func (c *Conn) serveInvoke(f invokeFrame) replyFrame {
 		return errRep(errKindProtocol, "", err.Error())
 	}
 
+	m := c.metrics
+	// Untraced frames sample off the request id — monotonic per client
+	// connection, so it is an exact 1-in-64 tick with no shared counter.
+	start := m.serveStart(f.traceID != 0 || f.reqID&telemetry.UntracedSampleMask == 0)
+	var serverSpan uint64
+
 	task := c.taskPool.Get().(*core.Task)
+	// Traced frames bind the inbound context to the serving task AND the
+	// serving goroutine, so onward calls — whether made with this task or
+	// with fresh tasks the handler creates — join the caller's trace.
+	// Untraced frames (the common case) skip all of it, including the
+	// goroutine-id lookup.
+	var unbind func()
+	if m != nil && f.traceID != 0 {
+		serverSpan = telemetry.NewID()
+		tc := telemetry.TraceContext{TraceID: f.traceID, SpanID: serverSpan}
+		task.SetTraceContext(tc)
+		unbind = telemetry.BindGoroutine(tc)
+	}
 	results, callErr := cap.InvokeFrom(task, f.method, args...)
+	if unbind != nil {
+		// Clear before the task returns to the pool: the next Get may be
+		// on another goroutine serving an unrelated, untraced call.
+		unbind()
+		task.SetTraceContext(telemetry.TraceContext{})
+	}
 	c.taskPool.Put(task)
+
+	if m != nil {
+		m.serverSpan(f, serverSpan, cap.Owner().Name, start, callErr)
+	}
 
 	if callErr != nil {
 		kind, class, msg := encodeWireErr(callErr)
@@ -1128,6 +1216,7 @@ func (c *Conn) handleRevoke(exportID uint64, reason byte) error {
 	}
 	c.mu.Unlock()
 	if cap != nil {
+		c.metrics.capFault(1)
 		cap.RevokeWithReason(revokeFault(reason))
 	}
 	return nil
@@ -1359,6 +1448,12 @@ func (c *Conn) shutdown(cause error) {
 
 	close(c.done)
 	c.nc.Close()
+
+	if m := c.metrics; m != nil {
+		m.capFault(int64(len(imports)))
+		m.drop()
+		m.reg.Eventf("conn %s closed: %v", m.peer, cause)
+	}
 
 	fault := fmt.Errorf("%w: remote connection lost: %v", core.ErrRevoked, cause)
 	for _, cap := range imports {

@@ -1,0 +1,49 @@
+package remote
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"jkernel/internal/core"
+	"jkernel/internal/telemetry"
+)
+
+// Opt-in debug listener: a worker (or any kernel host) can serve its live
+// telemetry — metric snapshot, recent-trace ring, slow-call log — plus the
+// stdlib profiler over HTTP. Nothing here runs unless explicitly enabled,
+// so a worker without the flag pays zero.
+
+// DebugMux builds the debug HTTP handler for one kernel: /debug/jk is the
+// telemetry endpoint (snapshot by default, ?trace=<hexid> for one stitched
+// trace), /debug/pprof/ the Go profiler. The process-global registry rides
+// along so pool supervision metrics are visible too.
+func DebugMux(k *core.Kernel) *http.ServeMux {
+	cfg := telemetry.HandlerConfig{Registries: []*telemetry.Registry{telemetry.Default()}}
+	if r := k.Telemetry(); r != nil {
+		cfg.Registries = append(cfg.Registries, r)
+	}
+	if t := k.Tracer(); t != nil {
+		cfg.Tracers = append(cfg.Tracers, t)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/jk", telemetry.Handler(cfg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer serves DebugMux(k) on a TCP addr ("host:port"; port 0
+// picks a free one) and returns the bound address. The listener runs for
+// the life of the process.
+func StartDebugServer(k *core.Kernel, addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, DebugMux(k))
+	return ln.Addr(), nil
+}

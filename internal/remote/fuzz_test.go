@@ -45,22 +45,33 @@ func seedFrames() [][]byte {
 	var frames [][]byte
 	add := func(w *wbuf) { frames = append(frames, w.b) }
 
-	// Single invoke.
+	// Single invoke, untraced (flags byte zero).
 	w := &wbuf{}
 	w.u8(msgInvoke)
 	w.uvarint(1)
 	w.uvarint(0)
 	w.str("Echo")
+	w.u8(0)
 	w.raw(args)
 	add(w)
 
-	// Batched invoke.
+	// Single invoke carrying a trace context.
+	w = &wbuf{}
+	w.u8(msgInvoke)
+	w.uvarint(1)
+	w.uvarint(0)
+	w.str("Echo")
+	appendTrace(w, 0xdeadbeefcafe, 42)
+	w.raw(args)
+	add(w)
+
+	// Batched invoke, traced and untraced calls mixed.
 	w = &wbuf{}
 	w.u8(msgBatchInvoke)
 	w.uvarint(3)
-	appendBatchCall(w, 2, 0, "Null", nil)
-	appendBatchCall(w, 3, 1, "Sum", args)
-	appendBatchCall(w, 4, 0, "Echo", args)
+	appendBatchCall(w, 2, 0, "Null", 0, 0, nil)
+	appendBatchCall(w, 3, 1, "Sum", 0xfeedface, 7, args)
+	appendBatchCall(w, 4, 0, "Echo", 0, 0, args)
 	add(w)
 
 	// Replies: success and error.
@@ -170,6 +181,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	for _, frame := range seedFrames() {
 		f.Add(frame)
 	}
+	// Malformed trace blocks seed the corpus too: the fuzzer mutates from
+	// the rejection paths as well as the happy ones.
+	f.Add([]byte{msgInvoke, 1, 0, 4, 'E', 'c', 'h', 'o', 0xff})
+	f.Add([]byte{msgInvoke, 1, 0, 4, 'E', 'c', 'h', 'o', 1, 0, 9})
+	f.Add([]byte{msgBatchInvoke, 1, 2, 0, 4, 'N', 'u', 'l', 'l', 1, 7})
 	reg := seri.NewRegistry()
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, v, err := decodeFrame(data)
@@ -226,6 +242,12 @@ func TestMalformedFrameFaultsConnection(t *testing.T) {
 		{0xff, 0x01, 0x02},
 		{msgBatchInvoke, 0xce, 0xff, 0xff}, // count overruns frame
 		{msgReply},                         // truncated
+		// Malformed trace blocks: unknown flags value, a set trace flag
+		// with a zero trace id, and a trace block truncated before the
+		// parent span. Each must fault the connection, never panic.
+		{msgInvoke, 1, 0, 4, 'E', 'c', 'h', 'o', 0xff},
+		{msgInvoke, 1, 0, 4, 'E', 'c', 'h', 'o', 1, 0, 9},
+		{msgInvoke, 1, 0, 4, 'E', 'c', 'h', 'o', 1, 7},
 	} {
 		nc, err := net.Dial("unix", sock)
 		if err != nil {

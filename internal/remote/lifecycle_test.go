@@ -442,6 +442,47 @@ func TestChurnTablesReturnToBaseline(t *testing.T) {
 
 	waitTables(t, "server post-churn", sc, serverBase)
 	waitTables(t, "client post-churn", p.conn, clientBase)
+
+	// The telemetry gauges must agree with the drained tables: per-conn
+	// table gauges back at their pre-churn values, nothing pending, and no
+	// async call still counted in flight.
+	cbase := "remote.conn." + p.conn.domain.Name
+	waitGauges(t, "client post-churn", p.client, map[string]int64{
+		cbase + ".imports":         2,
+		cbase + ".pending":         0,
+		cbase + ".release_backlog": 0,
+		"core.async.inflight":      0,
+	})
+	sbase := "remote.conn." + sc.domain.Name
+	waitGauges(t, "server post-churn", p.server, map[string]int64{
+		sbase + ".exports":     2,
+		sbase + ".pending":     0,
+		sbase + ".pre_revoked": 0,
+		"core.async.inflight":  0,
+	})
+}
+
+// waitGauges polls a kernel's registry snapshot until every named gauge
+// reads its wanted value.
+func waitGauges(t testing.TB, what string, k *core.Kernel, want map[string]int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var got map[string]int64
+	for time.Now().Before(deadline) {
+		got = k.Telemetry().Snapshot().Gauges
+		ok := true
+		for name, v := range want {
+			if got[name] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("%s gauges never returned to baseline: got %v, want %v", what, got, want)
 }
 
 // Async churn: released handles queued behind batched invokes must drain

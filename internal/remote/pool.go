@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"jkernel/internal/core"
+	"jkernel/internal/telemetry"
 )
 
 // PoolOptions configures a worker pool.
@@ -30,6 +31,10 @@ type PoolOptions struct {
 	RestartDelay time.Duration
 	// Log, when set, receives pool lifecycle events.
 	Log func(format string, args ...any)
+	// Telemetry receives pool metrics and lifecycle events (spawn counts,
+	// restart counts with exit reasons, dial latency). Default: the
+	// process-global registry.
+	Telemetry *telemetry.Registry
 }
 
 // Pool supervises worker kernel processes: it spawns them, watches for
@@ -42,6 +47,13 @@ type Pool struct {
 	workers []*PoolWorker
 	closed  atomic.Bool
 	wg      sync.WaitGroup
+
+	// Pool telemetry. Worker restarts were once silent unless the caller
+	// wired a Log func; now every exit is counted and its reason (exit
+	// code, signal, spawn failure) lands in the registry's event log.
+	spawns      *telemetry.Counter
+	restarts    *telemetry.Counter
+	dialLatency *telemetry.Histogram
 }
 
 // PoolWorker is one supervised worker slot. The process occupying it may
@@ -79,7 +91,13 @@ func StartPool(opts PoolOptions) (*Pool, error) {
 	if opts.Log == nil {
 		opts.Log = func(string, ...any) {}
 	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.Default()
+	}
 	p := &Pool{opts: opts, dir: opts.Dir}
+	p.spawns = opts.Telemetry.Counter("remote.pool.spawns")
+	p.restarts = opts.Telemetry.Counter("remote.pool.restarts")
+	p.dialLatency = opts.Telemetry.Histogram("remote.pool.dial.latency_ns")
 	if p.dir == "" {
 		dir, err := os.MkdirTemp("", "jkpool-")
 		if err != nil {
@@ -169,15 +187,28 @@ const (
 // accept and serve), and only an answered ping proves the kernel behind
 // the socket is serving.
 func (w *PoolWorker) Dial(k *core.Kernel, timeout time.Duration) (*Conn, error) {
-	deadline := time.Now().Add(timeout)
+	// A PoolWorker can be built bare (tests, ad-hoc endpoints); telemetry
+	// instruments are nil-safe, so a missing pool just goes unobserved.
+	var reg *telemetry.Registry
+	var dialLat *telemetry.Histogram
+	if w.pool != nil {
+		reg = w.pool.opts.Telemetry
+		dialLat = w.pool.dialLatency
+	}
+	start := time.Now()
+	deadline := start.Add(timeout)
 	var lastErr error = fmt.Errorf("no attempt completed")
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
+			reg.Eventf("pool worker %d unreachable after %v: %v", w.Index, timeout, lastErr)
 			return nil, fmt.Errorf("remote: worker %d not reachable after %v: %w", w.Index, timeout, lastErr)
 		}
 		conn, err := dialHandshake(k, w.network, w.addr, remaining)
 		if err == nil {
+			// Dial latency covers spawn-to-readiness retries, so it is the
+			// observed worker warm-up time, not one TCP connect.
+			dialLat.ObserveSince(start)
 			return conn, nil
 		}
 		lastErr = err
@@ -249,6 +280,7 @@ func (w *PoolWorker) spawnLocked() error {
 		return fmt.Errorf("remote: spawn worker %d: %w", w.Index, err)
 	}
 	w.cmd = cmd
+	w.pool.spawns.Inc()
 	w.pool.opts.Log("worker %d: started pid %d (%s)", w.Index, cmd.Process.Pid, w.addr)
 	w.pool.wg.Add(1)
 	go w.monitor(cmd)
@@ -263,7 +295,11 @@ func (w *PoolWorker) monitor(cmd *exec.Cmd) {
 	if w.pool.closed.Load() {
 		return
 	}
-	w.pool.opts.Log("worker %d: exited (%v); restarting in %v", w.Index, err, w.pool.opts.RestartDelay)
+	reason := exitReason(cmd, err)
+	w.pool.restarts.Inc()
+	w.pool.opts.Telemetry.Eventf("pool worker %d exited: %s; restarting in %v",
+		w.Index, reason, w.pool.opts.RestartDelay)
+	w.pool.opts.Log("worker %d: exited (%s); restarting in %v", w.Index, reason, w.pool.opts.RestartDelay)
 	time.Sleep(w.pool.opts.RestartDelay)
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -272,6 +308,23 @@ func (w *PoolWorker) monitor(cmd *exec.Cmd) {
 	}
 	w.restarts++
 	if serr := w.spawnLocked(); serr != nil {
+		w.pool.opts.Telemetry.Eventf("pool worker %d respawn failed: %v", w.Index, serr)
 		w.pool.opts.Log("worker %d: respawn failed: %v", w.Index, serr)
 	}
+}
+
+// exitReason renders why a worker process died: the exit code or signal
+// when the process ran, otherwise the Wait error itself.
+func exitReason(cmd *exec.Cmd, err error) string {
+	if st := cmd.ProcessState; st != nil {
+		if code := st.ExitCode(); code >= 0 {
+			return fmt.Sprintf("exit code %d", code)
+		}
+		// ExitCode is -1 for signal deaths; String spells the signal.
+		return st.String()
+	}
+	if err != nil {
+		return err.Error()
+	}
+	return "unknown"
 }

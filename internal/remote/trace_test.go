@@ -1,0 +1,160 @@
+package remote
+
+import (
+	"path/filepath"
+	"testing"
+
+	"jkernel/internal/core"
+	"jkernel/internal/telemetry"
+)
+
+// chainRelay hops a call onward through a proxy imported from the next
+// kernel in the chain — the supervisor→worker→worker shape. The handler
+// builds its own task, so trace continuity depends on the serving side's
+// goroutine-bound context, not on the inbound task leaking through.
+type chainRelay struct {
+	k    *core.Kernel
+	d    *core.Domain
+	next *core.Capability
+}
+
+func (s *chainRelay) Hop(arg string) (string, error) {
+	t := s.k.NewTask(s.d, "hop")
+	defer t.Close()
+	res, err := s.next.InvokeFrom(t, "Echo", arg)
+	if err != nil {
+		return "", err
+	}
+	out, _ := res[0].(string)
+	return "hop:" + out, nil
+}
+
+// A trace begun on the supervisor must stitch through two wire hops: the
+// app's client spans, the middle kernel's server and onward client spans,
+// and the far kernel's server spans all share one trace id, with parent
+// links resolving across kernels. Covers both the batched async path and
+// the sync path.
+func TestTracePropagatesAcrossKernelChain(t *testing.T) {
+	far := core.MustNew(core.Options{TelemetryNode: "far"})
+	mid := core.MustNew(core.Options{TelemetryNode: "mid"})
+	app := core.MustNew(core.Options{TelemetryNode: "app"})
+
+	fd, err := far.NewDomain(core.DomainConfig{Name: "far-svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := mid.NewDomain(core.DomainConfig{Name: "mid-svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := app.NewDomain(core.DomainConfig{Name: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// far exports echo; mid imports it over one socket.
+	echoCap, err := far.CreateNativeCapability(fd, echoSvc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := far.Export("echo", echoCap); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	farLn, err := Listen(far, "unix", filepath.Join(dir, "far.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farLn.Close()
+	midToFar, err := Dial(mid, "unix", filepath.Join(dir, "far.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer midToFar.Close()
+	farEcho, err := midToFar.Import("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// mid exports the relay; app imports it over a second socket.
+	relayCap, err := mid.CreateNativeCapability(md, &chainRelay{k: mid, d: md, next: farEcho})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.Export("relay", relayCap); err != nil {
+		t.Fatal(err)
+	}
+	midLn, err := Listen(mid, "unix", filepath.Join(dir, "mid.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer midLn.Close()
+	appToMid, err := Dial(app, "unix", filepath.Join(dir, "mid.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appToMid.Close()
+	relay, err := appToMid.Import("relay")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	task := app.NewDetachedTask(ad, "traced")
+	tc := task.BeginTrace()
+	defer task.EndTrace()
+
+	// Batched async fan-out: three invokes leave as one frame, each
+	// carrying the trace context.
+	var futs []*core.Future
+	for i := 0; i < 3; i++ {
+		futs = append(futs, relay.InvokeAsyncFrom(task, "Hop", "a"))
+	}
+	appToMid.Flush()
+	if err := core.WaitAll(futs...); err != nil {
+		t.Fatal(err)
+	}
+	// And one sync invoke on the same trace.
+	res, err := relay.InvokeFrom(task, "Hop", "b")
+	if err != nil || res[0] != any("hop:b") {
+		t.Fatalf("sync hop: %#v %v", res, err)
+	}
+
+	appSpans := app.Tracer().TraceSpans(tc.TraceID)
+	midSpans := mid.Tracer().TraceSpans(tc.TraceID)
+	farSpans := far.Tracer().TraceSpans(tc.TraceID)
+
+	// 4 calls × (app client, mid server, mid client, far server) plus the
+	// kernels' local LRMI spans. Every kernel must have recorded under the
+	// one trace id, and the whole chain must be at least 3 spans deep.
+	if len(appSpans) == 0 || len(midSpans) == 0 || len(farSpans) == 0 {
+		t.Fatalf("trace %s missing a kernel: app=%d mid=%d far=%d",
+			telemetry.FormatID(tc.TraceID), len(appSpans), len(midSpans), len(farSpans))
+	}
+	all := append(append(appSpans, midSpans...), farSpans...)
+	if len(all) < 12 {
+		t.Fatalf("expected at least 12 spans across the chain, got %d", len(all))
+	}
+
+	// Parent links stitch across kernels: every wire server span's parent
+	// must be a span id recorded somewhere in the trace (the peer's client
+	// span), or the root context itself.
+	ids := map[uint64]bool{tc.SpanID: true}
+	for _, s := range all {
+		ids[s.SpanID] = true
+	}
+	for _, s := range all {
+		if s.Kind == "server" && !ids[s.Parent] {
+			t.Fatalf("server span %s has dangling parent %s",
+				telemetry.FormatID(s.SpanID), telemetry.FormatID(s.Parent))
+		}
+	}
+
+	// An untraced call after EndTrace must NOT extend this trace.
+	task.EndTrace()
+	if _, err := relay.InvokeFrom(task, "Hop", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(app.Tracer().TraceSpans(tc.TraceID)); n != len(appSpans) {
+		t.Fatalf("untraced call extended the trace: %d -> %d spans", len(appSpans), n)
+	}
+}

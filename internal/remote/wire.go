@@ -218,12 +218,23 @@ func (r *rbuf) rest() []byte { return r.b[r.pos:] }
 // which is what FuzzDecodeFrame exercises: malformed input must return an
 // error (faulting the connection), never panic.
 
+// Trace block flags. Every invoke (single or batched call entry) carries
+// a one-byte flags field after the method name; traceFlagContext adds the
+// caller's trace id and parent span id, so a traced call chain stitches
+// across kernels. Unknown flag bits are a protocol error — the fuzz suite
+// holds decode to "error, never panic" here like everywhere else.
+const traceFlagContext byte = 1
+
 // invokeFrame is one decoded invocation request (single or batched).
 type invokeFrame struct {
 	reqID    uint64
 	exportID uint64
 	method   string
-	args     []byte // seri stream, aliases the frame buffer
+	// traceID/parentSpan carry the caller's trace context when the frame's
+	// trace flags include traceFlagContext (traceID is nonzero then).
+	traceID    uint64
+	parentSpan uint64
+	args       []byte // seri stream, aliases the frame buffer
 }
 
 // replyFrame is one decoded invocation reply (single or batched).
@@ -291,6 +302,42 @@ type manifestReplyFrame struct {
 	msg     string
 }
 
+// parseTrace decodes the trace block following the method name: one flags
+// byte, then — with traceFlagContext — the trace id and parent span id.
+func parseTrace(r *rbuf, f *invokeFrame) error {
+	flags, err := r.u8()
+	if err != nil {
+		return err
+	}
+	switch flags {
+	case 0:
+		return nil
+	case traceFlagContext:
+		if f.traceID, err = r.uvarint(); err != nil {
+			return err
+		}
+		if f.traceID == 0 {
+			return r.fail("zero trace id")
+		}
+		f.parentSpan, err = r.uvarint()
+		return err
+	default:
+		return r.fail("unknown trace flags")
+	}
+}
+
+// appendTrace encodes the trace block (the common untraced case is one
+// zero byte).
+func appendTrace(w *wbuf, traceID, parentSpan uint64) {
+	if traceID == 0 {
+		w.u8(0)
+		return
+	}
+	w.u8(traceFlagContext)
+	w.uvarint(traceID)
+	w.uvarint(parentSpan)
+}
+
 func parseInvoke(r *rbuf) (invokeFrame, error) {
 	var f invokeFrame
 	var err error
@@ -303,6 +350,9 @@ func parseInvoke(r *rbuf) (invokeFrame, error) {
 	if f.method, err = r.str(); err != nil {
 		return f, err
 	}
+	if err = parseTrace(r, &f); err != nil {
+		return f, err
+	}
 	f.args = r.rest()
 	return f, nil
 }
@@ -311,7 +361,7 @@ func parseInvoke(r *rbuf) (invokeFrame, error) {
 // are length-prefixed (unlike the single-invoke frame, whose args run to
 // the end of the frame).
 func parseBatchInvoke(r *rbuf) ([]invokeFrame, error) {
-	n, err := r.count(4) // reqID + exportID + method len + arg len, 1 byte each minimum
+	n, err := r.count(5) // reqID + exportID + method len + trace flags + arg len, 1 byte each minimum
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +378,9 @@ func parseBatchInvoke(r *rbuf) ([]invokeFrame, error) {
 			return nil, err
 		}
 		if f.method, err = r.str(); err != nil {
+			return nil, err
+		}
+		if err = parseTrace(r, &f); err != nil {
 			return nil, err
 		}
 		if f.args, err = r.bytes(); err != nil {
@@ -584,10 +637,11 @@ func decodeFrame(frame []byte) (byte, any, error) {
 // --- frame encoders ---------------------------------------------------------
 
 // appendBatchCall appends one call to a msgBatchInvoke body.
-func appendBatchCall(w *wbuf, reqID, exportID uint64, method string, args []byte) {
+func appendBatchCall(w *wbuf, reqID, exportID uint64, method string, traceID, parentSpan uint64, args []byte) {
 	w.uvarint(reqID)
 	w.uvarint(exportID)
 	w.str(method)
+	appendTrace(w, traceID, parentSpan)
 	w.uvarint(uint64(len(args)))
 	w.raw(args)
 }

@@ -14,6 +14,12 @@ import (
 // process into a worker kernel listening there.
 const EnvWorkerAddr = "JK_WORKER_ADDR"
 
+// EnvWorkerDebug opts a self-exec worker into a debug HTTP listener: set
+// it to a TCP addr ("127.0.0.1:0" for an ephemeral port) and the worker
+// serves /debug/jk and /debug/pprof/ there, announcing the bound address
+// on stderr.
+const EnvWorkerDebug = "JK_WORKER_DEBUG"
+
 // WorkerConfig describes one worker kernel process.
 type WorkerConfig struct {
 	// Network and Addr are the listen endpoint ("unix"/"tcp").
@@ -25,6 +31,11 @@ type WorkerConfig struct {
 	Setup func(k *core.Kernel) error
 	// Ready, when set, is called once the listener is up (diagnostics).
 	Ready func(addr net.Addr)
+	// DebugAddr, when set, opts the worker into a TCP debug listener
+	// serving /debug/jk (telemetry snapshot + traces) and /debug/pprof/.
+	DebugAddr string
+	// DebugReady, when set, receives the debug listener's bound address.
+	DebugReady func(addr net.Addr)
 }
 
 // RunWorker boots a worker kernel and serves it until the process dies or
@@ -40,6 +51,15 @@ func RunWorker(cfg WorkerConfig) error {
 	}
 	if err := cfg.Setup(k); err != nil {
 		return fmt.Errorf("remote: worker setup: %w", err)
+	}
+	if cfg.DebugAddr != "" {
+		daddr, err := StartDebugServer(k, cfg.DebugAddr)
+		if err != nil {
+			return fmt.Errorf("remote: worker debug listener: %w", err)
+		}
+		if cfg.DebugReady != nil {
+			cfg.DebugReady(daddr)
+		}
 	}
 	if cfg.Network == "unix" {
 		// A crashed predecessor may have left its socket behind.
@@ -69,7 +89,17 @@ func MaybeRunWorker(setup func(k *core.Kernel) error) {
 		fmt.Fprintf(os.Stderr, "jkworker: bad %s=%q (want unix:PATH or tcp:ADDR)\n", EnvWorkerAddr, spec)
 		os.Exit(2)
 	}
-	if err := RunWorker(WorkerConfig{Network: network, Addr: addr, Setup: setup}); err != nil {
+	cfg := WorkerConfig{Network: network, Addr: addr, Setup: setup}
+	// Name the worker's telemetry node by pid so spans stitched across the
+	// cluster say which process recorded them.
+	cfg.Options.TelemetryNode = fmt.Sprintf("worker-%d", os.Getpid())
+	if dbg := os.Getenv(EnvWorkerDebug); dbg != "" {
+		cfg.DebugAddr = dbg
+		cfg.DebugReady = func(a net.Addr) {
+			fmt.Fprintf(os.Stderr, "jkworker: debug listener on http://%s/debug/jk\n", a)
+		}
+	}
+	if err := RunWorker(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "jkworker:", err)
 		os.Exit(1)
 	}

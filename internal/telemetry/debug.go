@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// HandlerConfig wires the /debug/jk endpoint. Registries and Tracers are
+// the local sources; RemoteSpans, when set, is consulted on ?trace=
+// queries to pull spans recorded by other kernels (the cluster supervisor
+// uses it to stitch worker spans into one trace view).
+type HandlerConfig struct {
+	Registries  []*Registry
+	Tracers     []*Tracer
+	RemoteSpans func(traceID uint64) []Span
+}
+
+// DebugPage is the /debug/jk response body.
+type DebugPage struct {
+	Snapshots []*Snapshot `json:"snapshots"`
+	Recent    []Span      `json:"recent,omitempty"`
+	Slow      []Span      `json:"slow,omitempty"`
+}
+
+// TracePage is the /debug/jk?trace= response body.
+type TracePage struct {
+	Trace string `json:"trace"`
+	Spans []Span `json:"spans"`
+}
+
+// Handler returns the /debug/jk handler: a metrics + recent-trace + slow-
+// call snapshot by default, or the stitched spans of a single trace with
+// ?trace=<hex id>.
+func Handler(cfg HandlerConfig) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, err := ParseID(q)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			spans := make([]Span, 0, 16)
+			for _, t := range cfg.Tracers {
+				spans = append(spans, t.TraceSpans(id)...)
+			}
+			if cfg.RemoteSpans != nil {
+				spans = append(spans, cfg.RemoteSpans(id)...)
+			}
+			sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+			enc.Encode(TracePage{Trace: FormatID(id), Spans: spans})
+			return
+		}
+
+		page := DebugPage{}
+		for _, reg := range cfg.Registries {
+			if reg != nil {
+				page.Snapshots = append(page.Snapshots, reg.Snapshot())
+			}
+		}
+		for _, t := range cfg.Tracers {
+			page.Recent = append(page.Recent, t.Recent()...)
+			page.Slow = append(page.Slow, t.Slow()...)
+		}
+		sort.Slice(page.Recent, func(i, j int) bool { return page.Recent[i].Start.Before(page.Recent[j].Start) })
+		sort.Slice(page.Slow, func(i, j int) bool { return page.Slow[i].Start.Before(page.Slow[j].Start) })
+		enc.Encode(page)
+	})
+}

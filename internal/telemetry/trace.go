@@ -1,0 +1,356 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The trace layer. Every LRMI and remote invoke records a Span (caller
+// domain → callee domain, method, latency, outcome) into a fixed
+// lock-free ring; spans over a configurable threshold are additionally
+// kept in a slow-call log. A TraceContext names the active trace: the
+// remote wire carries it inside msgInvoke/msgBatchInvoke frames, and the
+// serving side rebinds it around the inbound call, so a chain of calls
+// hopping supervisor→worker→worker shares one trace id and stitches into
+// a single tree.
+//
+// Propagation is opt-in at the root: Task.BeginTrace starts a trace on a
+// task, and only active contexts travel on the wire (one flag byte
+// otherwise). Untraced calls still reach the ring — a 1-in-64 sample of
+// ordinary traffic gets a local span under a fresh trace id (see
+// SampleUntraced) — but never pay the cross-process propagation cost,
+// and sampled-out calls skip span recording and latency clock reads
+// entirely.
+
+// TraceContext names an active trace: the trace id shared by the whole
+// chain and the span id of the current hop (the parent of any span the
+// next hop creates). The zero value means "no active trace".
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Active reports whether the context names a live trace.
+func (tc TraceContext) Active() bool { return tc.TraceID != 0 }
+
+// id generation: a per-process random base (seeded from pid and boot
+// time) mixed with a counter through splitmix64, so ids are unique within
+// a process and collide across processes with negligible probability —
+// without math/rand on the hot path.
+var (
+	idCounter atomic.Uint64
+	idBase    = uint64(time.Now().UnixNano())*2654435761 ^ uint64(os.Getpid())<<32
+)
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewID returns a fresh nonzero trace or span id.
+func NewID() uint64 {
+	for {
+		if id := splitmix64(idBase + idCounter.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// FormatID renders an id the way /debug/jk and the examples print them.
+func FormatID(id uint64) string { return strconv.FormatUint(id, 16) }
+
+// ParseID parses FormatID output.
+func ParseID(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
+
+// Span is one recorded call. IDs marshal as hex strings (JSON numbers
+// cannot carry 64-bit ids).
+type Span struct {
+	TraceID uint64        `json:"-"`
+	SpanID  uint64        `json:"-"`
+	Parent  uint64        `json:"-"`
+	Node    string        `json:"node"`   // kernel/process that recorded it
+	Kind    string        `json:"kind"`   // "local", "client", "server"
+	Caller  string        `json:"caller"` // caller domain
+	Callee  string        `json:"callee"` // callee domain (or peer)
+	Method  string        `json:"method"`
+	Start   time.Time     `json:"start"`
+	Dur     time.Duration `json:"dur_ns"`
+	Err     string        `json:"err,omitempty"`
+}
+
+// MarshalJSON renders the span with hex ids alongside the plain fields.
+func (s Span) MarshalJSON() ([]byte, error) {
+	type plain Span // drop the method set to avoid recursion
+	return json.Marshal(struct {
+		Trace  string `json:"trace"`
+		Span   string `json:"span"`
+		Parent string `json:"parent,omitempty"`
+		plain
+	}{
+		Trace:  FormatID(s.TraceID),
+		Span:   FormatID(s.SpanID),
+		Parent: parentHex(s.Parent),
+		plain:  plain(s),
+	})
+}
+
+func parentHex(p uint64) string {
+	if p == 0 {
+		return ""
+	}
+	return FormatID(p)
+}
+
+// UnmarshalJSON restores the hex ids, so spans shipped between processes
+// (a worker answering a supervisor's trace query) round-trip intact.
+func (s *Span) UnmarshalJSON(b []byte) error {
+	type plain Span
+	aux := struct {
+		Trace  string `json:"trace"`
+		Span   string `json:"span"`
+		Parent string `json:"parent"`
+		*plain
+	}{plain: (*plain)(s)}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	s.TraceID, _ = ParseID(aux.Trace)
+	s.SpanID, _ = ParseID(aux.Span)
+	if aux.Parent != "" {
+		s.Parent, _ = ParseID(aux.Parent)
+	}
+	return nil
+}
+
+// Tracer records completed spans for one kernel: a lock-free recent ring
+// plus a slow-call log over a configurable threshold. A nil *Tracer is an
+// inert no-op.
+type Tracer struct {
+	node   string
+	slowNs atomic.Int64
+	sample atomic.Uint64
+
+	recent spanRing
+	slow   spanRing
+}
+
+const (
+	recentSpanCap = 512
+	slowSpanCap   = 128
+	// DefaultSlowCall is the initial slow-call threshold.
+	DefaultSlowCall = 10 * time.Millisecond
+)
+
+// spanRing is a fixed lock-free ring of span pointers: writers claim a
+// slot with one atomic add and publish with one atomic store; readers
+// snapshot the published pointers.
+type spanRing struct {
+	pos   atomic.Uint64
+	slots []atomic.Pointer[Span]
+}
+
+func (r *spanRing) init(n int) { r.slots = make([]atomic.Pointer[Span], n) }
+
+func (r *spanRing) record(s *Span) {
+	i := r.pos.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(s)
+}
+
+func (r *spanRing) snapshot() []Span {
+	out := make([]Span, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.slots[i].Load(); s != nil {
+			out = append(out, *s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// NewTracer creates a tracer; node names this kernel in recorded spans.
+func NewTracer(node string) *Tracer {
+	if node == "" {
+		node = "jk"
+	}
+	t := &Tracer{node: node}
+	t.recent.init(recentSpanCap)
+	t.slow.init(slowSpanCap)
+	t.slowNs.Store(int64(DefaultSlowCall))
+	return t
+}
+
+// Node returns the tracer's node name ("" for nil).
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// SlowThreshold returns the slow-call log threshold (0 when disabled).
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.slowNs.Load())
+}
+
+// SetSlowThreshold sets the slow-call log threshold (0 disables it).
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t != nil {
+		t.slowNs.Store(int64(d))
+	}
+}
+
+// UntracedSampleMask selects the 1-in-64 untraced-call sample: a call is
+// profiled when (tick & UntracedSampleMask) == 0, whatever monotonic
+// per-call tick the instrumenting layer has at hand (a shared atomic
+// here, a per-task tick in core, the request id on the wire).
+const UntracedSampleMask = 63
+
+const untracedSampleMask = UntracedSampleMask
+
+// SampleUntraced reports whether an untraced call should be profiled
+// (1 in 64): record a span and observe call latency. Traced calls always
+// record; for everything else the recent ring and latency histograms stay
+// a live sample of ordinary traffic without the hot paths paying the
+// span allocation and clock reads per call — the call counters still see
+// every call exactly.
+func (t *Tracer) SampleUntraced() bool {
+	if t == nil {
+		return false
+	}
+	return t.sample.Add(1)&untracedSampleMask == 0
+}
+
+// Record stores one completed span, filling in the tracer's node name.
+func (t *Tracer) Record(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	if s.Node == "" {
+		s.Node = t.node
+	}
+	t.recent.record(s)
+	if thr := t.slowNs.Load(); thr > 0 && int64(s.Dur) >= thr {
+		t.slow.record(s)
+	}
+}
+
+// Recent returns the retained spans, oldest first.
+func (t *Tracer) Recent() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.recent.snapshot()
+}
+
+// Slow returns the retained slow-call spans, oldest first.
+func (t *Tracer) Slow() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.slow.snapshot()
+}
+
+// TraceSpans returns the retained spans of one trace, oldest first.
+func (t *Tracer) TraceSpans(traceID uint64) []Span {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	all := t.recent.snapshot()
+	out := all[:0]
+	for _, s := range all {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// --- goroutine-carried contexts ---------------------------------------------
+
+// The serving side of a traced remote call rebinds the inbound context
+// onto its executor goroutine, so onward calls made inside the served
+// method — which create their own tasks — still join the trace. The
+// binding uses a goroutine-id map gated by a global count: processes that
+// never serve traced calls (benchmarks with tracing un-propagated) skip
+// the goroutine-id lookup entirely, which keeps the null-call path free
+// of its cost.
+
+var (
+	goCtxCount atomic.Int64
+	goCtxMu    sync.Mutex
+	goCtx      = map[int64]TraceContext{}
+)
+
+// goroutineID parses the current goroutine's id from runtime.Stack — the
+// same "thread info lookup" the native LRMI path reproduces; it is paid
+// only on traced serving paths.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	b := buf[:n]
+	const prefix = "goroutine "
+	if !bytes.HasPrefix(b, []byte(prefix)) {
+		return 0
+	}
+	b = b[len(prefix):]
+	sp := bytes.IndexByte(b, ' ')
+	if sp < 0 {
+		return 0
+	}
+	id, err := strconv.ParseInt(string(b[:sp]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// BindGoroutine attaches tc to the calling goroutine until the returned
+// unbind runs. Bindings nest: unbind restores the previous context.
+func BindGoroutine(tc TraceContext) (unbind func()) {
+	gid := goroutineID()
+	goCtxMu.Lock()
+	prev, hadPrev := goCtx[gid]
+	goCtx[gid] = tc
+	goCtxMu.Unlock()
+	if !hadPrev {
+		goCtxCount.Add(1)
+	}
+	return func() {
+		goCtxMu.Lock()
+		if hadPrev {
+			goCtx[gid] = prev
+		} else {
+			delete(goCtx, gid)
+		}
+		goCtxMu.Unlock()
+		if !hadPrev {
+			goCtxCount.Add(-1)
+		}
+	}
+}
+
+// GoroutineContext returns the calling goroutine's bound context. The
+// fast path is one atomic load: when no goroutine anywhere holds a
+// binding, it returns the zero context without the goroutine-id lookup.
+func GoroutineContext() TraceContext {
+	if goCtxCount.Load() == 0 {
+		return TraceContext{}
+	}
+	gid := goroutineID()
+	goCtxMu.Lock()
+	tc := goCtx[gid]
+	goCtxMu.Unlock()
+	return tc
+}

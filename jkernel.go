@@ -30,9 +30,12 @@
 package jkernel
 
 import (
+	"net/http"
+
 	"jkernel/internal/account"
 	"jkernel/internal/core"
 	"jkernel/internal/remote"
+	"jkernel/internal/telemetry"
 	"jkernel/internal/vmkit"
 )
 
@@ -80,6 +83,20 @@ type (
 	WorkerPoolOptions = remote.PoolOptions
 	// WorkerConfig describes one worker kernel process (see RunWorker).
 	WorkerConfig = remote.WorkerConfig
+
+	// MetricsRegistry is a kernel's (or the process-global) instrument
+	// registry: counters, gauges, latency histograms, call-graph edges,
+	// and the event log.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is one registry's point-in-time reading.
+	MetricsSnapshot = telemetry.Snapshot
+	// Tracer records completed spans (recent ring + slow-call log).
+	Tracer = telemetry.Tracer
+	// TraceContext identifies the trace a call chain belongs to; it
+	// propagates across the wire inside invoke frames.
+	TraceContext = telemetry.TraceContext
+	// Span is one recorded cross-domain (or cross-kernel) call.
+	Span = telemetry.Span
 )
 
 // Sentinel errors.
@@ -186,4 +203,69 @@ func RunWorker(cfg WorkerConfig) error {
 // otherwise. Call it first thing in main.
 func MaybeRunWorker(setup func(k *Kernel) error) {
 	remote.MaybeRunWorker(setup)
+}
+
+// Observability. Every kernel carries a metrics registry and a tracer
+// unless built with Options.DisableTelemetry; pool supervision metrics
+// land in the process-global registry (ProcessMetrics). DebugHandler and
+// StartDebugServer expose it all over HTTP as /debug/jk.
+
+// Metrics returns k's metrics registry (nil when telemetry is disabled;
+// every registry method is safe on nil).
+func Metrics(k *Kernel) *MetricsRegistry {
+	return k.Telemetry()
+}
+
+// Traces returns k's span recorder (nil when telemetry is disabled).
+func Traces(k *Kernel) *Tracer {
+	return k.Tracer()
+}
+
+// ProcessMetrics returns the process-global registry: pool supervision
+// events and anything else not tied to one kernel.
+func ProcessMetrics() *MetricsRegistry {
+	return telemetry.Default()
+}
+
+// DebugHandler serves k's live telemetry as JSON: a full snapshot plus
+// recent and slow spans by default, one stitched trace with ?trace=<id>.
+// Mount it wherever the host process serves HTTP (conventionally at
+// /debug/jk).
+func DebugHandler(k *Kernel) http.Handler {
+	return DebugHandlerWith(k, nil)
+}
+
+// DebugHandlerWith is DebugHandler plus a remote-span source: a
+// /debug/jk?trace=<id> query merges remoteSpans(traceID) into the local
+// spans — the hook a supervisor uses to stitch worker-process spans into
+// one trace.
+func DebugHandlerWith(k *Kernel, remoteSpans func(traceID uint64) []Span) http.Handler {
+	cfg := telemetry.HandlerConfig{
+		Registries:  []*MetricsRegistry{telemetry.Default()},
+		RemoteSpans: remoteSpans,
+	}
+	if r := k.Telemetry(); r != nil {
+		cfg.Registries = append(cfg.Registries, r)
+	}
+	if t := k.Tracer(); t != nil {
+		cfg.Tracers = append(cfg.Tracers, t)
+	}
+	return telemetry.Handler(cfg)
+}
+
+// FormatTraceID renders a trace (or span) id as the hex string /debug/jk
+// uses; ParseTraceID reverses it.
+func FormatTraceID(id uint64) string { return telemetry.FormatID(id) }
+
+// ParseTraceID parses FormatTraceID output.
+func ParseTraceID(s string) (uint64, error) { return telemetry.ParseID(s) }
+
+// StartDebugServer serves DebugHandler plus the Go profiler
+// (/debug/pprof/) on a TCP address, returning the bound address.
+func StartDebugServer(k *Kernel, addr string) (string, error) {
+	a, err := remote.StartDebugServer(k, addr)
+	if err != nil {
+		return "", err
+	}
+	return a.String(), nil
 }
