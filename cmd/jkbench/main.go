@@ -6,7 +6,11 @@
 // per-call against async-batched remote invocation, and table 9 measures
 // capability churn (export → inline import → invoke → release) and
 // verifies the per-connection tables return to baseline — the export-GC
-// leak gate as a benchmark. See EXPERIMENTS.md for the recorded results.
+// leak gate as a benchmark. Table 10 measures telemetry overhead, and
+// table 11 measures the three-party handoff: a re-exported capability
+// called through the middleman relay vs over the shortened (redeemed)
+// path vs a directly-dialed baseline. See EXPERIMENTS.md for the
+// recorded results.
 //
 //	jkbench                  # all tables
 //	jkbench -table 4         # one table
@@ -36,9 +40,9 @@ import (
 )
 
 var (
-	tableFlag = flag.Int("table", 0, "run only this table (1-10); 0 = all")
+	tableFlag = flag.Int("table", 0, "run only this table (1-11); 0 = all")
 	quick     = flag.Bool("quick", false, "fewer iterations")
-	jsonFlag  = flag.String("json", "", "write measured rows (remote tables 7-10) as JSON to this file")
+	jsonFlag  = flag.String("json", "", "write measured rows (remote tables 7-11) as JSON to this file")
 	gateFlag  = flag.Float64("telemetry-gate", 0,
 		"fail (exit 1) if table 10's telemetry on/off ratio exceeds this (0 = no gate; CI uses 1.10)")
 )
@@ -62,6 +66,7 @@ func main() {
 	run(8, table8)
 	run(9, table9)
 	run(10, table10)
+	run(11, table11)
 	if *jsonFlag != "" {
 		writeBenchJSON(*jsonFlag)
 	}
@@ -992,6 +997,140 @@ func table10() {
 	telemetryRatio = ratios[rounds/2]
 	fmt.Printf("  %-52s %9.3fx\n", "telemetry overhead ratio (on/off)", telemetryRatio)
 	recordRatio(10, "telemetry overhead ratio (on/off)", telemetryRatio)
+	fmt.Println()
+}
+
+// --- table 11: three-party handoff (relay vs shortened path) ---------------
+
+// benchHolderSvc parks the middleman's imported proxy so the client can
+// re-import it over the middleman connection — the wire-level re-export
+// that either relays through the middleman or is shortened by a redeemed
+// handoff ticket.
+type benchHolderSvc struct{ cap *core.Capability }
+
+// Get returns the parked capability.
+func (h *benchHolderSvc) Get() (*core.Capability, error) { return h.cap, nil }
+
+// table11 measures what the three-party handoff buys: the same null call
+// issued over a directly-dialed connection, through a middleman relay
+// (handoff disabled at the middleman, so every frame is forwarded twice),
+// and over a shortened path (the re-export redeemed into a first-class
+// import at the origin). The relay costs roughly two direct calls — two
+// hops, two decode/dispatch cycles — and the shortened path must land
+// back within a sliver of the direct row, which is the point of the
+// protocol.
+func table11() {
+	fmt.Println("Table 11. Remote kernels: relayed vs handoff-shortened re-exports (in µs/call; beyond the paper)")
+	fmt.Printf("  %-52s %10s %12s\n", "Configuration", "µs/call", "calls/sec")
+	row := func(name string, us float64) {
+		fmt.Printf("  %-52s %10.2f %12.0f\n", name, us, 1e6/us)
+		record(11, name, us)
+	}
+
+	// Origin A: exports the null service and listens (Listen advertises
+	// the bound address, which is what makes A a redeemable origin).
+	kA := core.MustNew(core.Options{})
+	aDom, err := kA.NewDomain(core.DomainConfig{Name: "origin"})
+	check(err)
+	aCap, err := kA.CreateNativeCapability(aDom, benchNullSvc{})
+	check(err)
+	check(kA.Export("null", aCap))
+	lnA, err := remote.Listen(kA, "tcp", "127.0.0.1:0")
+	check(err)
+	defer lnA.Close()
+
+	// Middleman B: imports A's null service and re-exports it behind a
+	// holder, exactly the shape an app produces when it passes a received
+	// capability onward.
+	kB := core.MustNew(core.Options{})
+	bDom, err := kB.NewDomain(core.DomainConfig{Name: "middle"})
+	check(err)
+	ba, err := remote.Dial(kB, "tcp", lnA.Addr().String())
+	check(err)
+	defer ba.Close()
+	bProxy, err := ba.Import("null")
+	check(err)
+	holderCap, err := kB.CreateNativeCapability(bDom, &benchHolderSvc{cap: bProxy})
+	check(err)
+	check(kB.Export("holder", holderCap))
+	lnB, err := remote.Listen(kB, "tcp", "127.0.0.1:0")
+	check(err)
+	defer lnB.Close()
+
+	// Client C.
+	kC := core.MustNew(core.Options{})
+	cDom, err := kC.NewDomain(core.DomainConfig{Name: "client"})
+	check(err)
+	task := kC.NewDetachedTask(cDom, "bench")
+
+	// Baseline: C dials the origin directly.
+	dconn, err := remote.Dial(kC, "tcp", lnA.Addr().String())
+	check(err)
+	defer dconn.Close()
+	dproxy, err := dconn.Import("null")
+	check(err)
+	direct := measureEach(iters(20000), func() {
+		if _, err := dproxy.InvokeFrom(task, "Null"); err != nil {
+			check(err)
+		}
+	})
+	row("direct null call (C dials origin A)", direct)
+
+	// Relay: handoff off at the middleman, so the re-export stays a pure
+	// relay and every call transits B.
+	remote.SetHandoff(kB, false)
+	relayConn, err := remote.Dial(kC, "tcp", lnB.Addr().String())
+	check(err)
+	relayHolder, err := relayConn.Import("holder")
+	check(err)
+	res, err := relayHolder.InvokeFrom(task, "Get")
+	check(err)
+	relayCap := res[0].(*core.Capability)
+	relayed := measureEach(iters(20000), func() {
+		if _, err := relayCap.InvokeFrom(task, "Null"); err != nil {
+			check(err)
+		}
+	})
+	row("relayed null call (C -> middleman B -> A)", relayed)
+	remote.ReleaseProxy(relayCap)
+	remote.ReleaseProxy(relayHolder)
+	relayConn.Close()
+
+	// Shortened: handoff back on, a fresh re-export ships with a ticket,
+	// and C redeems it into a direct import at A before measuring.
+	remote.SetHandoff(kB, true)
+	shortConn, err := remote.Dial(kC, "tcp", lnB.Addr().String())
+	check(err)
+	defer shortConn.Close()
+	shortHolder, err := shortConn.Import("holder")
+	check(err)
+	res, err = shortHolder.InvokeFrom(task, "Get")
+	check(err)
+	shortCap := res[0].(*core.Capability)
+	deadline := time.Now().Add(10 * time.Second)
+	for !remote.HandoffDone(shortCap) {
+		if time.Now().After(deadline) {
+			check(fmt.Errorf("handoff never shortened the re-exported route"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shortened := measureEach(iters(20000), func() {
+		if _, err := shortCap.InvokeFrom(task, "Null"); err != nil {
+			check(err)
+		}
+	})
+	row("shortened null call (redeemed ticket, C -> A)", shortened)
+
+	fmt.Printf("  %-52s %9.2fx\n", "relay penalty (relayed / direct)", relayed/direct)
+	recordRatio(11, "relay penalty (relayed / direct)", relayed/direct)
+	fmt.Printf("  %-52s %9.2fx\n", "shortened overhead (shortened / direct)", shortened/direct)
+	recordRatio(11, "shortened overhead (shortened / direct)", shortened/direct)
+
+	// Ticket hygiene: the one minted ticket was redeemed, so the origin's
+	// handoff table reads empty — anything left is a leak.
+	tickets := float64(remote.HandoffTableSizes(kA).Tickets)
+	fmt.Printf("  %-52s %10.0f\n", "post-redeem unredeemed tickets, origin (want 0)", tickets)
+	recordRatio(11, "post-redeem unredeemed tickets (origin)", tickets)
 	fmt.Println()
 }
 

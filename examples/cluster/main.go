@@ -163,6 +163,49 @@ func main() {
 		fmt.Printf("   edge %s -> %s: %d calls\n", e.Caller, e.Callee, e.Calls)
 	}
 
+	// --- Three-party handoff ---------------------------------------------
+	// The supervisor hands its worker-1 counter proxy to worker 0. A naive
+	// implementation would relay every worker-0 call through the
+	// supervisor forever; instead the re-export mints a handoff ticket and
+	// worker 0 redeems it with worker 1 directly, silently dropping the
+	// middle hop. The proof is in the supervisor's own telemetry: a burst
+	// of worker-0 -> worker-1 calls adds zero inbound invokes and zero new
+	// call-graph edges at the supervisor.
+	holder, err := conns[0].Import("holder")
+	check(err)
+	_, err = holder.InvokeFrom(task, "Set", counters[1])
+	check(err)
+	shortenBy := time.Now().Add(10 * time.Second)
+	for {
+		res, err = holder.InvokeFrom(task, "Direct")
+		check(err)
+		if res[0] == true {
+			break
+		}
+		if time.Now().After(shortenBy) {
+			fail("handoff never shortened worker 0's route to worker 1")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Println("-- worker 0 redeemed the handoff ticket: its worker-1 route is direct")
+
+	before := jkernel.Metrics(sup).Snapshot()
+	for n := 0; n < 20; n++ {
+		_, err = holder.InvokeFrom(task, "Call")
+		check(err)
+	}
+	after := jkernel.Metrics(sup).Snapshot()
+	relayed := (after.Counters["remote.frames_in.invoke"] - before.Counters["remote.frames_in.invoke"]) +
+		(after.Counters["remote.frames_in.batch_invoke"] - before.Counters["remote.frames_in.batch_invoke"])
+	if relayed != 0 {
+		fail("worker->worker calls relayed %d invoke frames through the supervisor", relayed)
+	}
+	if len(after.CallGraph) != len(before.CallGraph) {
+		fail("worker->worker calls grew the supervisor's call graph (%d -> %d edges)",
+			len(before.CallGraph), len(after.CallGraph))
+	}
+	fmt.Println("-- 20 worker-0 -> worker-1 calls: zero invokes, zero new call-graph edges at the supervisor")
+
 	// Revocation across the wire: ask worker 1 to revoke its counter.
 	admin, err := conns[1].Import("admin")
 	check(err)
@@ -235,11 +278,68 @@ func workerSetup(k *jkernel.Kernel) error {
 	if err := k.Export("relay", relay); err != nil {
 		return err
 	}
+	holder, err := k.CreateNativeCapability(d, &holderSvc{k: k, d: d})
+	if err != nil {
+		return err
+	}
+	if err := k.Export("holder", holder); err != nil {
+		return err
+	}
 	tel, err := k.CreateNativeCapability(d, &telemetrySvc{k: k})
 	if err != nil {
 		return err
 	}
 	return k.Export("jk.telemetry", tel)
+}
+
+// holderSvc keeps a capability handed to it and calls through it later —
+// the re-export target of the three-party handoff demo. The capability
+// the supervisor passes in arrives as a relay through the supervisor;
+// the handoff protocol then shortens it to a direct import from its
+// origin kernel.
+type holderSvc struct {
+	k    *jkernel.Kernel
+	d    *jkernel.Domain
+	mu   sync.Mutex
+	held *jkernel.Capability
+}
+
+// Set stores the handed-off capability.
+func (h *holderSvc) Set(cap *jkernel.Capability) error {
+	h.mu.Lock()
+	h.held = cap
+	h.mu.Unlock()
+	return nil
+}
+
+// Direct reports whether the held capability's route has been shortened
+// past the kernel that handed it over.
+func (h *holderSvc) Direct() (bool, error) {
+	h.mu.Lock()
+	held := h.held
+	h.mu.Unlock()
+	if held == nil {
+		return false, nil
+	}
+	return jkernel.HandoffDone(held), nil
+}
+
+// Call invokes Add(1) through the held capability.
+func (h *holderSvc) Call() (int64, error) {
+	h.mu.Lock()
+	held := h.held
+	h.mu.Unlock()
+	if held == nil {
+		return 0, fmt.Errorf("no capability held")
+	}
+	t := h.k.NewTask(h.d, "holder")
+	defer t.Close()
+	res, err := held.InvokeFrom(t, "Add", int64(1))
+	if err != nil {
+		return 0, err
+	}
+	out, _ := res[0].(int64)
+	return out, nil
 }
 
 // relaySvc hops a call onward through whatever capability it is handed —

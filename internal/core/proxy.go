@@ -69,6 +69,31 @@ func ProxyTargetOf(c *Capability) ProxyTarget {
 	return nil
 }
 
+// RetargetProxy atomically swaps the transport behind a live proxy
+// capability. The capability object — and therefore every stub, argument
+// vector, and repository binding that refers to it — is untouched: only
+// the route its invocations take changes, which is what lets a redeemed
+// three-party handoff unify with the import callers already hold instead
+// of minting a second identity for the same remote gate. It fails (and
+// changes nothing) when c is not a proxy or has been revoked; a
+// revocation racing the swap wins either way, because revoke stores nil
+// unconditionally after this CAS settles.
+func RetargetProxy(c *Capability, pt ProxyTarget) bool {
+	if pt == nil {
+		return false
+	}
+	next := &proxyBox{t: pt}
+	for {
+		old := c.g.proxy.Load()
+		if old == nil {
+			return false // revoked, or never a proxy
+		}
+		if c.g.proxy.CompareAndSwap(old, next) {
+			return true
+		}
+	}
+}
+
 // invokeProxy forwards one call through a proxy gate. The segment switch
 // into the proxy's owning domain (the transport's connection domain) is
 // kept so accounting, termination, and Thread.stop semantics are identical

@@ -47,6 +47,16 @@ type Conn struct {
 	closed        bool
 	cause         error
 
+	// Peer identity for three-party handoff: the endpoint this side dialed
+	// (or the peer's advertised listen address from the ping tail) and the
+	// peer's announced feature mask. featKnown stays false against a
+	// pre-handoff peer, which pins every re-export to the relay path.
+	peerNet, peerAddr string
+	peerFeatures      uint64
+	featKnown         bool
+	pendingHandoffs   map[uint64]parkedOffer // redeem offers that raced ahead of their relay import
+	releasedImports   map[uint64]time.Time   // fully-released ids; a revoke crossing the release is stale
+
 	// batch coalesces pending asynchronous invokes into multi-invoke
 	// frames, and import releases into msgRelease frames (see batch.go).
 	batch *batcher
@@ -90,16 +100,18 @@ func NewConn(k *core.Kernel, nc net.Conn) (*Conn, error) {
 		tc.SetNoDelay(true)
 	}
 	c := &Conn{
-		k:          k,
-		domain:     d,
-		nc:         nc,
-		bw:         bufio.NewWriter(nc),
-		pending:    make(map[uint64]func(wireResult)),
-		exports:    make(map[uint64]*exportEntry),
-		exportIDs:  make(map[*core.Gate]uint64),
-		imports:    make(map[uint64]*importEntry),
-		preRevoked: make(map[uint64]parkedRevoke),
-		done:       make(chan struct{}),
+		k:               k,
+		domain:          d,
+		nc:              nc,
+		bw:              bufio.NewWriter(nc),
+		pending:         make(map[uint64]func(wireResult)),
+		exports:         make(map[uint64]*exportEntry),
+		exportIDs:       make(map[*core.Gate]uint64),
+		imports:         make(map[uint64]*importEntry),
+		preRevoked:      make(map[uint64]parkedRevoke),
+		pendingHandoffs: make(map[uint64]parkedOffer),
+		releasedImports: make(map[uint64]time.Time),
+		done:            make(chan struct{}),
 	}
 	c.batch = newBatcher(c)
 	c.exec = newExecutor(c.done)
@@ -109,6 +121,11 @@ func NewConn(k *core.Kernel, nc net.Conn) (*Conn, error) {
 	c.metrics = newConnMetrics(k, c)
 	go c.readLoop()
 	go c.batch.run()
+	// Announce our features (and learn the peer's) with one async probe.
+	// Until the pong lands, handoff minting toward this peer stays off and
+	// re-exports use the relay path; pre-handoff peers ignore the tail and
+	// see a plain ping.
+	go func() { _ = c.Ping(10 * time.Second) }()
 	return c, nil
 }
 
@@ -178,7 +195,36 @@ func Dial(k *core.Kernel, network, addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewConn(k, nc)
+	c, err := NewConn(k, nc)
+	if err != nil {
+		return nil, err
+	}
+	c.setDialTarget(network, addr)
+	return c, nil
+}
+
+// setDialTarget records the endpoint this side dialed, making c usable as
+// a handoff origin reference (a middleman tells receivers to dial it).
+func (c *Conn) setDialTarget(network, addr string) {
+	c.mu.Lock()
+	c.peerNet, c.peerAddr = network, addr
+	c.mu.Unlock()
+}
+
+// recordPeer stores what a ping/pong tail announced: the peer's feature
+// mask and — when no dial target is known (inbound connections) — its
+// advertised listen address.
+func (c *Conn) recordPeer(f pingFrame) {
+	if !f.hasFeatures {
+		return
+	}
+	c.mu.Lock()
+	c.peerFeatures = f.features
+	c.featKnown = true
+	if c.peerAddr == "" && f.addr != "" {
+		c.peerNet, c.peerAddr = f.network, f.addr
+	}
+	c.mu.Unlock()
 }
 
 // Domain returns the connection's host domain (owner of its proxies).
@@ -194,6 +240,7 @@ type TableSizes struct {
 	PreRevoked int // revocations parked for imports still in flight
 	Unhook     int // gate revocation hooks held (one per live export)
 	Pending    int // requests awaiting replies
+	Handoffs   int // redeem offers parked for relay imports still in flight
 }
 
 // TableSizes reports the connection's current table occupancy. Parked
@@ -203,13 +250,16 @@ type TableSizes struct {
 func (c *Conn) TableSizes() TableSizes {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.prunePreRevokedLocked(time.Now())
+	now := time.Now()
+	c.prunePreRevokedLocked(now)
+	c.pruneHandoffsLocked(now)
 	t := TableSizes{
 		Exports:    len(c.exports),
 		ExportIDs:  len(c.exportIDs),
 		Imports:    len(c.imports),
 		PreRevoked: len(c.preRevoked),
 		Pending:    len(c.pending),
+		Handoffs:   len(c.pendingHandoffs),
 	}
 	for _, e := range c.exports {
 		if e.unhook != nil {
@@ -258,9 +308,9 @@ func (c *Conn) Ping(timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
+	network, addr := advertised(c.k)
 	var w wbuf
-	w.u8(msgPing)
-	w.uvarint(reqID)
+	appendPing(&w, msgPing, reqID, network, addr)
 	if err := c.send(w.b); err != nil {
 		c.dropPending(reqID)
 		return err
@@ -380,6 +430,11 @@ type exportEntry struct {
 	refs   uint64 // handles sent minus handles released
 	relGen uint64 // highest release generation applied (stale-release guard)
 	unhook func() // OnRevoke deregistration for the revocation-push hook
+	// relay, for re-exported proxies, names the upstream import whose wire
+	// references this entry transitively pins; they are released when the
+	// entry dies at refcount zero (see handleRelease), closing the
+	// middleman release leak.
+	relay *relayRef
 }
 
 // importEntry is one row of the import table. recv counts how many times
@@ -393,22 +448,42 @@ type importEntry struct {
 	cap  *core.Capability
 	recv uint64
 	gen  uint64
+	// pins counts relay export entries (on this kernel's other
+	// connections) whose wire references ride on this entry. While pinned
+	// the receipts cannot go back to the exporter even if the local proxy
+	// dies — the relayed handles downstream still route through them — so
+	// a pinned release parks the entry as a zombie until the last pin
+	// drops (unpinImport completes it).
+	pins   int
+	zombie bool
 }
 
 // exportLocked registers cap in the export table (idempotent per gate),
-// counts one wire reference, and arranges revocation push. Caller holds
-// c.mu.
-func (c *Conn) exportLocked(cap *core.Capability) uint64 {
+// counts one wire reference, and arranges revocation push. created
+// reports whether this call minted the entry (which is when a handoff
+// offer is worth sending). Caller holds c.mu.
+func (c *Conn) exportLocked(cap *core.Capability, relay *relayRef) (id uint64, created bool) {
 	g := cap.Gate()
 	if id, ok := c.exportIDs[g]; ok {
 		c.exports[id].refs++
-		return id
+		return id, false
 	}
+	id = c.exportNewLocked(cap, relay)
+	c.exportIDs[g] = id
+	return id, true
+}
+
+// exportNewLocked unconditionally mints a fresh export entry, bypassing
+// the per-gate dedup. Redeemed handoffs need this: the fresh export's
+// refcount and revocation push must be independent of any direct import
+// the peer already holds for the same gate, so releasing one can never
+// strand the other. Caller holds c.mu.
+func (c *Conn) exportNewLocked(cap *core.Capability, relay *relayRef) uint64 {
+	g := cap.Gate()
 	id := c.nextExport
 	c.nextExport++
-	e := &exportEntry{cap: cap, refs: 1}
+	e := &exportEntry{cap: cap, refs: 1, relay: relay}
 	c.exports[id] = e
-	c.exportIDs[g] = id
 	// Push revocation to the peer the moment the gate dies, so remote
 	// proxies fail fast instead of on their next wire round-trip, then
 	// drop the table entry: a revoked gate answers every call with the
@@ -449,32 +524,42 @@ func (c *Conn) dropExport(id uint64, g *core.Gate) {
 	if e.unhook != nil {
 		e.unhook() // no-op post-fire, but uniform with the refcount path
 	}
+	if e.relay != nil {
+		// A revoked relay entry drops its pin on the upstream import; the
+		// import's own revocation (same fault, pushed from the origin)
+		// completes the release once every pin is gone.
+		e.relay.conn.unpinImport(e.relay.importID, e.relay.gen)
+	}
 }
 
 // dropExportRefsLocked returns n of an export's wire references, deleting
 // the entry at zero. It returns the gate-hook deregistration to run after
-// c.mu is released (nil when the entry survives or is already gone), and
-// an error when the peer releases more references than it was ever sent —
-// a protocol violation that faults the connection. Caller holds c.mu.
-func (c *Conn) dropExportRefsLocked(id, n uint64) (unhook func(), err error) {
+// c.mu is released (nil when the entry survives or is already gone), the
+// upstream relay reference to release for a dying relay entry — the peer
+// releasing the last relay handle is what lets the middleman return its
+// own references to the origin — and an error when the peer releases more
+// references than it was ever sent, a protocol violation that faults the
+// connection. Caller holds c.mu and must act on unhook/upstream after
+// releasing it.
+func (c *Conn) dropExportRefsLocked(id, n uint64) (unhook func(), upstream *relayRef, err error) {
 	e := c.exports[id]
 	if e == nil {
 		// Already dropped — the gate's revocation raced the peer's
 		// release, or a rollback beat it. Benign either way.
-		return nil, nil
+		return nil, nil, nil
 	}
 	if n > e.refs {
-		return nil, fmt.Errorf("remote: protocol error: release of %d refs for export %d holding %d", n, id, e.refs)
+		return nil, nil, fmt.Errorf("remote: protocol error: release of %d refs for export %d holding %d", n, id, e.refs)
 	}
 	e.refs -= n
 	if e.refs > 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	delete(c.exports, id)
 	if g := e.cap.Gate(); c.exportIDs[g] == id {
 		delete(c.exportIDs, g)
 	}
-	return e.unhook, nil
+	return e.unhook, e.relay, nil
 }
 
 // importLocked returns (creating if needed) the proxy for the peer's
@@ -511,6 +596,10 @@ func (c *Conn) importLocked(id uint64, methods []string) (cap *core.Capability, 
 	c.nextImportGen++
 	e := &importEntry{cap: cap, recv: 1, gen: c.nextImportGen}
 	c.imports[id] = e
+	// The id is live again (the exporter resurrected it before our release
+	// landed, or this replaces a dead proxy), so a future revoke for it is
+	// no longer stale.
+	delete(c.releasedImports, id)
 	gen := e.gen
 	// The proxy's death — explicit ReleaseProxy, local revocation, pushed
 	// revocation, or connection teardown — releases its wire references.
@@ -521,6 +610,13 @@ func (c *Conn) importLocked(id uint64, methods []string) (cap *core.Capability, 
 	if p, raced := c.preRevoked[id]; raced {
 		delete(c.preRevoked, id)
 		pre = revokeFault(p.reason)
+	}
+	// A handoff offer for this handle may have raced ahead of the frame
+	// that carries it (offers are sent during marshal, before the payload).
+	// Now that the proxy exists, redeem the parked offer against the origin.
+	if off, parked := c.pendingHandoffs[id]; parked && pre == nil {
+		delete(c.pendingHandoffs, id)
+		go c.redeemOffer(off.f, cap, id, gen)
 	}
 	return cap, pre, created, nil
 }
@@ -537,11 +633,67 @@ func (c *Conn) releaseImport(id, gen uint64) {
 		c.mu.Unlock()
 		return
 	}
+	if e.pins > 0 {
+		// Relay exports still ride on these receipts: park the entry and
+		// let the last unpin return them.
+		e.zombie = true
+		c.mu.Unlock()
+		return
+	}
 	delete(c.imports, id)
 	delete(c.preRevoked, id) // a parked revoke for a dead handle expires with it
+	c.recordReleasedLocked(id, time.Now())
 	rel := releaseEntry{exportID: id, count: e.recv, gen: e.gen}
 	c.mu.Unlock()
 	c.batch.enqueueRelease(rel)
+}
+
+// unpinImport drops one relay pin from an import entry: a relay export
+// entry that named this import as its upstream died (peer released it,
+// gate revoked, payload rolled back, or its connection closed). The last
+// pin leaving a zombie entry completes the release its proxy deferred.
+func (c *Conn) unpinImport(id, gen uint64) {
+	c.mu.Lock()
+	e := c.imports[id]
+	if e == nil || e.gen != gen || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	e.pins--
+	if e.pins > 0 || !e.zombie {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.imports, id)
+	delete(c.preRevoked, id)
+	c.recordReleasedLocked(id, time.Now())
+	rel := releaseEntry{exportID: id, count: e.recv, gen: e.gen}
+	c.mu.Unlock()
+	c.batch.enqueueRelease(rel)
+}
+
+// recordReleasedLocked remembers that every receipt for import id went
+// back to the exporter. The exporter's entry dies when that release
+// lands, so a revocation push for id can only be one that crossed the
+// release in flight — handleRevoke recognizes it as stale and drops it
+// instead of parking it in preRevoked (where a redeem-heavy workload,
+// which force-releases a relay import per shortened handoff, would
+// otherwise trip the flood guard). The set is a best-effort staleness
+// filter: entries expire with the preRevoked window, and on overflow the
+// whole set is wiped — a dropped record merely re-opens the benign park.
+// Caller holds c.mu.
+func (c *Conn) recordReleasedLocked(id uint64, now time.Time) {
+	if len(c.releasedImports) >= 4*maxPreRevoked {
+		for rid, at := range c.releasedImports {
+			if now.Sub(at) > preRevokedTTL {
+				delete(c.releasedImports, rid)
+			}
+		}
+		if len(c.releasedImports) >= 4*maxPreRevoked {
+			clear(c.releasedImports)
+		}
+	}
+	c.releasedImports[id] = now
 }
 
 // ReleaseProxy severs a wire proxy's local handle, releasing its wire
@@ -585,18 +737,15 @@ func (e *connExternal) EncodeExternal(v any) (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
-	c := e.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	// A proxy imported over THIS connection goes home as the peer's own
 	// export id; everything else (local capabilities, proxies from other
-	// connections) is exported from here.
-	if pt := proxyOf(cap); pt != nil && pt.conn == c {
-		return packHandle(pt.exportID, handleKindYours), true
+	// connections) is exported from here — and a foreign proxy also mints
+	// a handoff offer when the peers allow it (see exportHandle).
+	h, refcounted := e.c.exportHandle(cap)
+	if refcounted {
+		e.sent = append(e.sent, h>>1)
 	}
-	id := c.exportLocked(cap)
-	e.sent = append(e.sent, id)
-	return packHandle(id, handleKindTheirs), true
+	return h, true
 }
 
 // rollback returns the wire references this encode counted, for payloads
@@ -607,17 +756,28 @@ func (e *connExternal) rollback() {
 	}
 	c := e.c
 	var unhooks []func()
+	var upstreams []*relayRef
 	c.mu.Lock()
 	for _, id := range e.sent {
 		// The refs being returned are ours, so over-release is impossible.
-		if unhook, _ := c.dropExportRefsLocked(id, 1); unhook != nil {
+		unhook, upstream, _ := c.dropExportRefsLocked(id, 1)
+		if unhook != nil {
 			unhooks = append(unhooks, unhook)
+		}
+		if upstream != nil {
+			upstreams = append(upstreams, upstream)
 		}
 	}
 	c.mu.Unlock()
 	e.sent = nil
 	for _, unhook := range unhooks {
 		unhook()
+	}
+	// A rolled-back relay entry returns only its pin; the middleman's own
+	// import receipts stay (the payload never reached the peer, but the
+	// import belongs to whoever holds the proxy, not to this encode).
+	for _, rr := range upstreams {
+		rr.conn.unpinImport(rr.importID, rr.gen)
 	}
 }
 
@@ -668,12 +828,28 @@ func proxyOf(cap *core.Capability) *proxyTarget {
 	return pt
 }
 
+// staleRouteErr matches the one failure a superseded relay route
+// produces: the middleman answered "unknown export" because the
+// shortened route already released our reference there. The call was
+// rejected before dispatch, so reissuing it cannot double-execute.
+func staleRouteErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "unknown export")
+}
+
 // --- outbound invocation (proxy side) --------------------------------------
 
 // proxyTarget is the core.ProxyTarget for one imported capability.
 type proxyTarget struct {
 	conn     *Conn
 	exportID uint64 // the PEER's export id
+	redeemed bool   // true when this route came from a redeemed handoff ticket
+
+	// next forwards a superseded relay route to its shortened replacement.
+	// A redeemed handoff retargets the proxy and releases the middleman's
+	// export; an invoke that snapshotted the old route concurrently can
+	// reach the middleman after that release and come back "unknown
+	// export" — a call that never executed, so it retries on next.
+	next atomic.Pointer[proxyTarget]
 
 	// The method manifest. Lookup-imported proxies are born with it;
 	// proxies imported inline (as arguments or results) fetch it lazily on
@@ -824,6 +1000,12 @@ func (p *proxyTarget) invoke(method string, args []any, tc telemetry.TraceContex
 	}
 	select {
 	case res := <-ch:
+		if n := p.next.Load(); n != nil && staleRouteErr(res.err) {
+			// The shortened route released this one mid-call; the call
+			// never ran. Reissue it on the direct route (which does its
+			// own span accounting).
+			return n.invoke(method, args, tc)
+		}
 		return finish(res.results, int64(len(argBytes))+res.copied, res.err)
 	case <-c.done:
 		// A call interrupted by connection loss is a capability fault, the
@@ -873,6 +1055,13 @@ func (p *proxyTarget) invokeAsync(method string, args []any, tc telemetry.TraceC
 	}
 	argLen := int64(len(argBytes))
 	reqID, err := c.newPendingFn(func(res wireResult) {
+		if n := p.next.Load(); n != nil && staleRouteErr(res.err) {
+			// Superseded relay route: the middleman dropped our export
+			// before this call reached it, so it never ran. Reissue on
+			// the shortened route; its completion fires exactly once.
+			n.invokeAsync(method, args, tc, complete)
+			return
+		}
 		m.clientSpan(tc, spanID, method, start, res.err)
 		complete(res.results, argLen+res.copied, res.err)
 	})
@@ -993,12 +1182,24 @@ func (c *Conn) dispatch(frame []byte) error {
 	case msgLookupReply:
 		c.handleLookupReply(v.(lookupReplyFrame))
 	case msgPing:
+		f := v.(pingFrame)
+		c.recordPeer(f)
+		network, addr := advertised(c.k)
 		var w wbuf
-		w.u8(msgPong)
-		w.uvarint(v.(pingFrame).reqID)
+		appendPing(&w, msgPong, f.reqID, network, addr)
 		return c.send(w.b)
 	case msgPong:
-		c.complete(v.(pingFrame).reqID, wireResult{})
+		f := v.(pingFrame)
+		c.recordPeer(f)
+		c.complete(f.reqID, wireResult{})
+	case msgHandoff:
+		return c.handleHandoff(v.(handoffFrame))
+	case msgRedeem:
+		// Off the reader: redemption mints an export (and possibly a
+		// recursive offer on a third connection) and sends the reply.
+		go c.handleRedeem(v.(redeemFrame))
+	case msgRedeemReply:
+		c.handleRedeemReply(v.(redeemReplyFrame))
 	}
 	return nil
 }
@@ -1205,6 +1406,9 @@ func (c *Conn) handleRevoke(exportID uint64, reason byte) error {
 	var cap *core.Capability
 	if e := c.imports[exportID]; e != nil {
 		cap = e.cap
+	} else if at, released := c.releasedImports[exportID]; released && time.Since(at) <= preRevokedTTL {
+		// The push crossed our own full release in flight: the handle is
+		// already dead on both ends, so there is nothing left to revoke.
 	} else {
 		now := time.Now()
 		c.prunePreRevokedLocked(now)
@@ -1228,6 +1432,7 @@ func (c *Conn) handleRevoke(exportID uint64, reason byte) error {
 // release of more references than were ever sent faults the connection.
 func (c *Conn) handleRelease(entries []releaseEntry) error {
 	var unhooks []func()
+	var upstreams []*relayRef
 	c.mu.Lock()
 	for _, re := range entries {
 		e := c.exports[re.exportID]
@@ -1235,7 +1440,7 @@ func (c *Conn) handleRelease(entries []releaseEntry) error {
 			continue // dropped by revocation GC, or a stale duplicate
 		}
 		e.relGen = re.gen
-		unhook, err := c.dropExportRefsLocked(re.exportID, re.count)
+		unhook, upstream, err := c.dropExportRefsLocked(re.exportID, re.count)
 		if err != nil {
 			c.mu.Unlock()
 			return err
@@ -1243,10 +1448,22 @@ func (c *Conn) handleRelease(entries []releaseEntry) error {
 		if unhook != nil {
 			unhooks = append(unhooks, unhook)
 		}
+		if upstream != nil {
+			upstreams = append(upstreams, upstream)
+		}
 	}
 	c.mu.Unlock()
 	for _, unhook := range unhooks {
 		unhook()
+	}
+	// A dead relay entry drops its pin on the middleman's own import, so
+	// an import held only for relaying drains back to the origin once the
+	// peer is done — without this, re-exporting a proxy pinned the
+	// origin's export for the life of the middleman's connection. An
+	// import the middleman still holds for itself just loses the pin and
+	// stays usable.
+	for _, rr := range upstreams {
+		rr.conn.unpinImport(rr.importID, rr.gen)
 	}
 	return nil
 }
@@ -1296,14 +1513,7 @@ func (c *Conn) handleLookup(reqID uint64, name string) {
 		c.replyLookupErr(reqID, errKindNotFound, fmt.Sprintf("no export named %q", name))
 		return
 	}
-	c.mu.Lock()
-	var handle uint64
-	if pt := proxyOf(cap); pt != nil && pt.conn == c {
-		handle = packHandle(pt.exportID, handleKindYours)
-	} else {
-		handle = packHandle(c.exportLocked(cap), handleKindTheirs)
-	}
-	c.mu.Unlock()
+	handle, _ := c.exportHandle(cap)
 	var w wbuf
 	w.u8(msgLookupReply)
 	w.uvarint(reqID)
@@ -1430,12 +1640,20 @@ func (c *Conn) shutdown(cause error) {
 	}
 	c.imports = make(map[uint64]*importEntry)
 	c.preRevoked = make(map[uint64]parkedRevoke)
+	c.pendingHandoffs = make(map[uint64]parkedOffer)
+	c.releasedImports = make(map[uint64]time.Time)
 	// Unregister every export's revocation hook so a closed connection
-	// does not stay pinned to long-lived gates.
+	// does not stay pinned to long-lived gates, and collect the relay
+	// entries' upstream pins — they live on OTHER connections of this
+	// kernel and must not outlive the relays that took them.
 	unhook := make([]func(), 0, len(c.exports))
+	var upstreams []*relayRef
 	for _, e := range c.exports {
 		if e.unhook != nil {
 			unhook = append(unhook, e.unhook)
+		}
+		if e.relay != nil {
+			upstreams = append(upstreams, e.relay)
 		}
 	}
 	c.exports = make(map[uint64]*exportEntry)
@@ -1444,6 +1662,9 @@ func (c *Conn) shutdown(cause error) {
 
 	for _, remove := range unhook {
 		remove()
+	}
+	for _, rr := range upstreams {
+		rr.conn.unpinImport(rr.importID, rr.gen)
 	}
 
 	close(c.done)

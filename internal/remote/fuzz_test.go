@@ -127,7 +127,8 @@ func seedFrames() [][]byte {
 	w.str("no export named \"x\"")
 	add(w)
 
-	// Liveness probes.
+	// Liveness probes: the bare legacy form and the feature-tailed form a
+	// handoff-capable build sends (features mask, advertised endpoint).
 	w = &wbuf{}
 	w.u8(msgPing)
 	w.uvarint(8)
@@ -135,6 +136,12 @@ func seedFrames() [][]byte {
 	w = &wbuf{}
 	w.u8(msgPong)
 	w.uvarint(8)
+	add(w)
+	w = &wbuf{}
+	appendPing(w, msgPing, 8, "unix", "/tmp/origin.sock")
+	add(w)
+	w = &wbuf{}
+	appendPing(w, msgPong, 8, "tcp", "10.0.0.7:9090")
 	add(w)
 
 	// Batched import releases (export id, receipt count, generation).
@@ -169,6 +176,34 @@ func seedFrames() [][]byte {
 	w.str("unknown export 9")
 	add(w)
 
+	// Three-party handoff: ticket registration, the offer relayed to the
+	// receiver, and the redeem exchange against the origin.
+	frames = append(frames, encodeRegister(0xfeedc0ffee, 9))
+	frames = append(frames, encodeOffer(3, 9, 0xfeedc0ffee, "unix", "/tmp/origin.sock"))
+	w = &wbuf{}
+	w.u8(msgRedeem)
+	w.uvarint(12)
+	w.uvarint(0xfeedc0ffee)
+	w.uvarint(9)
+	add(w)
+	w = &wbuf{}
+	w.u8(msgRedeemReply)
+	w.uvarint(12)
+	w.u8(statusOK)
+	w.uvarint(14)
+	w.uvarint(2)
+	w.str("Add")
+	w.str("Get")
+	add(w)
+	w = &wbuf{}
+	w.u8(msgRedeemReply)
+	w.uvarint(13)
+	w.u8(statusErr)
+	w.u8(errKindNotFound)
+	w.str("")
+	w.str("unknown or expired handoff ticket")
+	add(w)
+
 	return frames
 }
 
@@ -186,6 +221,12 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{msgInvoke, 1, 0, 4, 'E', 'c', 'h', 'o', 0xff})
 	f.Add([]byte{msgInvoke, 1, 0, 4, 'E', 'c', 'h', 'o', 1, 0, 9})
 	f.Add([]byte{msgBatchInvoke, 1, 2, 0, 4, 'N', 'u', 'l', 'l', 1, 7})
+	// Malformed handoff frames: unknown kind, an offer with no origin
+	// address, and a redeem truncated mid-ticket. Each must be rejected
+	// (faulting the connection), never panic.
+	f.Add([]byte{msgHandoff, 9, 1, 2})
+	f.Add([]byte{msgHandoff, handoffOffer, 3, 9, 5, 4, 'u', 'n', 'i', 'x', 0})
+	f.Add([]byte{msgRedeem, 12, 0xff})
 	reg := seri.NewRegistry()
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, v, err := decodeFrame(data)
@@ -256,16 +297,21 @@ func TestMalformedFrameFaultsConnection(t *testing.T) {
 		if err := writeFrame(nc, garbage); err != nil {
 			t.Fatal(err)
 		}
-		// The server must close this connection (read returns EOF), not
-		// crash and not hang.
+		// The server must close this connection (read eventually errors),
+		// not crash and not hang. Reads may first see the server-initiated
+		// feature-probe ping, so drain until the close lands.
 		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
-		buf := make([]byte, 16)
-		if _, err := nc.Read(buf); err == nil {
-			// A reply to garbage would also be wrong, but keep reading: the
-			// close must still follow.
-			if _, err = nc.Read(buf); err == nil {
+		buf := make([]byte, 4096)
+		for {
+			_, err := nc.Read(buf)
+			if err == nil {
+				continue // feature probe or similar chatter; keep draining
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
 				t.Fatal("server kept talking after a malformed frame")
 			}
+			break // connection faulted, as required
 		}
 		nc.Close()
 	}

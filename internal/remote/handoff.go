@@ -1,0 +1,631 @@
+package remote
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"jkernel/internal/core"
+)
+
+// Three-party handoff: when a proxy imported from kernel A is re-exported
+// over another connection to kernel C, the middleman B mints a redeemable
+// ticket — A's dialable address, A's export id, and a one-time nonce
+// registered with A — instead of settling for a relay in which every C
+// invoke transits B. C dials A (or reuses a pooled connection to it),
+// redeems the ticket for a fresh first-class export, and retargets its
+// existing proxy capability onto the direct route; the relay import is
+// then released, draining B's tables back to baseline. The relay path is
+// minted regardless and stays as the transparent fallback: an unreachable
+// origin, an expired ticket, or a peer that predates the handoff frames
+// (detected through the ping feature mask) just leaves the two-hop route
+// in place.
+
+// Handoff pacing and table bounds. Tickets are one-time and TTL-pruned,
+// reusing the preRevoked flood discipline from the release-race
+// machinery: a peer that floods registrations faults its connection
+// rather than growing the table without bound.
+const (
+	ticketTTL          = 30 * time.Second
+	maxTickets         = 1024
+	redeemDialTimeout  = 5 * time.Second
+	redeemRetries      = 4
+	redeemRetryPause   = 25 * time.Millisecond
+	redeemReplyTimeout = 10 * time.Second
+)
+
+// ticket is one registered handoff grant at the origin kernel: the
+// capability a middleman promised to a third party, redeemable once.
+type ticket struct {
+	cap      *core.Capability
+	exportID uint64 // the origin's export id on the registering connection
+	at       time.Time
+}
+
+// redeemSlot is one pooled origin connection (receiver side), keyed by
+// origin address. The slot mutex doubles as a singleflight: concurrent
+// redeems toward the same origin share one dial.
+type redeemSlot struct {
+	mu   sync.Mutex
+	conn *Conn
+}
+
+// kernelState is the per-kernel handoff state: the advertised listen
+// endpoint, the origin-side ticket table, and the receiver-side pool of
+// connections to origin kernels.
+type kernelState struct {
+	mu       sync.Mutex
+	network  string
+	addr     string
+	disabled bool
+	tickets  map[uint64]ticket
+	slots    map[string]*redeemSlot
+}
+
+var kstates sync.Map // *core.Kernel -> *kernelState
+
+func stateOf(k *core.Kernel) *kernelState {
+	if v, ok := kstates.Load(k); ok {
+		return v.(*kernelState)
+	}
+	v, _ := kstates.LoadOrStore(k, &kernelState{
+		tickets: make(map[uint64]ticket),
+		slots:   make(map[string]*redeemSlot),
+	})
+	return v.(*kernelState)
+}
+
+// Advertise records kernel k's dialable listen endpoint, announced to
+// peers in the ping/pong tail so re-exports of k's capabilities can be
+// shortened back to it. Listen and RunWorker call it automatically; call
+// it directly only for hand-built listeners.
+func Advertise(k *core.Kernel, network, addr string) {
+	ks := stateOf(k)
+	ks.mu.Lock()
+	ks.network, ks.addr = network, addr
+	ks.mu.Unlock()
+}
+
+// advertised returns k's recorded listen endpoint ("" when not listening).
+func advertised(k *core.Kernel) (network, addr string) {
+	ks := stateOf(k)
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return ks.network, ks.addr
+}
+
+// SetHandoff enables or disables three-party handoff for kernel k (it is
+// on by default). Disabled, the kernel mints no tickets and ignores
+// offers, pinning every re-export to the relay path — the switch the
+// benchmarks and fallback tests use to measure the two routes.
+func SetHandoff(k *core.Kernel, enabled bool) {
+	ks := stateOf(k)
+	ks.mu.Lock()
+	ks.disabled = !enabled
+	ks.mu.Unlock()
+}
+
+func handoffEnabled(k *core.Kernel) bool {
+	ks := stateOf(k)
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return !ks.disabled
+}
+
+// HandoffTables is a snapshot of one kernel's handoff state, for leak
+// diagnostics: tickets drain on redeem or TTL, so a quiet kernel reads
+// zero.
+type HandoffTables struct {
+	Tickets     int // registered, unredeemed tickets
+	OriginConns int // pooled receiver-side connections to origin kernels
+}
+
+// HandoffTableSizes reports k's current handoff-table occupancy, pruning
+// expired tickets first.
+func HandoffTableSizes(k *core.Kernel) HandoffTables {
+	ks := stateOf(k)
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.pruneTicketsLocked(time.Now())
+	return HandoffTables{Tickets: len(ks.tickets), OriginConns: len(ks.slots)}
+}
+
+// HandoffDone reports whether cap is a wire proxy whose route was
+// shortened by a redeemed handoff ticket (it now invokes the origin
+// kernel directly instead of relaying through the middleman that
+// re-exported it).
+func HandoffDone(cap *core.Capability) bool {
+	pt := proxyOf(cap)
+	return pt != nil && pt.redeemed
+}
+
+func (ks *kernelState) pruneTicketsLocked(now time.Time) {
+	for n, t := range ks.tickets {
+		if now.Sub(t.at) > ticketTTL {
+			delete(ks.tickets, n)
+		}
+	}
+}
+
+// registerTicket records a one-time grant. A full table inside one TTL
+// window means a malfunctioning or hostile middleman; the caller faults
+// the registering connection.
+func (ks *kernelState) registerTicket(nonce uint64, cap *core.Capability, exportID uint64) error {
+	now := time.Now()
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.pruneTicketsLocked(now)
+	if len(ks.tickets) >= maxTickets {
+		return fmt.Errorf("remote: protocol error: %d handoff tickets registered and unredeemed", maxTickets)
+	}
+	ks.tickets[nonce] = ticket{cap: cap, exportID: exportID, at: now}
+	return nil
+}
+
+// takeTicket consumes a ticket (one-time semantics).
+func (ks *kernelState) takeTicket(nonce uint64) (ticket, bool) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.pruneTicketsLocked(time.Now())
+	t, ok := ks.tickets[nonce]
+	if ok {
+		delete(ks.tickets, nonce)
+	}
+	return t, ok
+}
+
+// originConn returns (dialing if needed) the kernel's pooled connection
+// to the origin at network/addr. The handshake includes a protocol ping,
+// so by the time a connection is handed out the peer's feature mask is
+// known. A pooled connection that died is replaced on the next call.
+func (ks *kernelState) originConn(k *core.Kernel, network, addr string) (*Conn, error) {
+	key := network + "!" + addr
+	ks.mu.Lock()
+	s := ks.slots[key]
+	if s == nil {
+		s = &redeemSlot{}
+		ks.slots[key] = s
+	}
+	ks.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		select {
+		case <-s.conn.Done():
+			s.conn = nil // died since last use; dial fresh below
+		default:
+			return s.conn, nil
+		}
+	}
+	conn, err := dialHandshake(k, network, addr, redeemDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.setDialTarget(network, addr)
+	s.conn = conn
+	return conn, nil
+}
+
+// newNonce mints a one-time ticket nonce. Nonces gate redemption of a
+// grant the origin already decided to honor — unguessability keeps a
+// third kernel from racing the intended receiver, and 64 random bits are
+// plenty for a table capped at maxTickets.
+func newNonce() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if n := binary.LittleEndian.Uint64(b[:]); n != 0 {
+			return n
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
+// handoffCounter bumps a kernel-wide handoff metric (nil-safe).
+func (c *Conn) handoffCounter(name string) {
+	if reg := c.k.Telemetry(); reg != nil {
+		reg.Counter(name).Inc()
+	}
+}
+
+// handoffEligible reports whether handoff frames may be sent to this
+// connection's peer: the kernel has handoff enabled and the peer has
+// announced (via the ping tail) that it understands the new frames. An
+// unknown peer is treated as a pre-handoff build — relay only.
+func (c *Conn) handoffEligible() bool {
+	if !handoffEnabled(c.k) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.featKnown && c.peerFeatures&featHandoff != 0
+}
+
+// relayRef records, on a relay export entry, where the re-exported proxy
+// came from: the upstream connection and the import entry (id +
+// generation) holding the middleman's wire references on the origin. When
+// the downstream peer releases the last relay reference, these upstream
+// references are released too — without this the middleman pinned the
+// origin's export forever (the relayed-capability release leak).
+type relayRef struct {
+	conn     *Conn
+	importID uint64
+	gen      uint64
+}
+
+// originInfo is what a middleman needs to offer a handoff for a proxy on
+// this connection: the origin's dialable address and proof it speaks the
+// handoff frames.
+type originInfo struct {
+	network string
+	addr    string
+	ok      bool
+}
+
+// relayInfo resolves the upstream side of re-exporting the proxy for
+// importID: the release linkage for the relay entry, and whether the
+// origin is offerable (address known, feature announced). The returned
+// relayRef holds one pin on the import entry — a caller that does not
+// hand it to a freshly created export entry must unpinImport it. Takes
+// c.mu itself — callers must not hold any connection lock, keeping
+// cross-connection lock order acyclic.
+func (c *Conn) relayInfo(importID uint64) (*relayRef, originInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.imports[importID]
+	if e == nil {
+		return nil, originInfo{}
+	}
+	e.pins++
+	rr := &relayRef{conn: c, importID: importID, gen: e.gen}
+	oi := originInfo{network: c.peerNet, addr: c.peerAddr}
+	oi.ok = c.featKnown && c.peerFeatures&featHandoff != 0 && oi.addr != ""
+	return rr, oi
+}
+
+// exportHandle encodes cap as a capability handle for this connection's
+// peer — the single choke point behind both the seri External hook and
+// lookup replies. A proxy going home travels as the peer's own export id
+// (not refcounted); everything else is exported here. When cap is a proxy
+// from ANOTHER connection — a re-export that would otherwise relay every
+// invoke through this kernel — the relay export still happens (it is the
+// fallback the receiver keeps if redemption fails), but a handoff ticket
+// is minted alongside it: registered with the origin over the proxy's own
+// connection, offered to the receiver over this one. On a FIFO stream the
+// offer precedes the frame carrying the handle, so the receiver parks it
+// until the import materializes.
+func (c *Conn) exportHandle(cap *core.Capability) (handle uint64, refcounted bool) {
+	pt := proxyOf(cap)
+	if pt != nil && pt.conn == c {
+		return packHandle(pt.exportID, handleKindYours), false
+	}
+	var relay *relayRef
+	var oi originInfo
+	if pt != nil {
+		relay, oi = pt.conn.relayInfo(pt.exportID)
+	}
+	offerable := oi.ok && c.handoffEligible()
+	c.mu.Lock()
+	id, created := c.exportLocked(cap, relay)
+	c.mu.Unlock()
+	if !created && relay != nil {
+		// Deduped onto an existing relay entry, which holds its own pin.
+		relay.conn.unpinImport(relay.importID, relay.gen)
+	}
+	if created && offerable {
+		nonce := newNonce()
+		// Registration travels first; the receiver's redeem retries
+		// briefly in case it still outruns this frame to the origin.
+		_ = pt.conn.send(encodeRegister(nonce, pt.exportID))
+		_ = c.send(encodeOffer(id, pt.exportID, nonce, oi.network, oi.addr))
+		c.handoffCounter("remote.handoff.offers")
+	}
+	return packHandle(id, handleKindTheirs), true
+}
+
+// parkedOffer is a redeem offer waiting for the relay import it names
+// (the offer frame outruns the handle on the same stream). TTL-pruned
+// with the preRevoked window.
+type parkedOffer struct {
+	f  handoffFrame
+	at time.Time
+}
+
+// pruneHandoffsLocked drops parked offers past the in-flight window.
+// Caller holds c.mu.
+func (c *Conn) pruneHandoffsLocked(now time.Time) {
+	for id, p := range c.pendingHandoffs {
+		if now.Sub(p.at) > preRevokedTTL {
+			delete(c.pendingHandoffs, id)
+		}
+	}
+}
+
+// handleHandoff services one msgHandoff on the reader: a ticket
+// registration (we are the origin) or a redeem offer (we are the
+// receiver). Only table floods fault the connection; anything stale —
+// an export revoked under the ticket, an offer for a relay that was
+// already released — degrades to the relay fallback.
+func (c *Conn) handleHandoff(f handoffFrame) error {
+	switch f.kind {
+	case handoffRegister:
+		c.mu.Lock()
+		var cap *core.Capability
+		if e := c.exports[f.exportID]; e != nil {
+			cap = e.cap
+		}
+		c.mu.Unlock()
+		if cap == nil {
+			return nil // revoked or released under the middleman; redeem will fail anyway
+		}
+		return stateOf(c.k).registerTicket(f.nonce, cap, f.exportID)
+	case handoffOffer:
+		if !handoffEnabled(c.k) {
+			return nil
+		}
+		now := time.Now()
+		c.mu.Lock()
+		c.pruneHandoffsLocked(now)
+		if e, ok := c.imports[f.relayID]; ok {
+			cap, gen := e.cap, e.gen
+			c.mu.Unlock()
+			go c.redeemOffer(f, cap, f.relayID, gen)
+			return nil
+		}
+		if len(c.pendingHandoffs) >= maxPreRevoked {
+			c.mu.Unlock()
+			return fmt.Errorf("remote: protocol error: %d handoff offers parked for never-imported relays", maxPreRevoked)
+		}
+		c.pendingHandoffs[f.relayID] = parkedOffer{f: f, at: now}
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// handleRedeem answers one ticket redemption at the origin, off the
+// reader goroutine (it may export a foreign proxy, which consults another
+// connection). The ticket is consumed either way; a gate revoked between
+// mint and redeem yields the capability fault, never a resurrected
+// export.
+func (c *Conn) handleRedeem(f redeemFrame) {
+	fail := func(kind byte, msg string) {
+		var w wbuf
+		w.u8(msgRedeemReply)
+		w.uvarint(f.reqID)
+		w.u8(statusErr)
+		w.u8(kind)
+		w.str("")
+		w.str(msg)
+		_ = c.send(w.b)
+	}
+	t, ok := stateOf(c.k).takeTicket(f.nonce)
+	if !ok || t.exportID != f.exportID {
+		fail(errKindNotFound, "unknown or expired handoff ticket")
+		return
+	}
+	if t.cap.Revoked() {
+		kind := byte(errKindRevoked)
+		if t.cap.Owner().Terminated() {
+			kind = errKindTerminated
+		}
+		fail(kind, "capability revoked before the handoff was redeemed")
+		return
+	}
+	id, ok := c.exportFreshHandle(t.cap)
+	if !ok {
+		fail(errKindNotFound, "handoff target not exportable on this connection")
+		return
+	}
+	methods := t.cap.Methods()
+	var w wbuf
+	w.u8(msgRedeemReply)
+	w.uvarint(f.reqID)
+	w.u8(statusOK)
+	w.uvarint(id)
+	w.uvarint(uint64(len(methods)))
+	for _, m := range methods {
+		w.str(m)
+	}
+	_ = c.send(w.b)
+}
+
+// exportFreshHandle exports cap under a brand-new id, bypassing the
+// per-gate dedup: a redeemed handoff needs an export whose refcount and
+// revocation push are independent of any direct import the peer already
+// holds for the same gate, so releasing one can never strand the other.
+// When cap is itself a proxy (this kernel is mid-chain), the fresh entry
+// carries the upstream relay linkage and a further offer is minted, so a
+// chain shortens hop by hop.
+func (c *Conn) exportFreshHandle(cap *core.Capability) (uint64, bool) {
+	pt := proxyOf(cap)
+	if pt != nil && pt.conn == c {
+		// The ticket names a capability imported FROM the redeeming peer:
+		// a fresh export would just loop calls back through us.
+		return 0, false
+	}
+	var relay *relayRef
+	var oi originInfo
+	if pt != nil {
+		relay, oi = pt.conn.relayInfo(pt.exportID)
+	}
+	offerable := oi.ok && c.handoffEligible()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		if relay != nil {
+			relay.conn.unpinImport(relay.importID, relay.gen)
+		}
+		return 0, false
+	}
+	id := c.exportNewLocked(cap, relay)
+	c.mu.Unlock()
+	if offerable {
+		nonce := newNonce()
+		_ = pt.conn.send(encodeRegister(nonce, pt.exportID))
+		_ = c.send(encodeOffer(id, pt.exportID, nonce, oi.network, oi.addr))
+		c.handoffCounter("remote.handoff.offers")
+	}
+	return id, true
+}
+
+// redeemGrant is a successful redemption: the origin's fresh export id
+// plus the prefetched method manifest (a shortened import never
+// lazy-fetches through the middleman).
+type redeemGrant struct {
+	exportID uint64
+	methods  []string
+}
+
+// sendRedeem performs one redeem round trip on the origin connection.
+func (c *Conn) sendRedeem(nonce, exportID uint64) (redeemGrant, error) {
+	reqID, ch, err := c.newPending()
+	if err != nil {
+		return redeemGrant{}, err
+	}
+	var w wbuf
+	w.u8(msgRedeem)
+	w.uvarint(reqID)
+	w.uvarint(nonce)
+	w.uvarint(exportID)
+	if err := c.send(w.b); err != nil {
+		c.dropPending(reqID)
+		return redeemGrant{}, err
+	}
+	timer := time.NewTimer(redeemReplyTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return redeemGrant{}, res.err
+		}
+		g, _ := res.results[0].(redeemGrant)
+		return g, nil
+	case <-c.done:
+		return redeemGrant{}, c.closedErr()
+	case <-timer.C:
+		c.dropPending(reqID)
+		return redeemGrant{}, fmt.Errorf("remote: handoff redeem timed out after %v", redeemReplyTimeout)
+	}
+}
+
+func (c *Conn) handleRedeemReply(f redeemReplyFrame) {
+	res := wireResult{}
+	if f.status == statusOK {
+		res.results = []any{redeemGrant{exportID: f.exportID, methods: f.methods}}
+	} else {
+		res.err = decodeWireErr(f.kind, f.class, f.msg)
+	}
+	c.complete(f.reqID, res)
+}
+
+// isUnknownTicket matches the origin's not-yet-registered reply, the one
+// redeem failure worth a brief retry (the registration frame may still be
+// in flight on the middleman->origin connection).
+func isUnknownTicket(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "handoff ticket")
+}
+
+// redeemOffer is the receiver side of one handoff, run on its own
+// goroutine: dial (or reuse) the origin, trade the nonce for a fresh
+// export, adopt it as an import on the origin connection, retarget the
+// existing relay proxy onto the direct route, and release the middleman's
+// relay references. Every failure short of a revocation leaves the relay
+// path untouched — the capability keeps working, just unshortened.
+func (c *Conn) redeemOffer(f handoffFrame, cap *core.Capability, relayID, relayGen uint64) {
+	oc, err := stateOf(c.k).originConn(c.k, f.network, f.addr)
+	if err != nil || !oc.handoffEligible() {
+		c.handoffCounter("remote.handoff.fallback")
+		return
+	}
+	var grant redeemGrant
+	for attempt := 0; ; attempt++ {
+		grant, err = oc.sendRedeem(f.nonce, f.exportID)
+		if err == nil || attempt >= redeemRetries || !isUnknownTicket(err) {
+			break
+		}
+		time.Sleep(redeemRetryPause)
+	}
+	if err != nil {
+		if errors.Is(err, core.ErrRevoked) || errors.Is(err, core.ErrDomainTerminated) {
+			// The gate died between ticket mint and redeem: the redeeming
+			// import faults — the origin consumed the ticket without
+			// resurrecting the export, and the relay path is about to
+			// deliver the same push.
+			c.metrics.capFault(1)
+			cap.RevokeWithReason(err)
+			c.handoffCounter("remote.handoff.revoked")
+			return
+		}
+		c.handoffCounter("remote.handoff.fallback")
+		return
+	}
+	pre, ok := oc.adoptImport(grant.exportID, cap)
+	if !ok {
+		// The origin connection died under us; its teardown already
+		// reclaimed the fresh export. The relay path stands.
+		c.handoffCounter("remote.handoff.fallback")
+		return
+	}
+	if pre != nil {
+		// A revocation for the fresh export raced ahead of the adoption
+		// and was parked in preRevoked: apply it (satellite of the
+		// mid-redeem revocation race).
+		c.metrics.capFault(1)
+		cap.RevokeWithReason(pre)
+		return
+	}
+	opt := proxyOf(cap)
+	npt := &proxyTarget{conn: oc, exportID: grant.exportID, methods: grant.methods, fetched: true, redeemed: true}
+	if !core.RetargetProxy(cap, npt) {
+		// Revoked under us; the adoption hook already released the fresh
+		// import.
+		return
+	}
+	// Forward the relay route before releasing it: an invoke that
+	// snapshotted the old target races the release below and retries on
+	// npt when the middleman reports the export gone.
+	if opt != nil {
+		opt.next.Store(npt)
+	}
+	// The proxy now invokes the origin directly. Drop the middleman's
+	// relay references; its tables (and, through the relay release
+	// linkage, its own upstream references) drain back to baseline.
+	c.releaseImport(relayID, relayGen)
+	c.handoffCounter("remote.handoff.redeemed")
+}
+
+// adoptImport registers an import entry for id on this (origin)
+// connection whose proxy is an EXISTING capability — the relay import
+// being shortened — rather than a freshly minted one. The entry carries a
+// fresh generation and the usual lifecycle hook; a revocation parked for
+// id is consumed and returned as pre. Returns ok=false when the
+// connection is closed or the id is unexpectedly occupied (the caller
+// keeps the relay path).
+func (c *Conn) adoptImport(id uint64, cap *core.Capability) (pre error, ok bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false
+	}
+	if _, exists := c.imports[id]; exists {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.nextImportGen++
+	e := &importEntry{cap: cap, recv: 1, gen: c.nextImportGen}
+	c.imports[id] = e
+	delete(c.releasedImports, id) // id is live again; future revokes are real
+	gen := e.gen
+	// If cap is already revoked this fires inline and the fresh entry
+	// self-cleans through the ordinary release path.
+	cap.Gate().OnRevoke(func() { go c.releaseImport(id, gen) })
+	if p, raced := c.preRevoked[id]; raced {
+		delete(c.preRevoked, id)
+		pre = revokeFault(p.reason)
+	}
+	c.mu.Unlock()
+	return pre, true
+}

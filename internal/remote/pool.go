@@ -236,6 +236,7 @@ func dialHandshake(k *core.Kernel, network, addr string, budget time.Duration) (
 		nc.Close()
 		return nil, err
 	}
+	conn.setDialTarget(network, addr)
 	probe := time.Until(deadline)
 	if probe > pingProbeMax {
 		probe = pingProbeMax

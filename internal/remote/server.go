@@ -27,6 +27,9 @@ func Listen(k *core.Kernel, network, addr string) (*Listener, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A listening kernel is a reachable handoff origin: advertise the bound
+	// address so peers can tell third parties where to redeem tickets.
+	Advertise(k, network, ln.Addr().String())
 	l := NewListener(k, ln)
 	go l.serve()
 	return l, nil

@@ -40,12 +40,18 @@ func msgName(t byte) string {
 		return "manifest"
 	case msgManifestReply:
 		return "manifest_reply"
+	case msgHandoff:
+		return "handoff"
+	case msgRedeem:
+		return "redeem"
+	case msgRedeemReply:
+		return "redeem_reply"
 	default:
 		return "other"
 	}
 }
 
-const maxMsgType = msgManifestReply
+const maxMsgType = msgRedeemReply
 
 type connMetrics struct {
 	reg    *telemetry.Registry

@@ -52,7 +52,34 @@ const (
 	// with one round trip and caches it on the proxy.
 	msgManifest      byte = 11 // reqID, exportID
 	msgManifestReply byte = 12 // reqID, status, methods | error
+	// Three-party handoff (path shortening): when a proxy imported from
+	// kernel A is re-exported to kernel C, the middleman B mints a
+	// redeemable ticket instead of settling for a relay. msgHandoff carries
+	// the ticket registration to A (kind=register) and the offer to C
+	// (kind=offer: A's address, A's export id, and a one-time nonce); C
+	// dials A — or reuses a pooled connection — and trades the nonce for a
+	// first-class import with msgRedeem/msgRedeemReply. Peers that predate
+	// these frames are detected through the ping feature mask, and the
+	// relay path stays as the transparent fallback.
+	msgHandoff     byte = 13 // kind, then register: nonce, exportID | offer: relayID, exportID, nonce, network, addr
+	msgRedeem      byte = 14 // reqID, nonce, exportID
+	msgRedeemReply byte = 15 // reqID, status, exportID, methods | error
 )
+
+// msgHandoff kinds.
+const (
+	handoffRegister byte = 1 // middleman -> origin: register a ticket
+	handoffOffer    byte = 2 // middleman -> receiver: redeem it at the origin
+)
+
+// Feature bits exchanged in the ping/pong tail. Pre-handoff builds parse
+// only the request id and ignore the tail, which is what makes the
+// exchange backward compatible: an absent tail means an old peer, and no
+// handoff frame is ever sent to one.
+const featHandoff uint64 = 1 << 0
+
+// localFeatures is the feature mask this build announces.
+const localFeatures = featHandoff
 
 // Reply statuses.
 const (
@@ -271,9 +298,47 @@ type lookupReplyFrame struct {
 	msg     string
 }
 
-// pingFrame is a liveness probe or its answer.
+// pingFrame is a liveness probe or its answer. New builds append a
+// feature mask and their advertised listen address; an absent tail marks
+// a pre-handoff peer (hasFeatures false) that must never see the new
+// frame types.
 type pingFrame struct {
-	reqID uint64
+	reqID       uint64
+	features    uint64
+	hasFeatures bool
+	network     string // advertised listen endpoint ("" when not listening)
+	addr        string
+}
+
+// handoffFrame is one msgHandoff: a ticket registration at the origin
+// (kind=register) or a redeem offer at the receiver (kind=offer).
+type handoffFrame struct {
+	kind     byte
+	nonce    uint64
+	exportID uint64 // the origin's export id the ticket names
+	relayID  uint64 // offer only: the middleman's relay export id on this conn
+	network  string // offer only: the origin kernel's dialable endpoint
+	addr     string
+}
+
+// redeemFrame trades a ticket nonce for a first-class import.
+type redeemFrame struct {
+	reqID    uint64
+	nonce    uint64
+	exportID uint64 // cross-check against the registered ticket
+}
+
+// redeemReplyFrame answers a redeem: a fresh export id plus the method
+// manifest (so shortened imports never lazy-fetch through the middleman),
+// or a wire error (unknown/expired ticket, revoked capability).
+type redeemReplyFrame struct {
+	reqID    uint64
+	status   byte
+	exportID uint64
+	methods  []string
+	kind     byte
+	class    string
+	msg      string
 }
 
 // releaseEntry is one import's released wire references: the peer's export
@@ -516,8 +581,111 @@ func parseLookupReply(r *rbuf) (lookupReplyFrame, error) {
 func parsePing(r *rbuf) (pingFrame, error) {
 	var f pingFrame
 	var err error
-	f.reqID, err = r.uvarint()
+	if f.reqID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	if len(r.rest()) == 0 {
+		return f, nil // pre-handoff peer: no feature tail
+	}
+	if f.features, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	f.hasFeatures = true
+	if f.network, err = r.str(); err != nil {
+		return f, err
+	}
+	f.addr, err = r.str()
+	// Bytes past the advertise tail belong to future extensions and are
+	// ignored, exactly as pre-handoff builds ignore this whole tail.
 	return f, err
+}
+
+func parseHandoff(r *rbuf) (handoffFrame, error) {
+	var f handoffFrame
+	var err error
+	if f.kind, err = r.u8(); err != nil {
+		return f, err
+	}
+	switch f.kind {
+	case handoffRegister:
+		if f.nonce, err = r.uvarint(); err != nil {
+			return f, err
+		}
+		f.exportID, err = r.uvarint()
+		return f, err
+	case handoffOffer:
+		if f.relayID, err = r.uvarint(); err != nil {
+			return f, err
+		}
+		if f.exportID, err = r.uvarint(); err != nil {
+			return f, err
+		}
+		if f.nonce, err = r.uvarint(); err != nil {
+			return f, err
+		}
+		if f.network, err = r.str(); err != nil {
+			return f, err
+		}
+		if f.addr, err = r.str(); err != nil {
+			return f, err
+		}
+		if f.addr == "" {
+			return f, r.fail("offer without origin address")
+		}
+		return f, nil
+	default:
+		return f, r.fail("unknown handoff kind")
+	}
+}
+
+func parseRedeem(r *rbuf) (redeemFrame, error) {
+	var f redeemFrame
+	var err error
+	if f.reqID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	if f.nonce, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	f.exportID, err = r.uvarint()
+	return f, err
+}
+
+func parseRedeemReply(r *rbuf) (redeemReplyFrame, error) {
+	var f redeemReplyFrame
+	var err error
+	if f.reqID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	if f.status, err = r.u8(); err != nil {
+		return f, err
+	}
+	if f.status != statusOK {
+		if f.kind, err = r.u8(); err != nil {
+			return f, err
+		}
+		if f.class, err = r.str(); err != nil {
+			return f, err
+		}
+		f.msg, err = r.str()
+		return f, err
+	}
+	if f.exportID, err = r.uvarint(); err != nil {
+		return f, err
+	}
+	n, err := r.count(1)
+	if err != nil {
+		return f, err
+	}
+	f.methods = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		m, merr := r.str()
+		if merr != nil {
+			return f, merr
+		}
+		f.methods = append(f.methods, m)
+	}
+	return f, nil
 }
 
 func parseRelease(r *rbuf) ([]releaseEntry, error) {
@@ -625,6 +793,12 @@ func decodeFrame(frame []byte) (byte, any, error) {
 		v, err = parseManifest(r)
 	case msgManifestReply:
 		v, err = parseManifestReply(r)
+	case msgHandoff:
+		v, err = parseHandoff(r)
+	case msgRedeem:
+		v, err = parseRedeem(r)
+	case msgRedeemReply:
+		v, err = parseRedeemReply(r)
 	default:
 		return t, nil, fmt.Errorf("remote: unknown message type %d", t)
 	}
@@ -667,4 +841,36 @@ func appendReplyBody(w *wbuf, f replyFrame, batched bool) {
 	w.u8(f.kind)
 	w.str(f.class)
 	w.str(f.msg)
+}
+
+// appendPing encodes a ping or pong with the feature/advertise tail.
+func appendPing(w *wbuf, t byte, reqID uint64, network, addr string) {
+	w.u8(t)
+	w.uvarint(reqID)
+	w.uvarint(localFeatures)
+	w.str(network)
+	w.str(addr)
+}
+
+// encodeRegister builds the middleman -> origin ticket registration.
+func encodeRegister(nonce, exportID uint64) []byte {
+	var w wbuf
+	w.u8(msgHandoff)
+	w.u8(handoffRegister)
+	w.uvarint(nonce)
+	w.uvarint(exportID)
+	return w.b
+}
+
+// encodeOffer builds the middleman -> receiver redeem offer.
+func encodeOffer(relayID, exportID, nonce uint64, network, addr string) []byte {
+	var w wbuf
+	w.u8(msgHandoff)
+	w.u8(handoffOffer)
+	w.uvarint(relayID)
+	w.uvarint(exportID)
+	w.uvarint(nonce)
+	w.str(network)
+	w.str(addr)
+	return w.b
 }

@@ -69,6 +69,9 @@ func RunWorker(cfg WorkerConfig) error {
 	if err != nil {
 		return fmt.Errorf("remote: worker listen: %w", err)
 	}
+	// The worker is a dialable handoff origin for the capabilities it
+	// exports: peers that re-export them tell third parties this address.
+	Advertise(k, cfg.Network, ln.Addr().String())
 	if cfg.Ready != nil {
 		cfg.Ready(ln.Addr())
 	}

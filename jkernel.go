@@ -186,6 +186,36 @@ func ReleaseProxy(cap *Capability) bool {
 	return remote.ReleaseProxy(cap)
 }
 
+// Three-party handoff. When a capability imported from kernel A is
+// re-exported to kernel C, the middleman mints a redeemable ticket and C
+// silently shortens the route to a direct A–C import (falling back to the
+// two-hop relay when A is unreachable or predates the handoff frames).
+// Shortening is on by default and fully transparent; these helpers exist
+// for deployments that need to steer or observe it.
+
+// Advertise records k's dialable listen endpoint, announced to peers so
+// re-exports of k's capabilities can be shortened back to it. Listen and
+// RunWorker already call it; call it directly only for hand-built
+// listeners (NewListener over an existing net.Listener).
+func Advertise(k *Kernel, network, addr string) {
+	remote.Advertise(k, network, addr)
+}
+
+// SetHandoff enables or disables three-party handoff for kernel k (on by
+// default). Disabled, k mints no tickets and ignores offers, pinning
+// every re-export through it to the relay path.
+func SetHandoff(k *Kernel, enabled bool) {
+	remote.SetHandoff(k, enabled)
+}
+
+// HandoffDone reports whether cap is an imported capability whose route
+// has been shortened by a redeemed handoff ticket: it now invokes the
+// origin kernel directly instead of relaying through the kernel that
+// re-exported it.
+func HandoffDone(cap *Capability) bool {
+	return remote.HandoffDone(cap)
+}
+
 // StartWorkerPool spawns and supervises worker kernel processes. With no
 // Command option the current binary re-executes itself; pair with
 // MaybeRunWorker at the top of main.
