@@ -37,6 +37,11 @@ type Gate struct {
 	nextHook   int
 	onRevoke   map[int]func()
 
+	// futHead is the intrusive list of in-flight futures watching this
+	// gate (hookMu). Registration and removal are pointer swaps — the
+	// async hot path pays no closure or map allocation per call.
+	futHead *Future
+
 	// VM dispatch table: remote methods in stable order; sig -> index.
 	methods []*vmkit.Method
 	bySig   map[string]int
@@ -68,9 +73,23 @@ func (g *Gate) revoke() {
 	g.hooksFired = true
 	hooks := g.onRevoke
 	g.onRevoke = nil
+	// Detach the future watch list while still holding hookMu: once gw is
+	// cleared, a racing resolve's unwatchFuture is a no-op, so the list
+	// links below are exclusively this walker's.
+	watchers := g.futHead
+	g.futHead = nil
+	for f := watchers; f != nil; f = f.nextW {
+		f.gw.Store(nil)
+	}
 	g.hookMu.Unlock()
 	for _, h := range hooks {
 		h()
+	}
+	for f := watchers; f != nil; {
+		next := f.nextW
+		f.prevW, f.nextW = nil, nil
+		f.resolve(nil, g.revocationFault())
+		f = next
 	}
 }
 
@@ -101,14 +120,59 @@ func (g *Gate) OnRevoke(fn func()) (remove func()) {
 	}
 }
 
-// RevokeHooks reports the number of registered revocation observers.
-// Diagnostics only: a transport must deregister its hooks when its
-// connection dies or its export table entry is released, so a gate that
-// accumulates hooks across connection churn is leaking.
+// watchFuture registers f to resolve with the capability fault when the
+// gate is severed. The registration is intrusive — f links into the
+// gate's watch list, no closure or map entry — and is undone by f's own
+// resolution (unwatchFuture) or consumed by revoke. On an already-revoked
+// gate f resolves inline before watchFuture returns.
+func (g *Gate) watchFuture(f *Future) {
+	g.hookMu.Lock()
+	if g.hooksFired {
+		g.hookMu.Unlock()
+		f.resolve(nil, g.revocationFault())
+		return
+	}
+	f.gw.Store(g)
+	f.nextW = g.futHead
+	if g.futHead != nil {
+		g.futHead.prevW = f
+	}
+	g.futHead = f
+	g.hookMu.Unlock()
+}
+
+// unwatchFuture unlinks f from the watch list; a no-op if revoke already
+// detached it (the double-check under hookMu resolves that race).
+func (g *Gate) unwatchFuture(f *Future) {
+	g.hookMu.Lock()
+	if f.gw.Load() == g {
+		if f.prevW != nil {
+			f.prevW.nextW = f.nextW
+		} else {
+			g.futHead = f.nextW
+		}
+		if f.nextW != nil {
+			f.nextW.prevW = f.prevW
+		}
+		f.gw.Store(nil)
+		f.prevW, f.nextW = nil, nil
+	}
+	g.hookMu.Unlock()
+}
+
+// RevokeHooks reports the number of registered revocation observers,
+// including in-flight futures watching the gate. Diagnostics only: a
+// transport must deregister its hooks when its connection dies or its
+// export table entry is released, so a gate that accumulates hooks across
+// connection churn is leaking.
 func (g *Gate) RevokeHooks() int {
 	g.hookMu.Lock()
 	defer g.hookMu.Unlock()
-	return len(g.onRevoke)
+	n := len(g.onRevoke)
+	for f := g.futHead; f != nil; f = f.nextW {
+		n++
+	}
+	return n
 }
 
 // failureReason returns the recorded failure, or nil.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"jkernel/internal/telemetry"
 )
@@ -36,20 +37,36 @@ import (
 type Future struct {
 	method string
 
-	mu           sync.Mutex
-	resolved     bool
-	results      []any
-	err          error
-	onCancel     func() // transport hook: releases the pending wire slot
-	removeRevoke func() // gate hook deregistration, run on resolution
-	onResolve    func() // telemetry hook: runs exactly once, on resolution
+	mu        sync.Mutex
+	resolved  bool
+	results   []any
+	err       error
+	onCancel  AsyncCanceler // transport hook: releases the pending wire slot
+	onResolve func()        // telemetry hook: runs exactly once, on resolution
 
+	// Wire completion context (CompleteWire): set before the transport
+	// dispatch on the starting goroutine, read on the transport's reader.
+	// The transport's own synchronization (its enqueue lock) orders the
+	// writes before any CompleteWire call.
+	wk               *Kernel
+	wCaller, wCallee int64
+
+	// done is created on demand (Done, or a Wait that actually blocks):
+	// on the batched hot path most futures resolve before anyone waits,
+	// so the eager channel was an allocation per call for nothing.
 	done chan struct{}
+
+	// Intrusive revocation watch (see Gate.watchFuture). gw is the gate
+	// this future is registered on (written under that gate's hookMu,
+	// read atomically by resolve); prevW/nextW link the gate's watch
+	// list, guarded by hookMu.
+	gw           atomic.Pointer[Gate]
+	prevW, nextW *Future
 }
 
 // newFuture creates an unresolved future for method name.
 func newFuture(method string) *Future {
-	return &Future{method: method, done: make(chan struct{})}
+	return &Future{method: method}
 }
 
 // resolvedFuture creates a future born resolved (immediate failures).
@@ -73,39 +90,60 @@ func (f *Future) resolve(results []any, err error) {
 	f.resolved = true
 	f.results = results
 	f.err = err
-	remove := f.removeRevoke
-	f.removeRevoke = nil
 	f.onCancel = nil
 	hook := f.onResolve
 	f.onResolve = nil
+	done := f.done
 	f.mu.Unlock()
-	close(f.done)
-	if remove != nil {
-		remove()
+	if done != nil {
+		close(done)
+	}
+	if g := f.gw.Load(); g != nil {
+		g.unwatchFuture(f)
 	}
 	if hook != nil {
 		hook()
 	}
 }
 
-// Done is closed when the future resolves.
-func (f *Future) Done() <-chan struct{} { return f.done }
+// Done returns a channel closed when the future resolves. The channel is
+// created on first use; callers that only Wait on an already-resolved
+// future never allocate one.
+func (f *Future) Done() <-chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done == nil {
+		f.done = make(chan struct{})
+		if f.resolved {
+			close(f.done)
+		}
+	}
+	return f.done
+}
 
 // Resolved reports whether the future has settled.
 func (f *Future) Resolved() bool {
-	select {
-	case <-f.done:
-		return true
-	default:
-		return false
-	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.resolved
 }
 
 // Wait blocks until the future resolves and returns its results and
 // error, following the same conventions as Invoke. It is idempotent:
 // every call returns the same outcome.
 func (f *Future) Wait() ([]any, error) {
-	<-f.done
+	f.mu.Lock()
+	if f.resolved {
+		results, err := f.results, f.err
+		f.mu.Unlock()
+		return results, err
+	}
+	if f.done == nil {
+		f.done = make(chan struct{})
+	}
+	done := f.done
+	f.mu.Unlock()
+	<-done
 	return f.results, f.err
 }
 
@@ -123,14 +161,14 @@ func (f *Future) Cancel() {
 	cancel := f.onCancel
 	f.mu.Unlock()
 	if cancel != nil {
-		cancel()
+		cancel.CancelAsync()
 	}
 	f.resolve(nil, ErrCancelled)
 }
 
 // setCancel installs the transport cancel hook unless the future already
 // resolved (in which case the transport slot is released immediately).
-func (f *Future) setCancel(cancel func()) {
+func (f *Future) setCancel(cancel AsyncCanceler) {
 	f.mu.Lock()
 	if !f.resolved {
 		f.onCancel = cancel
@@ -138,22 +176,15 @@ func (f *Future) setCancel(cancel func()) {
 		return
 	}
 	f.mu.Unlock()
-	cancel()
+	cancel.CancelAsync()
 }
 
-// setRemoveRevoke installs the gate-hook deregistration. Registration and
-// resolution race by design — a revocation can fire the hook (resolving
-// f) before OnRevoke even returns — so the handoff must go through f.mu:
-// an already-resolved future deregisters immediately instead.
-func (f *Future) setRemoveRevoke(remove func()) {
-	f.mu.Lock()
-	if !f.resolved {
-		f.removeRevoke = remove
-		f.mu.Unlock()
-		return
-	}
-	f.mu.Unlock()
-	remove()
+// CompleteWire implements AsyncCompleter: the transport resolves the
+// future directly, charging the caller's account for the bytes copied
+// across the wire on the way.
+func (f *Future) CompleteWire(results []any, copied int64, err error) {
+	f.wk.Meter.CrossCall(f.wCaller, f.wCallee, copied)
+	f.resolve(results, err)
 }
 
 // WaitAll joins a fan-out: it waits for every future and returns the
@@ -217,11 +248,10 @@ func (c *Capability) invokeAsync(task *Task, caller *Domain, name string, args [
 	k.tm.asyncStart(f)
 	// Revocation awareness: severing the gate — revocation, owner
 	// termination, or a transport fault — resolves the future with the
-	// capability fault. On an already-revoked gate the hook fires inline,
-	// resolving f before any transport work happens.
-	f.setRemoveRevoke(g.OnRevoke(func() {
-		f.resolve(nil, g.revocationFault())
-	}))
+	// capability fault. Registration is intrusive (the future links into
+	// the gate's watch list, no closures); on an already-revoked gate it
+	// resolves f inline, before any transport work happens.
+	g.watchFuture(f)
 	if f.Resolved() {
 		return f
 	}
@@ -231,11 +261,10 @@ func (c *Capability) invokeAsync(task *Task, caller *Domain, name string, args [
 	// pending calls may be coalesced into batched frames.
 	if pb := g.proxy.Load(); pb != nil {
 		if apt, ok := pb.t.(AsyncProxyTarget); ok {
-			complete := func(results []any, copied int64, err error) {
-				k.Meter.CrossCall(caller.ID, g.owner.ID, copied)
-				f.resolve(results, err)
-			}
-			var cancel func()
+			// The future is its own completion callback (CompleteWire):
+			// no per-call closure crosses into the transport.
+			f.wk, f.wCaller, f.wCallee = k, caller.ID, g.owner.ID
+			var cancel AsyncCanceler
 			// Traced transports receive the active context so it crosses
 			// the wire inside the (possibly batched) invoke frame.
 			tc := telemetry.TraceContext{}
@@ -243,9 +272,9 @@ func (c *Capability) invokeAsync(task *Task, caller *Domain, name string, args [
 				tc = task.effectiveTrace()
 			}
 			if tapt, ok := apt.(TracedAsyncProxyTarget); ok && tc.Active() {
-				cancel = tapt.InvokeProxyAsyncTraced(name, args, tc, complete)
+				cancel = tapt.InvokeProxyAsyncTraced(name, args, tc, f)
 			} else {
-				cancel = apt.InvokeProxyAsync(name, args, complete)
+				cancel = apt.InvokeProxyAsync(name, args, f)
 			}
 			k.tm.edgeInc(task, caller, g.owner)
 			f.setCancel(cancel)

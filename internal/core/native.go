@@ -21,7 +21,97 @@ import (
 // nativeTarget is a revocable reference to a Go object's method table.
 type nativeTarget struct {
 	recv    reflect.Value
-	methods map[string]reflect.Value
+	methods map[string]*nativeMethod
+}
+
+// nativeMethod is one remote method: the reflect method value plus, for
+// the signatures that dominate the wire hot path, a typed thunk compiled
+// at capability-creation time. The thunk dispatches through a direct
+// function call — no reflect.Call argument frame, no boxed receiver — and
+// bails out with errThunkFallback when an argument's dynamic type misses
+// the compiled shape, in which case the invoke re-dispatches through
+// reflect with identical semantics.
+type nativeMethod struct {
+	fn    reflect.Value
+	thunk func(in []any) (out []any, err error)
+}
+
+// errThunkFallback reroutes a thunk whose argument types missed the
+// compiled shape to the reflect path. Never escapes invokeFrom.
+var errThunkFallback = errors.New("thunk fallback")
+
+// compileThunk builds the typed dispatch closure for common method
+// shapes (run-time stub generation, as CreateNativeCapability's reflect
+// stubs always were — this is the same idea pushed one level down, so the
+// per-call reflection cost is paid once, at compile time). Returns nil
+// for signatures without a compiled shape.
+func compileThunk(fn reflect.Value) func([]any) ([]any, error) {
+	switch f := fn.Interface().(type) {
+	case func() error:
+		return func([]any) ([]any, error) { return nil, f() }
+	case func() ([]byte, error):
+		return func([]any) ([]any, error) { r, err := f(); return []any{r}, err }
+	case func() (string, error):
+		return func([]any) ([]any, error) { r, err := f(); return []any{r}, err }
+	case func() (*Capability, error):
+		return func([]any) ([]any, error) { r, err := f(); return []any{r}, err }
+	case func(string) error:
+		return func(in []any) ([]any, error) {
+			s, ok := in[0].(string)
+			if !ok {
+				return nil, errThunkFallback
+			}
+			return nil, f(s)
+		}
+	case func(string) (string, error):
+		return func(in []any) ([]any, error) {
+			s, ok := in[0].(string)
+			if !ok {
+				return nil, errThunkFallback
+			}
+			r, err := f(s)
+			return []any{r}, err
+		}
+	case func([]byte) ([]byte, error):
+		return func(in []any) ([]any, error) {
+			b, ok := in[0].([]byte)
+			if !ok && in[0] != nil {
+				return nil, errThunkFallback
+			}
+			r, err := f(b)
+			return []any{r}, err
+		}
+	case func(int64) (int64, error):
+		return func(in []any) ([]any, error) {
+			a, ok := in[0].(int64)
+			if !ok {
+				return nil, errThunkFallback
+			}
+			r, err := f(a)
+			return []any{r}, err
+		}
+	case func(int64, int64) (int64, error):
+		return func(in []any) ([]any, error) {
+			a, ok := in[0].(int64)
+			b, ok2 := in[1].(int64)
+			if !ok || !ok2 {
+				return nil, errThunkFallback
+			}
+			r, err := f(a, b)
+			return []any{r}, err
+		}
+	case func(int64, int64) ([]byte, error):
+		return func(in []any) ([]any, error) {
+			a, ok := in[0].(int64)
+			b, ok2 := in[1].(int64)
+			if !ok || !ok2 {
+				return nil, errThunkFallback
+			}
+			r, err := f(a, b)
+			return []any{r}, err
+		}
+	}
+	return nil
 }
 
 // CreateNativeCapability creates a capability, owned by d, for a Go target
@@ -36,7 +126,7 @@ func (k *Kernel) CreateNativeCapability(d *Domain, target any) (*Capability, err
 	}
 	rv := reflect.ValueOf(target)
 	rt := rv.Type()
-	nt := &nativeTarget{recv: rv, methods: map[string]reflect.Value{}}
+	nt := &nativeTarget{recv: rv, methods: map[string]*nativeMethod{}}
 	errType := reflect.TypeOf((*error)(nil)).Elem()
 	for i := 0; i < rt.NumMethod(); i++ {
 		m := rt.Method(i)
@@ -47,7 +137,8 @@ func (k *Kernel) CreateNativeCapability(d *Domain, target any) (*Capability, err
 		if mt.NumOut() == 0 || mt.Out(mt.NumOut()-1) != errType {
 			continue
 		}
-		nt.methods[m.Name] = rv.Method(i)
+		mv := rv.Method(i)
+		nt.methods[m.Name] = &nativeMethod{fn: mv, thunk: compileThunk(mv)}
 	}
 	if len(nt.methods) == 0 {
 		return nil, ErrNotRemote
@@ -130,38 +221,58 @@ func (c *Capability) invokeFrom(task *Task, name string, args []any) ([]any, err
 		}
 		return nil, ErrRevoked
 	}
-	fn, ok := nt.methods[name]
+	m, ok := nt.methods[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchMethod, name)
 	}
+	fn := m.fn
 
 	tm := k.tm
 	start := tm.callStart(task)
 
-	// Copy arguments in (capabilities by reference).
+	// Copy arguments in (capabilities by reference). The thunk path keeps
+	// the copies as plain values; the reflect path conforms them to the
+	// parameter types as it goes.
 	var copied int64
 	ft := fn.Type()
 	if ft.NumIn() != len(args) && !ft.IsVariadic() {
 		return nil, fmt.Errorf("jkernel: %s wants %d args, got %d", name, ft.NumIn(), len(args))
 	}
-	in := make([]reflect.Value, len(args))
-	for i, a := range args {
-		ca, n, err := k.copyNative(a)
-		if err != nil {
-			return nil, &CopyError{What: fmt.Sprintf("argument %d of %s", i, name), Err: err}
+	useThunk := m.thunk != nil
+	var in []reflect.Value
+	var cargs []any
+	if useThunk {
+		if len(args) > 0 {
+			cargs = make([]any, len(args))
 		}
-		copied += n
-		var want reflect.Type
-		if ft.IsVariadic() && i >= ft.NumIn()-1 {
-			want = ft.In(ft.NumIn() - 1).Elem()
-		} else {
-			want = ft.In(i)
+		for i, a := range args {
+			ca, n, err := k.copyNative(a)
+			if err != nil {
+				return nil, &CopyError{What: fmt.Sprintf("argument %d of %s", i, name), Err: err}
+			}
+			copied += n
+			cargs[i] = ca
 		}
-		rv, err := conform(ca, want)
-		if err != nil {
-			return nil, fmt.Errorf("jkernel: %s argument %d: %w", name, i, err)
+	} else {
+		in = make([]reflect.Value, len(args))
+		for i, a := range args {
+			ca, n, err := k.copyNative(a)
+			if err != nil {
+				return nil, &CopyError{What: fmt.Sprintf("argument %d of %s", i, name), Err: err}
+			}
+			copied += n
+			var want reflect.Type
+			if ft.IsVariadic() && i >= ft.NumIn()-1 {
+				want = ft.In(ft.NumIn() - 1).Elem()
+			} else {
+				want = ft.In(i)
+			}
+			rv, err := conform(ca, want)
+			if err != nil {
+				return nil, fmt.Errorf("jkernel: %s argument %d: %w", name, i, err)
+			}
+			in[i] = rv
 		}
-		in[i] = rv
 	}
 
 	// Segment switch (lock pair #1 on push, #2 on pop).
@@ -169,7 +280,33 @@ func (c *Capability) invokeFrom(task *Task, name string, args []any) ([]any, err
 	k.segs.Store(seg.ID, seg)
 	g.owner.addSeg(seg)
 
-	out, callErr := safeCall(fn, in)
+	var out []reflect.Value
+	var touts []any
+	var merr, callErr error
+	if useThunk {
+		touts, merr, callErr = safeThunk(m.thunk, cargs)
+		if callErr == errThunkFallback {
+			// An argument's dynamic type missed the compiled shape (a
+			// numeric width the copy normalized, say): conform the copies
+			// and dispatch through reflect, exactly as a thunk-less method
+			// would. Thunk shapes are never variadic.
+			useThunk, callErr = false, nil
+			in = make([]reflect.Value, len(cargs))
+			for i, ca := range cargs {
+				rv, err := conform(ca, ft.In(i))
+				if err != nil {
+					callErr = fmt.Errorf("jkernel: %s argument %d: %w", name, i, err)
+					break
+				}
+				in[i] = rv
+			}
+			if callErr == nil {
+				out, callErr = safeCall(fn, in)
+			}
+		}
+	} else {
+		out, callErr = safeCall(fn, in)
+	}
 
 	g.owner.removeSeg(seg)
 	k.segs.Delete(seg.ID)
@@ -190,7 +327,22 @@ func (c *Capability) invokeFrom(task *Task, name string, args []any) ([]any, err
 		return nil, callErr
 	}
 
-	// Copy results out. The last result is the error.
+	// Copy results out. The last result is the error (already split off on
+	// the thunk path).
+	if useThunk {
+		results := make([]any, 0, len(touts))
+		for i, tv := range touts {
+			cv, _, err := k.copyNative(tv)
+			if err != nil {
+				return nil, &CopyError{What: fmt.Sprintf("result %d of %s", i, name), Err: err}
+			}
+			results = append(results, cv)
+		}
+		if merr != nil {
+			return results, copyErrorOut(merr)
+		}
+		return results, nil
+	}
 	results := make([]any, 0, len(out)-1)
 	for i := 0; i < len(out)-1; i++ {
 		cv, n, err := k.copyNative(out[i].Interface())
@@ -205,6 +357,24 @@ func (c *Capability) invokeFrom(task *Task, name string, args []any) ([]any, err
 		return results, copyErrorOut(errOut.Interface().(error))
 	}
 	return results, nil
+}
+
+// safeThunk invokes a compiled method thunk, converting a callee panic
+// into a RemoteError exactly as safeCall does. The thunk's
+// errThunkFallback sentinel comes back as callErr so the caller can
+// re-dispatch; any other error is the method's own, returned as merr.
+func safeThunk(thunk func([]any) ([]any, error), in []any) (out []any, merr, callErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, merr = nil, nil
+			callErr = &RemoteError{Class: "panic", Msg: fmt.Sprint(r)}
+		}
+	}()
+	out, merr = thunk(in)
+	if merr == errThunkFallback {
+		return nil, nil, errThunkFallback
+	}
+	return out, merr, nil
 }
 
 // safeCall invokes fn, converting a callee panic into a RemoteError: a

@@ -24,18 +24,34 @@ type ProxyTarget interface {
 	ProxyMethods() []string
 }
 
+// AsyncCompleter receives the outcome of one asynchronous wire
+// invocation: CompleteWire must be called exactly once, from any
+// goroutine, with the same results/copied/err contract as InvokeProxy.
+// *Future implements it directly, so starting a wire call passes the
+// future itself to the transport instead of allocating a completion
+// closure per call.
+type AsyncCompleter interface {
+	CompleteWire(results []any, copied int64, err error)
+}
+
+// AsyncCanceler releases a transport's pending slot when the caller
+// abandons an in-flight asynchronous call (the reply, if it still
+// arrives, is dropped). It is an interface rather than a func so
+// transports can hand back their per-call state object without
+// allocating a closure.
+type AsyncCanceler interface {
+	CancelAsync()
+}
+
 // AsyncProxyTarget is the optional non-blocking half of a transport
 // proxy. InvokeProxyAsync starts one remote invocation and returns
-// without waiting: complete must be called exactly once, from any
-// goroutine, with the same results/copied/err contract as InvokeProxy.
-// The returned cancel releases the transport's pending slot when the
-// caller abandons the call (the reply, if it still arrives, is dropped).
-// Transports implement it so the kernel's InvokeAsync neither blocks nor
-// burns a goroutine per call — which is what allows the wire layer to
-// coalesce pending invokes into batched frames.
+// without waiting; done.CompleteWire fires exactly once. Transports
+// implement it so the kernel's InvokeAsync neither blocks nor burns a
+// goroutine per call — which is what allows the wire layer to coalesce
+// pending invokes into batched frames.
 type AsyncProxyTarget interface {
 	ProxyTarget
-	InvokeProxyAsync(method string, args []any, complete func(results []any, copied int64, err error)) (cancel func())
+	InvokeProxyAsync(method string, args []any, done AsyncCompleter) AsyncCanceler
 }
 
 // proxyBox wraps the interface so the gate can hold it atomically.

@@ -1,0 +1,22 @@
+// Wire-marshaler stub generation.
+//
+// stubgen.go applies the paper's run-time stub-generation idea to the VM
+// call path: when a capability crosses a domain boundary, genStubClass
+// emits bytecode specialized to the target's method table so the invoke
+// fast path never consults it reflectively again. This file is the same
+// idea applied to the serializer: when a type is registered for wire
+// transfer (Kernel.RegisterWireType → seri.Registry.Register), the
+// registry compiles a per-type marshaler plan — closures over the
+// precomputed field layout — that the encoder consults before the reflect
+// walker (internal/seri/fastpath.go). Both generators run once at
+// registration and pay no reflection on the hot path.
+package core
+
+import "jkernel/internal/seri"
+
+// WirePlans reports the generated marshaler for every registered wire
+// type, sorted by wire name — the serializer counterpart of the VM's
+// generated stub classes, surfaced for diagnostics and tests.
+func (k *Kernel) WirePlans() []seri.PlanInfo {
+	return k.seriReg.Plans()
+}

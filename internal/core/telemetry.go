@@ -269,5 +269,5 @@ type TracedProxyTarget interface {
 // TracedAsyncProxyTarget is the traced variant of AsyncProxyTarget.
 type TracedAsyncProxyTarget interface {
 	AsyncProxyTarget
-	InvokeProxyAsyncTraced(method string, args []any, tc telemetry.TraceContext, complete func(results []any, copied int64, err error)) (cancel func())
+	InvokeProxyAsyncTraced(method string, args []any, tc telemetry.TraceContext, done AsyncCompleter) AsyncCanceler
 }

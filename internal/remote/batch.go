@@ -37,6 +37,10 @@ type batchedCall struct {
 	traceID    uint64
 	parentSpan uint64
 	args       []byte
+	// argsBuf is the pooled buffer args lives in (nil for zero-arg calls);
+	// sendBatch releases it once the frame is written. Calls still queued
+	// at shutdown keep theirs — the GC reclaims them, the pool just misses.
+	argsBuf *frameBuf
 }
 
 // wireSize is the call's encoded footprint (over-approximated headers,
@@ -55,6 +59,13 @@ type batcher struct {
 	rq       []releaseEntry // pending import releases, coalesced per frame
 	inflight int            // batches taken but not yet written
 	idle     *sync.Cond     // signalled when inflight drops to zero
+
+	// qSpare/rqSpare recycle the slices take/takeReleases pop: the sender
+	// returns each batch's backing array after the write, so steady-state
+	// batching ping-pongs between two arrays instead of allocating one per
+	// flush.
+	qSpare  []batchedCall
+	rqSpare []releaseEntry
 
 	// kick signals the flusher that the queue is non-empty (capacity 1:
 	// a pending kick covers any number of enqueues).
@@ -115,6 +126,7 @@ func (b *batcher) drain() {
 	for {
 		if calls := b.take(); len(calls) != 0 {
 			b.c.sendBatch(calls)
+			b.recycleCalls(calls)
 			b.sent()
 			continue
 		}
@@ -123,6 +135,7 @@ func (b *batcher) drain() {
 			return
 		}
 		b.c.sendReleases(rels)
+		b.recycleReleases(rels)
 		b.sent()
 	}
 }
@@ -159,7 +172,9 @@ func (b *batcher) sent() {
 
 // take pops up to one frame's worth of queued calls (occupancy and size
 // bound), marking them in flight until sent. A single call exceeding
-// maxBatchBytes still travels, alone.
+// maxBatchBytes still travels, alone. The popped slice reuses the spare
+// backing array (recycleCalls returns it after the send), so steady-state
+// batching allocates nothing here.
 func (b *batcher) take() []batchedCall {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -176,12 +191,34 @@ func (b *batcher) take() []batchedCall {
 		size += s
 		n++
 	}
-	out := make([]batchedCall, n)
-	copy(out, b.q)
+	out := append(b.qSpare[:0], b.q[:n]...)
+	b.qSpare = nil
 	rest := copy(b.q, b.q[n:])
 	clear(b.q[rest:]) // drop arg references so sent calls are collectable
 	b.q = b.q[:rest]
 	return out
+}
+
+// recycleCalls returns a sent batch's backing array to the spare slot
+// (cleared, so it pins no argument buffers). Concurrent drains race for
+// the slot; the loser's array goes to the GC.
+func (b *batcher) recycleCalls(calls []batchedCall) {
+	clear(calls)
+	b.mu.Lock()
+	if b.qSpare == nil {
+		b.qSpare = calls[:0]
+	}
+	b.mu.Unlock()
+}
+
+// recycleReleases is recycleCalls for release batches.
+func (b *batcher) recycleReleases(rels []releaseEntry) {
+	clear(rels)
+	b.mu.Lock()
+	if b.rqSpare == nil {
+		b.rqSpare = rels[:0]
+	}
+	b.mu.Unlock()
 }
 
 // releaseBacklog reports the queued-release count (telemetry gauge).
@@ -204,8 +241,8 @@ func (b *batcher) takeReleases() []releaseEntry {
 	if n > maxReleaseEntries {
 		n = maxReleaseEntries
 	}
-	out := make([]releaseEntry, n)
-	copy(out, b.rq)
+	out := append(b.rqSpare[:0], b.rq[:n]...)
+	b.rqSpare = nil
 	rest := copy(b.rq, b.rq[n:])
 	b.rq = b.rq[:rest]
 	return out

@@ -53,6 +53,7 @@ func benchAsyncBatched(b *testing.B, disable bool) {
 	defer done()
 	const window = 512
 	futs := make([]*core.Future, 0, window)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; {
 		w := window

@@ -1,0 +1,117 @@
+package remote
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Pooled frame buffers — the allocation half of the zero-copy hot path.
+//
+// Every wire frame, outbound or inbound, lives in a frameBuf drawn from a
+// size-classed pool (power-of-two classes, 512 B up to maxFrame). The
+// ownership rules, which README's "wire hot path" section documents for
+// integrators:
+//
+//   - Writers: the goroutine building a frame holds the buffer from
+//     getFrame until the frame is on the wire (or abandoned), then calls
+//     release. Encoded argument/result payloads (marshalVectorInto) live
+//     inside the same buffer, so nothing outlives the send.
+//   - Readers: the read loop owns one reference for the dispatch of each
+//     inbound frame. Decoded payloads that alias the frame
+//     (invokeFrame.args, replyFrame.body) are only read inside that hold;
+//     anything retained past dispatch — strings, decoded seri values — is
+//     copied out by the parsers/decoder. Invoke handlers run off the
+//     reader goroutine, so dispatch retains an extra reference per invoke
+//     frame that the handler drops the moment unmarshalVector returns.
+//
+// A buffer returns to the pool only when its refcount hits zero. With
+// poisoning on (SetBufferPoison, the lifetime-regression debug mode),
+// every returned buffer is overwritten with 0xDB first, so a use-after-
+// release shows up as corrupt data or a decode error instead of a
+// heisenbug.
+
+const (
+	minBufClass = 9  // 512 B — smaller frames just use the smallest class
+	maxBufClass = 24 // 16 MiB == maxFrame
+)
+
+// framePools[c] holds *frameBuf with cap(b) >= 1<<c.
+var framePools [maxBufClass + 1]sync.Pool
+
+// poisonPut, when on, overwrites buffers with 0xDB as they return to the
+// pool. Test/debug mode: it turns "recycled while still referenced" into a
+// deterministic data corruption the lifetime regression can detect.
+var poisonPut atomic.Bool
+
+// SetBufferPoison toggles poison-on-put for the frame-buffer pools.
+func SetBufferPoison(on bool) { poisonPut.Store(on) }
+
+// frameBuf is one pooled, refcounted frame buffer. b is the live frame
+// content; writers append to it (marshalVectorInto may grow and replace
+// the backing array — release re-classes by final capacity).
+type frameBuf struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+// bufClass is the pool class for a buffer of at least n bytes: the
+// smallest power-of-two class that fits, floored at minBufClass.
+func bufClass(n int) int {
+	if n <= 1<<minBufClass {
+		return minBufClass
+	}
+	return bits.Len(uint(n - 1)) // ceil(log2 n)
+}
+
+// getFrame returns a buffer with len(b) == 0 and cap(b) >= n, holding one
+// reference. n beyond maxFrame is the caller's protocol error; the buffer
+// is still served (unpooled) so the size check can fail gracefully.
+func getFrame(n int) *frameBuf {
+	c := bufClass(n)
+	if c > maxBufClass {
+		fb := &frameBuf{b: make([]byte, 0, n)}
+		fb.refs.Store(1)
+		return fb
+	}
+	if v := framePools[c].Get(); v != nil {
+		fb := v.(*frameBuf)
+		fb.b = fb.b[:0]
+		fb.refs.Store(1)
+		return fb
+	}
+	fb := &frameBuf{b: make([]byte, 0, 1<<c)}
+	fb.refs.Store(1)
+	return fb
+}
+
+// retain adds one reference (dispatch handing an invoke frame to an
+// off-reader handler).
+func (fb *frameBuf) retain() { fb.refs.Add(1) }
+
+// release drops one reference; the last one returns the buffer to its
+// size-class pool. A buffer that grew past its class (append moved the
+// backing array) is re-homed by its final capacity, so pool classes keep
+// their >= 1<<class invariant.
+func (fb *frameBuf) release() {
+	n := fb.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("remote: frameBuf released more times than retained")
+	}
+	cp := cap(fb.b)
+	c := bits.Len(uint(cp)) - 1 // floor(log2 cap): cap >= 1<<c holds
+	if c < minBufClass || c > maxBufClass {
+		return // odd-sized stray; let the GC have it
+	}
+	if poisonPut.Load() {
+		b := fb.b[:cp]
+		for i := range b {
+			b[i] = 0xDB
+		}
+	}
+	fb.b = fb.b[:0]
+	framePools[c].Put(fb)
+}

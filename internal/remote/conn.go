@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -31,15 +32,16 @@ type Conn struct {
 	k      *core.Kernel
 	domain *core.Domain
 
-	nc  net.Conn
-	wmu sync.Mutex // serializes frame writes
-	bw  *bufio.Writer
+	nc   net.Conn
+	wmu  sync.Mutex  // serializes frame writes
+	whdr [4]byte     // frame length header scratch (guarded by wmu)
+	wvec net.Buffers // vectored-write scratch (guarded by wmu)
 
 	mu            sync.Mutex
 	nextReq       uint64
-	pending       map[uint64]func(wireResult) // reqID -> completion (sync chan send or future resolve)
-	exports       map[uint64]*exportEntry     // export id -> refcounted local capability
-	exportIDs     map[*core.Gate]uint64       // dedup: gate -> export id
+	pending       map[uint64]wireCompleter // reqID -> completion (sync chan send or future resolve)
+	exports       map[uint64]*exportEntry  // export id -> refcounted local capability
+	exportIDs     map[*core.Gate]uint64    // dedup: gate -> export id
 	nextExport    uint64
 	imports       map[uint64]*importEntry // peer export id -> local proxy + receipt count
 	nextImportGen uint64                  // generation stamped on fresh imports (release dedup)
@@ -103,8 +105,7 @@ func NewConn(k *core.Kernel, nc net.Conn) (*Conn, error) {
 		k:               k,
 		domain:          d,
 		nc:              nc,
-		bw:              bufio.NewWriter(nc),
-		pending:         make(map[uint64]func(wireResult)),
+		pending:         make(map[uint64]wireCompleter),
 		exports:         make(map[uint64]*exportEntry),
 		exportIDs:       make(map[*core.Gate]uint64),
 		imports:         make(map[uint64]*importEntry),
@@ -129,6 +130,16 @@ func NewConn(k *core.Kernel, nc net.Conn) (*Conn, error) {
 	return c, nil
 }
 
+// execJob is one inbound-call job. Batch invokes submit pointers into a
+// per-batch job array (one allocation per frame, not per call); one-off
+// jobs wrap a closure in funcJob.
+type execJob interface{ run() }
+
+// funcJob adapts a plain closure to execJob.
+type funcJob func()
+
+func (j funcJob) run() { j() }
+
 // executor runs inbound-call jobs on a bounded pool of persistent
 // goroutines. Jobs never queue behind a blocked worker: submit hands the
 // job to an idle worker, grows the pool if there is room, and otherwise
@@ -137,7 +148,7 @@ func NewConn(k *core.Kernel, nc net.Conn) (*Conn, error) {
 // de-optimize it.
 type executor struct {
 	done    <-chan struct{}
-	jobs    chan func()
+	jobs    chan execJob
 	workers atomic.Int32
 	max     int32
 }
@@ -149,10 +160,10 @@ func newExecutor(done <-chan struct{}) *executor {
 	// grows to what the load sustains and no further (idle stacks shrink
 	// at GC). Smaller caps measurably re-introduce stack-growth churn on
 	// the overflow path.
-	return &executor{done: done, jobs: make(chan func()), max: 512}
+	return &executor{done: done, jobs: make(chan execJob), max: 512}
 }
 
-func (e *executor) submit(job func()) {
+func (e *executor) submit(job execJob) {
 	select {
 	case e.jobs <- job: // an idle pooled worker takes it
 		return
@@ -162,17 +173,17 @@ func (e *executor) submit(job func()) {
 		go e.worker(job)
 		return
 	}
-	go job()
+	go job.run()
 }
 
 // worker runs its first job, then serves the pool until the connection
 // dies.
-func (e *executor) worker(job func()) {
-	job()
+func (e *executor) worker(job execJob) {
+	job.run()
 	for {
 		select {
 		case j := <-e.jobs:
-			j()
+			j.run()
 		case <-e.done:
 			return
 		}
@@ -288,15 +299,42 @@ func (c *Conn) Close() error {
 
 // send frames and writes one message.
 func (c *Conn) send(payload []byte) error {
-	if len(payload) > 0 {
-		c.metrics.frameOut(payload[0])
+	return c.sendSegments(payload)
+}
+
+// sendSegments frames and writes one message whose payload is the
+// concatenation of segs, as a single vectored write: the 4-byte length
+// header and every segment go down in one writev-style syscall
+// (net.Buffers), with no copy into an intermediate contiguous buffer. The
+// first byte of the first segment is the message type.
+func (c *Conn) sendSegments(segs ...[]byte) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if total > maxFrame {
+		return fmt.Errorf("remote: frame of %d bytes exceeds limit", total)
+	}
+	if len(segs) > 0 && len(segs[0]) > 0 {
+		c.metrics.frameOut(segs[0][0])
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := writeFrame(c.bw, payload); err != nil {
-		return err
+	binary.LittleEndian.PutUint32(c.whdr[:], uint32(total))
+	c.wvec = append(c.wvec[:0], c.whdr[:])
+	for _, s := range segs {
+		if len(s) > 0 {
+			c.wvec = append(c.wvec, s)
+		}
 	}
-	return c.bw.Flush()
+	// WriteTo consumes its receiver, so hand it a copy of the scratch's
+	// slice header; the scratch itself is cleared after the write so it
+	// does not pin payload buffers between frames.
+	vec := c.wvec
+	_, err := vec.WriteTo(c.nc)
+	clear(c.wvec)
+	c.wvec = c.wvec[:0]
+	return err
 }
 
 // Ping performs one protocol round trip, proving the peer kernel is up
@@ -362,28 +400,31 @@ func (c *Conn) Import(name string) (*core.Capability, error) {
 	}
 }
 
-// newPendingFn registers a completion callback under a fresh request id.
-// The callback runs at most once — on the reader goroutine when the reply
-// arrives, or on the shutdown path — unless dropPending removes it first.
-func (c *Conn) newPendingFn(fn func(wireResult)) (uint64, error) {
+// wireCompleter is a pending slot's completion callback. It runs at most
+// once — on the reader goroutine when the reply arrives, or on the
+// shutdown path — unless dropPending removes the slot first. It is an
+// interface (not a func) so the async hot path can register its pooled
+// per-call state without allocating a closure.
+type wireCompleter interface {
+	completeWire(res wireResult)
+}
+
+// chanCompleter adapts the synchronous wait-on-channel flavor.
+type chanCompleter chan wireResult
+
+func (ch chanCompleter) completeWire(res wireResult) { ch <- res }
+
+// newPending registers a pending slot whose reply arrives on a channel.
+func (c *Conn) newPending() (uint64, chan wireResult, error) {
+	ch := make(chan wireResult, 1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return 0, c.causeLocked()
+		return 0, nil, c.causeLocked()
 	}
 	c.nextReq++
 	id := c.nextReq
-	c.pending[id] = fn
-	return id, nil
-}
-
-// newPending is the synchronous flavor: the reply arrives on a channel.
-func (c *Conn) newPending() (uint64, chan wireResult, error) {
-	ch := make(chan wireResult, 1)
-	id, err := c.newPendingFn(func(res wireResult) { ch <- res })
-	if err != nil {
-		return 0, nil, err
-	}
+	c.pending[id] = chanCompleter(ch)
 	return id, ch, nil
 }
 
@@ -397,11 +438,11 @@ func (c *Conn) dropPending(id uint64) {
 // cancellation, or raced by shutdown) are ignored.
 func (c *Conn) complete(id uint64, res wireResult) {
 	c.mu.Lock()
-	fn := c.pending[id]
+	pc := c.pending[id]
 	delete(c.pending, id)
 	c.mu.Unlock()
-	if fn != nil {
-		fn(res)
+	if pc != nil {
+		pc.completeWire(res)
 	}
 }
 
@@ -502,7 +543,13 @@ func (c *Conn) exportNewLocked(cap *core.Capability, relay *relayRef) uint64 {
 		w.u8(msgRevoke)
 		w.uvarint(id)
 		w.u8(reason)
-		_ = c.send(w.b) // a dead connection needs no push
+		if err := c.send(w.b); err != nil {
+			// A writer that cannot deliver the push is a dead connection:
+			// fault it (async — the hook may fire under c.mu) so the peer's
+			// proxies fail via teardown instead of hanging on a half-dead
+			// socket that swallows every later push and release too.
+			go c.shutdown(fmt.Errorf("remote: send revocation push: %w", err))
+		}
 		go c.dropExport(id, g)
 	})
 	return id
@@ -925,6 +972,24 @@ func (c *Conn) marshalVector(vals []any) (data []byte, rollback func(), err erro
 	return data, ext.rollback, nil
 }
 
+// marshalVectorInto encodes an argument/result vector directly into fb —
+// after whatever frame header the caller already wrote — so the encoded
+// payload never exists as a separate allocation. Same rollback contract as
+// marshalVector; on error fb is untouched.
+func (c *Conn) marshalVectorInto(fb *frameBuf, vals []any) (rollback func(), err error) {
+	if len(vals) == 0 {
+		return func() {}, nil
+	}
+	ext := &connExternal{c: c}
+	out, err := seri.AppendMarshalExt(fb.b, c.k.SeriRegistry(), vals, ext)
+	if err != nil {
+		ext.rollback()
+		return nil, err
+	}
+	fb.b = out
+	return ext.rollback, nil
+}
+
 // unmarshalVector decodes what marshalVector produced. A vector that
 // fails mid-decode releases the proxies it already minted — the decode
 // side of the encode rollback, keeping both ends' tables honest when a
@@ -967,32 +1032,42 @@ func (p *proxyTarget) invoke(method string, args []any, tc telemetry.TraceContex
 		m.clientSpan(tc, spanID, method, start, err)
 		return results, copied, err
 	}
-	argBytes, rollback, err := c.marshalVector(args)
-	if err != nil {
-		return finish(nil, 0, &core.CopyError{What: "remote arguments of " + method, Err: err})
-	}
-	// Oversized arguments are a copy failure on a healthy connection, not
-	// a revocation; reject before the frame writer does.
-	if len(argBytes)+len(method)+64 > maxFrame {
-		rollback()
-		return finish(nil, 0, &core.CopyError{
-			What: "remote arguments of " + method,
-			Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", len(argBytes), maxFrame),
-		})
-	}
 	reqID, ch, err := c.newPending()
 	if err != nil {
-		rollback()
 		return finish(nil, 0, err)
 	}
-	var w wbuf
+	// The whole frame — header and argument stream — builds in one pooled
+	// buffer, released the moment it is on the wire.
+	fb := getFrame(len(method) + 64)
+	w := wbuf{b: fb.b}
 	w.u8(msgInvoke)
 	w.uvarint(reqID)
 	w.uvarint(p.exportID)
 	w.str(method)
 	appendTrace(&w, tc.TraceID, spanID)
-	w.raw(argBytes)
-	if err := c.send(w.b); err != nil {
+	fb.b = w.b
+	argStart := len(fb.b)
+	rollback, err := c.marshalVectorInto(fb, args)
+	if err != nil {
+		c.dropPending(reqID)
+		fb.release()
+		return finish(nil, 0, &core.CopyError{What: "remote arguments of " + method, Err: err})
+	}
+	argLen := int64(len(fb.b) - argStart)
+	// Oversized arguments are a copy failure on a healthy connection, not
+	// a revocation; reject before the frame writer does.
+	if len(fb.b) > maxFrame {
+		rollback()
+		c.dropPending(reqID)
+		fb.release()
+		return finish(nil, 0, &core.CopyError{
+			What: "remote arguments of " + method,
+			Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", argLen, maxFrame),
+		})
+	}
+	err = c.send(fb.b)
+	fb.release()
+	if err != nil {
 		c.dropPending(reqID)
 		// A failed write means the peer is gone: same capability fault as
 		// any other connection loss.
@@ -1006,30 +1081,70 @@ func (p *proxyTarget) invoke(method string, args []any, tc telemetry.TraceContex
 			// own span accounting).
 			return n.invoke(method, args, tc)
 		}
-		return finish(res.results, int64(len(argBytes))+res.copied, res.err)
+		return finish(res.results, argLen+res.copied, res.err)
 	case <-c.done:
 		// A call interrupted by connection loss is a capability fault, the
 		// same as revocation, so callers need only one failure model.
-		return finish(nil, int64(len(argBytes)), fmt.Errorf("%w: %v", core.ErrRevoked, c.closedErr()))
+		return finish(nil, argLen, fmt.Errorf("%w: %v", core.ErrRevoked, c.closedErr()))
 	}
 }
 
+// pendingAsync is the per-call state of one batched asynchronous invoke.
+// It is both the connection's pending-slot completion (completeWire, fired
+// on the reader goroutine) and the caller's cancel handle
+// (core.AsyncCanceler), so starting a call allocates this one struct where
+// it used to allocate a completion closure plus a cancel closure.
+type pendingAsync struct {
+	p      *proxyTarget
+	method string
+	args   []any
+	tc     telemetry.TraceContext
+	done   core.AsyncCompleter
+	spanID uint64
+	start  time.Time
+	argLen int64
+	reqID  uint64
+}
+
+func (pa *pendingAsync) completeWire(res wireResult) {
+	p := pa.p
+	if n := p.next.Load(); n != nil && staleRouteErr(res.err) {
+		// Superseded relay route: the middleman dropped our export before
+		// this call reached it, so it never ran. Reissue on the shortened
+		// route; its completion fires exactly once.
+		n.invokeAsync(pa.method, pa.args, pa.tc, pa.done)
+		return
+	}
+	p.conn.metrics.clientSpan(pa.tc, pa.spanID, pa.method, pa.start, res.err)
+	pa.done.CompleteWire(res.results, pa.argLen+res.copied, res.err)
+}
+
+// CancelAsync implements core.AsyncCanceler: drop the pending slot so a
+// late reply is ignored.
+func (pa *pendingAsync) CancelAsync() { pa.p.conn.dropPending(pa.reqID) }
+
+// noopCanceler is handed back for calls that failed before taking a
+// pending slot; there is nothing to cancel.
+type noopCanceler struct{}
+
+func (noopCanceler) CancelAsync() {}
+
 // InvokeProxyAsync implements core.AsyncProxyTarget: marshal, enqueue on
-// the connection's batcher, and return. The completion callback fires on
-// the reader goroutine when the (possibly batched) reply arrives, or on
-// the shutdown path when the connection dies first — either way exactly
-// once, unless cancel removes the pending slot before that.
-func (p *proxyTarget) InvokeProxyAsync(method string, args []any, complete func([]any, int64, error)) (cancel func()) {
-	return p.invokeAsync(method, args, telemetry.TraceContext{}, complete)
+// the connection's batcher, and return. The completion fires on the
+// reader goroutine when the (possibly batched) reply arrives, or on the
+// shutdown path when the connection dies first — either way exactly once,
+// unless cancel removes the pending slot before that.
+func (p *proxyTarget) InvokeProxyAsync(method string, args []any, done core.AsyncCompleter) core.AsyncCanceler {
+	return p.invokeAsync(method, args, telemetry.TraceContext{}, done)
 }
 
 // InvokeProxyAsyncTraced implements core.TracedAsyncProxyTarget: the
 // caller's trace context crosses inside the (possibly batched) frame.
-func (p *proxyTarget) InvokeProxyAsyncTraced(method string, args []any, tc telemetry.TraceContext, complete func([]any, int64, error)) (cancel func()) {
-	return p.invokeAsync(method, args, tc, complete)
+func (p *proxyTarget) InvokeProxyAsyncTraced(method string, args []any, tc telemetry.TraceContext, done core.AsyncCompleter) core.AsyncCanceler {
+	return p.invokeAsync(method, args, tc, done)
 }
 
-func (p *proxyTarget) invokeAsync(method string, args []any, tc telemetry.TraceContext, complete func([]any, int64, error)) (cancel func()) {
+func (p *proxyTarget) invokeAsync(method string, args []any, tc telemetry.TraceContext, done core.AsyncCompleter) core.AsyncCanceler {
 	c := p.conn
 	m := c.metrics
 	start := m.sampleStart(tc.Active())
@@ -1037,42 +1152,64 @@ func (p *proxyTarget) invokeAsync(method string, args []any, tc telemetry.TraceC
 	if m != nil && tc.Active() {
 		spanID = telemetry.NewID() // this hop's span, the wire parent of the callee's
 	}
-	fail := func(err error) func() {
+	fail := func(err error) core.AsyncCanceler {
 		m.clientSpan(tc, spanID, method, start, err)
-		complete(nil, 0, err)
-		return func() {}
+		done.CompleteWire(nil, 0, err)
+		return noopCanceler{}
 	}
-	argBytes, rollback, err := c.marshalVector(args)
-	if err != nil {
-		return fail(&core.CopyError{What: "remote arguments of " + method, Err: err})
-	}
-	if len(argBytes)+len(method)+64 > maxFrame {
-		rollback()
-		return fail(&core.CopyError{
-			What: "remote arguments of " + method,
-			Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", len(argBytes), maxFrame),
-		})
-	}
-	argLen := int64(len(argBytes))
-	reqID, err := c.newPendingFn(func(res wireResult) {
-		if n := p.next.Load(); n != nil && staleRouteErr(res.err) {
-			// Superseded relay route: the middleman dropped our export
-			// before this call reached it, so it never ran. Reissue on
-			// the shortened route; its completion fires exactly once.
-			n.invokeAsync(method, args, tc, complete)
-			return
+	// Batched calls queue their encoded args until the flusher writes the
+	// frame, so each call's stream lives in its own pooled buffer that
+	// sendBatch releases after the vectored write. Zero-arg calls — the
+	// bulk of small batched traffic — take no buffer at all.
+	var argsBuf *frameBuf
+	var argBytes []byte
+	rollback := func() {}
+	if len(args) > 0 {
+		argsBuf = getFrame(64)
+		var err error
+		rollback, err = c.marshalVectorInto(argsBuf, args)
+		if err != nil {
+			argsBuf.release()
+			return fail(&core.CopyError{What: "remote arguments of " + method, Err: err})
 		}
-		m.clientSpan(tc, spanID, method, start, res.err)
-		complete(res.results, argLen+res.copied, res.err)
-	})
-	if err != nil {
+		argBytes = argsBuf.b
+		if len(argBytes)+len(method)+64 > maxFrame {
+			rollback()
+			argsBuf.release()
+			return fail(&core.CopyError{
+				What: "remote arguments of " + method,
+				Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", len(argBytes), maxFrame),
+			})
+		}
+	}
+	pa := &pendingAsync{
+		p:      p,
+		method: method,
+		args:   args,
+		tc:     tc,
+		done:   done,
+		spanID: spanID,
+		start:  start,
+		argLen: int64(len(argBytes)),
+	}
+	c.mu.Lock()
+	if c.closed {
 		// The connection is already down: same capability fault the sync
 		// path reports.
+		err := c.causeLocked()
+		c.mu.Unlock()
 		rollback()
+		if argsBuf != nil {
+			argsBuf.release()
+		}
 		return fail(fmt.Errorf("%w: %v", core.ErrRevoked, err))
 	}
-	c.batch.enqueue(batchedCall{reqID: reqID, exportID: p.exportID, method: method, traceID: tc.TraceID, parentSpan: spanID, args: argBytes})
-	return func() { c.dropPending(reqID) }
+	c.nextReq++
+	pa.reqID = c.nextReq
+	c.pending[pa.reqID] = pa
+	c.mu.Unlock()
+	c.batch.enqueue(batchedCall{reqID: pa.reqID, exportID: p.exportID, method: method, traceID: tc.TraceID, parentSpan: spanID, args: argBytes, argsBuf: argsBuf})
+	return pa
 }
 
 // sendBatch writes queued calls as one frame: a lone call travels as an
@@ -1082,22 +1219,54 @@ func (c *Conn) sendBatch(calls []batchedCall) {
 	if m := c.metrics; m != nil {
 		m.batchOccupancy.Observe(int64(len(calls)))
 	}
-	var w wbuf
+	// Call headers build in one pooled buffer; each call's argument bytes
+	// stay in the buffer invokeAsync encoded them into, and the vectored
+	// writer stitches header and payload segments into one syscall —
+	// nothing is memmoved into a contiguous frame.
+	hb := getFrame(64 * len(calls))
+	var err error
 	if len(calls) == 1 {
+		call := &calls[0]
+		w := wbuf{b: hb.b}
 		w.u8(msgInvoke)
-		w.uvarint(calls[0].reqID)
-		w.uvarint(calls[0].exportID)
-		w.str(calls[0].method)
-		appendTrace(&w, calls[0].traceID, calls[0].parentSpan)
-		w.raw(calls[0].args)
+		w.uvarint(call.reqID)
+		w.uvarint(call.exportID)
+		w.str(call.method)
+		appendTrace(&w, call.traceID, call.parentSpan)
+		hb.b = w.b
+		err = c.sendSegments(hb.b, call.args)
 	} else {
+		w := wbuf{b: hb.b}
 		w.u8(msgBatchInvoke)
 		w.uvarint(uint64(len(calls)))
-		for _, call := range calls {
-			appendBatchCall(&w, call.reqID, call.exportID, call.method, call.traceID, call.parentSpan, call.args)
+		// Two passes: headers first (appends may move hb's backing array,
+		// so segment slices are only cut once the buffer is final).
+		cuts := make([]int, len(calls))
+		for i := range calls {
+			call := &calls[i]
+			appendBatchCallHeader(&w, call.reqID, call.exportID, call.method, call.traceID, call.parentSpan, len(call.args))
+			cuts[i] = len(w.b)
+		}
+		hb.b = w.b
+		segs := make([][]byte, 0, 2*len(calls))
+		prev := 0
+		for i := range calls {
+			segs = append(segs, hb.b[prev:cuts[i]])
+			if len(calls[i].args) > 0 {
+				segs = append(segs, calls[i].args)
+			}
+			prev = cuts[i]
+		}
+		err = c.sendSegments(segs...)
+	}
+	hb.release()
+	for i := range calls {
+		if calls[i].argsBuf != nil {
+			calls[i].argsBuf.release()
+			calls[i].argsBuf = nil
 		}
 	}
-	if err := c.send(w.b); err != nil {
+	if err != nil {
 		fault := fmt.Errorf("%w: remote send: %v", core.ErrRevoked, err)
 		for _, call := range calls {
 			c.complete(call.reqID, wireResult{err: fault})
@@ -1106,16 +1275,23 @@ func (c *Conn) sendBatch(calls []batchedCall) {
 }
 
 // sendReleases writes queued import releases as one msgRelease frame. A
-// failed write needs no recovery: the connection is dying, and teardown
-// clears both ends' tables wholesale.
+// failed write faults the connection: a half-dead writer that swallowed
+// releases silently would leak the peer's export entries until teardown,
+// and every later frame was going to fail the same way.
 func (c *Conn) sendReleases(entries []releaseEntry) {
-	var w wbuf
+	fb := getFrame(8 + 16*len(entries))
+	w := wbuf{b: fb.b}
 	w.u8(msgRelease)
 	w.uvarint(uint64(len(entries)))
 	for _, e := range entries {
 		appendReleaseEntry(&w, e)
 	}
-	_ = c.send(w.b)
+	fb.b = w.b
+	err := c.send(fb.b)
+	fb.release()
+	if err != nil {
+		c.shutdown(fmt.Errorf("remote: send releases: %w", err))
+	}
 }
 
 // --- reader / inbound ------------------------------------------------------
@@ -1123,12 +1299,17 @@ func (c *Conn) sendReleases(entries []releaseEntry) {
 func (c *Conn) readLoop() {
 	br := bufio.NewReader(c.nc)
 	for {
-		frame, err := readFrame(br)
+		fb, err := readFrameInto(br)
 		if err != nil {
 			c.shutdown(err)
 			return
 		}
-		if err := c.dispatch(frame); err != nil {
+		// The reader's reference spans dispatch; handlers that outlive
+		// dispatch (invoke frames, whose args alias the buffer) retain
+		// their own and drop it once the argument stream is decoded.
+		err = c.dispatch(fb)
+		fb.release()
+		if err != nil {
 			c.shutdown(err)
 			return
 		}
@@ -1139,8 +1320,8 @@ func (c *Conn) readLoop() {
 // on the typed result. A decode error faults the whole connection: frame
 // structure is trusted-transport territory, unlike per-call argument
 // streams, which fail per call.
-func (c *Conn) dispatch(frame []byte) error {
-	t, v, err := decodeFrame(frame)
+func (c *Conn) dispatch(fb *frameBuf) error {
+	t, v, err := decodeFrame(fb.b)
 	if m := c.metrics; m != nil {
 		m.frameIn(t)
 		if err != nil {
@@ -1154,11 +1335,23 @@ func (c *Conn) dispatch(frame []byte) error {
 	switch t {
 	case msgInvoke:
 		// Handlers run off the reader so it keeps draining replies — a
-		// worker servicing a call can call back into us mid-request.
+		// worker servicing a call can call back into us mid-request. The
+		// frame buffer rides along (f.args aliases it) until the handler
+		// has decoded the argument stream.
 		f := v.(invokeFrame)
-		c.exec.submit(func() { c.handleInvoke(f) })
+		fb.retain()
+		c.exec.submit(funcJob(func() { c.handleInvoke(f, fb.release) }))
 	case msgBatchInvoke:
-		go c.handleBatchInvoke(v.([]invokeFrame))
+		calls := v.([]invokeFrame)
+		fb.retain()
+		var undecoded atomic.Int32
+		undecoded.Store(int32(len(calls)))
+		argsDone := func() {
+			if undecoded.Add(-1) == 0 {
+				fb.release()
+			}
+		}
+		go c.handleBatchInvoke(calls, argsDone)
 	case msgReply:
 		c.complete(v.(replyFrame).reqID, c.wireResultOf(v.(replyFrame)))
 	case msgBatchReply:
@@ -1226,7 +1419,12 @@ func (c *Conn) wireResultOf(rep replyFrame) wireResult {
 // reply. Every failure — unknown export, argument decode, callee error,
 // unencodable results — lands in the reply's own status, which is what
 // gives batched calls per-call error isolation for free.
-func (c *Conn) serveInvoke(f invokeFrame) replyFrame {
+//
+// argsDone releases the caller's hold on the inbound frame buffer that
+// f.args aliases; serveInvoke calls it exactly once, the moment the
+// argument stream is decoded (or the call fails before needing it) — the
+// buffer must never stay pinned for the duration of the callee.
+func (c *Conn) serveInvoke(f invokeFrame, argsDone func()) replyFrame {
 	errRep := func(kind byte, class, msg string) replyFrame {
 		return replyFrame{reqID: f.reqID, status: statusErr, kind: kind, class: class, msg: msg}
 	}
@@ -1237,13 +1435,16 @@ func (c *Conn) serveInvoke(f invokeFrame) replyFrame {
 	}
 	c.mu.Unlock()
 	if cap == nil {
+		argsDone()
 		return errRep(errKindRevoked, "", fmt.Sprintf("unknown export %d", f.exportID))
 	}
 	if cap.Stub != nil {
+		argsDone()
 		return errRep(errKindRemote, "UnsupportedOperation",
 			"remote invocation of VM capabilities is not supported yet")
 	}
 	args, err := c.unmarshalVector(f.args)
+	argsDone() // decode copies everything out; the frame is free to recycle
 	if err != nil {
 		return errRep(errKindProtocol, "", err.Error())
 	}
@@ -1284,52 +1485,111 @@ func (c *Conn) serveInvoke(f invokeFrame) replyFrame {
 		kind, class, msg := encodeWireErr(callErr)
 		return errRep(kind, class, msg)
 	}
-	resBytes, rollback, err := c.marshalVector(results)
+	if len(results) == 0 {
+		// Void results — the bulk of small traffic — take no buffer.
+		return replyFrame{reqID: f.reqID, status: statusOK}
+	}
+	resFb := getFrame(64)
+	rollback, err := c.marshalVectorInto(resFb, results)
 	if err != nil {
+		resFb.release()
 		return errRep(errKindProtocol, "", "encode results: "+err.Error())
 	}
-	if len(resBytes)+32 > maxFrame {
+	if len(resFb.b)+32 > maxFrame {
 		rollback()
+		resFb.release()
 		return errRep(errKindProtocol, "",
-			fmt.Sprintf("results of %d bytes exceed the frame limit", len(resBytes)))
+			fmt.Sprintf("results of %d bytes exceed the frame limit", len(resFb.b)))
 	}
-	return replyFrame{reqID: f.reqID, status: statusOK, body: resBytes}
+	return replyFrame{reqID: f.reqID, status: statusOK, body: resFb.b, bodyBuf: resFb}
 }
 
-// handleInvoke services one single-invoke frame.
-func (c *Conn) handleInvoke(f invokeFrame) {
-	rep := c.serveInvoke(f)
-	var w wbuf
+// handleInvoke services one single-invoke frame. argsDone is the frame
+// buffer hold passed through to serveInvoke.
+func (c *Conn) handleInvoke(f invokeFrame, argsDone func()) {
+	rep := c.serveInvoke(f, argsDone)
+	hb := getFrame(32)
+	w := wbuf{b: hb.b}
 	w.u8(msgReply)
 	w.uvarint(rep.reqID)
-	appendReplyBody(&w, rep, false)
-	if err := c.send(w.b); err != nil && rep.status == statusOK {
+	var err error
+	if rep.status == statusOK {
+		// Header and result stream go down as separate segments of one
+		// vectored write; the result buffer never gets copied into the
+		// frame.
+		w.u8(statusOK)
+		hb.b = w.b
+		err = c.sendSegments(hb.b, rep.body)
+	} else {
+		appendReplyBody(&w, rep, false)
+		hb.b = w.b
+		err = c.send(hb.b)
+	}
+	hb.release()
+	if rep.bodyBuf != nil {
+		rep.bodyBuf.release()
+	}
+	if err != nil && rep.status == statusOK {
 		// An unsendable success must still answer, or the caller hangs.
 		c.replyErr(rep.reqID, errKindProtocol, "", "send results: "+err.Error())
 	}
+}
+
+// batchRun is the shared state of one in-flight batch invoke, and
+// batchCallJob one call's slot in it.
+type batchRun struct {
+	c        *Conn
+	calls    []invokeFrame
+	replies  []replyFrame
+	jobs     []batchCallJob
+	argsDone func()
+	wg       sync.WaitGroup
+}
+
+type batchCallJob struct {
+	b *batchRun
+	i int
+}
+
+func (j *batchCallJob) run() {
+	defer j.b.wg.Done()
+	j.b.replies[j.i] = j.b.c.serveInvoke(j.b.calls[j.i], j.b.argsDone)
 }
 
 // handleBatchInvoke services one multi-invoke frame: the calls run
 // concurrently (each is an independent invocation, exactly as if it had
 // arrived in its own frame) and the replies leave as one batch frame with
 // per-call status — one faulting call never poisons its batch.
-func (c *Conn) handleBatchInvoke(calls []invokeFrame) {
-	replies := make([]replyFrame, len(calls))
-	var wg sync.WaitGroup
-	wg.Add(len(calls))
+func (c *Conn) handleBatchInvoke(calls []invokeFrame, argsDone func()) {
+	// One batchRun and one job array per frame: submitting &b.jobs[i]
+	// converts a pointer to the execJob interface, so the per-call path
+	// allocates nothing (the old per-call closures were an allocation
+	// each, visible on the batched hot path).
+	b := &batchRun{c: c, calls: calls, replies: make([]replyFrame, len(calls)), argsDone: argsDone}
+	b.wg.Add(len(calls))
+	b.jobs = make([]batchCallJob, len(calls))
 	for i := range calls {
-		i := i
-		c.exec.submit(func() {
-			defer wg.Done()
-			replies[i] = c.serveInvoke(calls[i])
-		})
+		b.jobs[i] = batchCallJob{b: b, i: i}
+		c.exec.submit(&b.jobs[i])
 	}
-	wg.Wait()
+	b.wg.Wait()
+	replies := b.replies
+
+	// Every pooled result buffer is released once its chunk is written
+	// (or abandoned on a dead connection).
+	defer func() {
+		for i := range replies {
+			if replies[i].bodyBuf != nil {
+				replies[i].bodyBuf.release()
+			}
+		}
+	}()
 
 	// Chunk the batch reply by size so large result sets cannot overflow
-	// one frame; each chunk is a valid msgBatchReply.
+	// one frame; each chunk is a valid msgBatchReply. Reply headers build
+	// in a pooled buffer and result streams ride as their own segments of
+	// the vectored write.
 	for start := 0; start < len(replies); {
-		var w wbuf
 		end, size := start, 0
 		for end < len(replies) {
 			s := len(replies[end].body) + len(replies[end].class) + len(replies[end].msg) + 32
@@ -1339,13 +1599,36 @@ func (c *Conn) handleBatchInvoke(calls []invokeFrame) {
 			size += s
 			end++
 		}
+		hb := getFrame(32 * (end - start))
+		w := wbuf{b: hb.b}
 		w.u8(msgBatchReply)
 		w.uvarint(uint64(end - start))
-		for _, rep := range replies[start:end] {
+		cuts := make([]int, end-start)
+		for i, rep := range replies[start:end] {
 			w.uvarint(rep.reqID)
-			appendReplyBody(&w, rep, true)
+			w.u8(rep.status)
+			if rep.status == statusOK {
+				w.uvarint(uint64(len(rep.body)))
+			} else {
+				w.u8(rep.kind)
+				w.str(rep.class)
+				w.str(rep.msg)
+			}
+			cuts[i] = len(w.b)
 		}
-		if err := c.send(w.b); err != nil {
+		hb.b = w.b
+		segs := make([][]byte, 0, 2*(end-start))
+		prev := 0
+		for i, rep := range replies[start:end] {
+			segs = append(segs, hb.b[prev:cuts[i]])
+			if rep.status == statusOK && len(rep.body) > 0 {
+				segs = append(segs, rep.body)
+			}
+			prev = cuts[i]
+		}
+		err := c.sendSegments(segs...)
+		hb.release()
+		if err != nil {
 			// The connection is going down; pending completions fail
 			// through shutdown, so there is nobody left to answer.
 			return
@@ -1633,7 +1916,7 @@ func (c *Conn) shutdown(cause error) {
 	c.closed = true
 	c.cause = cause
 	pending := c.pending
-	c.pending = make(map[uint64]func(wireResult))
+	c.pending = make(map[uint64]wireCompleter)
 	imports := make([]*core.Capability, 0, len(c.imports))
 	for _, e := range c.imports {
 		imports = append(imports, e.cap)
@@ -1680,8 +1963,8 @@ func (c *Conn) shutdown(cause error) {
 	for _, cap := range imports {
 		cap.RevokeWithReason(fault)
 	}
-	for _, fn := range pending {
-		fn(wireResult{err: fmt.Errorf("%w: connection lost mid-call: %v", core.ErrRevoked, cause)})
+	for _, pc := range pending {
+		pc.completeWire(wireResult{err: fmt.Errorf("%w: connection lost mid-call: %v", core.ErrRevoked, cause)})
 	}
 	c.domain.Terminate("remote connection closed")
 }

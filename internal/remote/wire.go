@@ -134,7 +134,8 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
+// readFrame reads one length-prefixed frame into a fresh allocation
+// (handshake paths and tests; the connection read loop uses readFrameInto).
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -149,6 +150,27 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// readFrameInto reads one length-prefixed frame into a pooled frame
+// buffer. The caller (the read loop) owns the returned reference and
+// releases it when dispatch is done with the frame.
+func readFrameInto(r io.Reader) (*frameBuf, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("remote: frame of %d bytes exceeds limit", n)
+	}
+	fb := getFrame(int(n))
+	fb.b = fb.b[:n]
+	if _, err := io.ReadFull(r, fb.b); err != nil {
+		fb.release()
+		return nil, err
+	}
+	return fb, nil
 }
 
 // wbuf builds a frame payload.
@@ -264,14 +286,18 @@ type invokeFrame struct {
 	args       []byte // seri stream, aliases the frame buffer
 }
 
-// replyFrame is one decoded invocation reply (single or batched).
+// replyFrame is one decoded invocation reply (single or batched). It
+// doubles as the outbound reply representation: serveInvoke encodes
+// result streams into a pooled buffer recorded in bodyBuf (nil on parsed
+// inbound frames), which the reply sender releases after the write.
 type replyFrame struct {
-	reqID  uint64
-	status byte
-	body   []byte // statusOK: seri stream of results
-	kind   byte   // statusErr: wire error kind
-	class  string
-	msg    string
+	reqID   uint64
+	status  byte
+	body    []byte // statusOK: seri stream of results
+	kind    byte   // statusErr: wire error kind
+	class   string
+	msg     string
+	bodyBuf *frameBuf // outbound only: pooled owner of body
 }
 
 // revokeFrame is a pushed revocation.
@@ -810,13 +836,21 @@ func decodeFrame(frame []byte) (byte, any, error) {
 
 // --- frame encoders ---------------------------------------------------------
 
-// appendBatchCall appends one call to a msgBatchInvoke body.
-func appendBatchCall(w *wbuf, reqID, exportID uint64, method string, traceID, parentSpan uint64, args []byte) {
+// appendBatchCallHeader appends one call's header (everything but the
+// argument bytes) to a msgBatchInvoke body. The vectored sender emits the
+// args as their own write segment, so the header declares the length and
+// the payload never moves.
+func appendBatchCallHeader(w *wbuf, reqID, exportID uint64, method string, traceID, parentSpan uint64, argLen int) {
 	w.uvarint(reqID)
 	w.uvarint(exportID)
 	w.str(method)
 	appendTrace(w, traceID, parentSpan)
-	w.uvarint(uint64(len(args)))
+	w.uvarint(uint64(argLen))
+}
+
+// appendBatchCall appends one complete call to a msgBatchInvoke body.
+func appendBatchCall(w *wbuf, reqID, exportID uint64, method string, traceID, parentSpan uint64, args []byte) {
+	appendBatchCallHeader(w, reqID, exportID, method, traceID, parentSpan, len(args))
 	w.raw(args)
 }
 

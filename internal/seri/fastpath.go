@@ -1,0 +1,338 @@
+// Generated per-type marshalers: the seri fast path.
+//
+// Registering a struct type compiles a typePlan — closures over the
+// precomputed field layout (indices, pre-encoded name prefixes, per-kind
+// append/decode functions) — so encoding a registered value walks an array
+// of monomorphic closures instead of re-deriving the layout reflectively
+// on every call (the run-time stub-generation idea of the paper's LRMI
+// stubs, applied to the serializer). Scalar fields (bools, ints, uints,
+// floats, strings, byte slices) encode and decode through direct closures;
+// anything recursive or dynamic (pointers, maps, nested structs, element
+// slices, interfaces) falls back to the generic walker for that field
+// only, preserving alias/cycle tracking.
+//
+// The contract, held by the differential fuzz target: with the fast path
+// on or off, the encoded stream is byte-identical and decode yields
+// reflect.DeepEqual values. The plan therefore replicates the walker's
+// exact tag order, alias-table bookkeeping, and error behavior.
+package seri
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// typePlan is the generated marshaler for one registered struct type.
+type typePlan struct {
+	name   string
+	t      reflect.Type
+	header []byte // tagStruct + uvarint(exported field count), precomputed
+	fields []fieldPlan
+	byName map[string]int // wire field name -> fields index (decode dispatch)
+	fast   int            // fields with a direct scalar closure (diagnostics)
+}
+
+// fieldPlan is one exported field's compiled encode/decode pair.
+type fieldPlan struct {
+	idx   int // struct field index
+	name  string
+	nameB []byte // uvarint(len(name)) + name, precomputed
+	enc   func(e *encoder, v reflect.Value) error
+	dec   func(d *decoder, v reflect.Value) error
+	fast  bool
+}
+
+// appendTo encodes v (a struct of plan type) into e.buf, byte-identical to
+// the generic walker's struct case.
+func (p *typePlan) appendTo(e *encoder, v reflect.Value) error {
+	e.buf = append(e.buf, p.header...)
+	for i := range p.fields {
+		f := &p.fields[i]
+		e.buf = append(e.buf, f.nameB...)
+		if err := f.enc(e, v.Field(f.idx)); err != nil {
+			return fmt.Errorf("field %s: %w", f.name, err)
+		}
+	}
+	return nil
+}
+
+// decodeInto fills v from the stream after the caller consumed tagStruct.
+// Field dispatch is one map hit on the precomputed name table instead of
+// reflect.Value.FieldByName's linear scan.
+func (p *typePlan) decodeInto(d *decoder, v reflect.Value) error {
+	n, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		fname, err := d.strBytes()
+		if err != nil {
+			return err
+		}
+		// string(fname) in the map index does not allocate; the name is
+		// only materialized on the error paths.
+		fi, ok := p.byName[string(fname)]
+		if !ok {
+			return d.fail("no field %q in %v", string(fname), p.t)
+		}
+		f := &p.fields[fi]
+		if err := f.dec(d, v.Field(f.idx)); err != nil {
+			return fmt.Errorf("field %s: %w", string(fname), err)
+		}
+	}
+	return nil
+}
+
+// compilePlan builds the generated marshaler for a registered struct type.
+// Runs once, at Register time.
+func compilePlan(name string, t reflect.Type) *typePlan {
+	p := &typePlan{name: name, t: t, byName: make(map[string]int)}
+	n := 0
+	for i := 0; i < t.NumField(); i++ {
+		if t.Field(i).IsExported() {
+			n++
+		}
+	}
+	p.header = append(p.header, tagStruct)
+	p.header = binary.AppendUvarint(p.header, uint64(n))
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		if !sf.IsExported() {
+			continue
+		}
+		f := fieldPlan{idx: i, name: sf.Name}
+		f.nameB = binary.AppendUvarint(f.nameB, uint64(len(sf.Name)))
+		f.nameB = append(f.nameB, sf.Name...)
+		f.enc, f.dec, f.fast = compileField(sf.Type)
+		p.byName[sf.Name] = len(p.fields)
+		if f.fast {
+			p.fast++
+		}
+		p.fields = append(p.fields, f)
+	}
+	return p
+}
+
+// compileField picks the scalar fast closures where the field kind allows
+// it and the generic walker otherwise. The fast decoders read the tag and,
+// on any mismatch (a hostile or cross-version stream), rewind one byte and
+// hand the slot to the generic path so error behavior stays identical.
+func compileField(ft reflect.Type) (enc func(*encoder, reflect.Value) error, dec func(*decoder, reflect.Value) error, fast bool) {
+	switch ft.Kind() {
+	case reflect.Bool:
+		return func(e *encoder, v reflect.Value) error {
+				if v.Bool() {
+					e.buf = append(e.buf, tagBool, 1)
+				} else {
+					e.buf = append(e.buf, tagBool, 0)
+				}
+				return nil
+			}, func(d *decoder, v reflect.Value) error {
+				tag, err := d.byte()
+				if err != nil {
+					return err
+				}
+				if tag != tagBool {
+					d.pos--
+					return d.decodeInto(v)
+				}
+				b, err := d.byte()
+				if err != nil {
+					return err
+				}
+				v.SetBool(b != 0)
+				return nil
+			}, true
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return func(e *encoder, v reflect.Value) error {
+				e.buf = append(e.buf, tagInt)
+				e.buf = binary.AppendVarint(e.buf, v.Int())
+				return nil
+			}, func(d *decoder, v reflect.Value) error {
+				tag, err := d.byte()
+				if err != nil {
+					return err
+				}
+				if tag != tagInt {
+					d.pos--
+					return d.decodeInto(v)
+				}
+				i, err := d.varint()
+				if err != nil {
+					return err
+				}
+				v.SetInt(i)
+				return nil
+			}, true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return func(e *encoder, v reflect.Value) error {
+				e.buf = append(e.buf, tagUint)
+				e.buf = binary.AppendUvarint(e.buf, v.Uint())
+				return nil
+			}, func(d *decoder, v reflect.Value) error {
+				tag, err := d.byte()
+				if err != nil {
+					return err
+				}
+				if tag != tagUint {
+					d.pos--
+					return d.decodeInto(v)
+				}
+				u, err := d.uvarint()
+				if err != nil {
+					return err
+				}
+				v.SetUint(u)
+				return nil
+			}, true
+	case reflect.Float32, reflect.Float64:
+		return func(e *encoder, v reflect.Value) error {
+				e.buf = append(e.buf, tagFloat)
+				e.buf = binary.AppendUvarint(e.buf, math.Float64bits(v.Float()))
+				return nil
+			}, func(d *decoder, v reflect.Value) error {
+				tag, err := d.byte()
+				if err != nil {
+					return err
+				}
+				if tag != tagFloat {
+					d.pos--
+					return d.decodeInto(v)
+				}
+				u, err := d.uvarint()
+				if err != nil {
+					return err
+				}
+				v.SetFloat(math.Float64frombits(u))
+				return nil
+			}, true
+	case reflect.String:
+		return func(e *encoder, v reflect.Value) error {
+				s := v.String()
+				e.buf = append(e.buf, tagString)
+				e.buf = binary.AppendUvarint(e.buf, uint64(len(s)))
+				e.buf = append(e.buf, s...)
+				return nil
+			}, func(d *decoder, v reflect.Value) error {
+				tag, err := d.byte()
+				if err != nil {
+					return err
+				}
+				if tag != tagString {
+					d.pos--
+					return d.decodeInto(v)
+				}
+				s, err := d.str()
+				if err != nil {
+					return err
+				}
+				v.SetString(s)
+				return nil
+			}, true
+	case reflect.Slice:
+		if ft.Elem().Kind() != reflect.Uint8 {
+			break
+		}
+		// Byte slices keep the walker's alias-table bookkeeping (overlapping
+		// slices of one array must still dedup through tagRef) but skip the
+		// per-call kind dispatch.
+		sliceType := ft
+		return func(e *encoder, v reflect.Value) error {
+				if v.IsNil() {
+					e.buf = append(e.buf, tagNil)
+					return nil
+				}
+				key := unsafePtr{p: v.Pointer(), t: sliceType, n: v.Len()}
+				if id, ok := e.seen[key]; ok {
+					e.buf = append(e.buf, tagRef)
+					e.buf = binary.AppendUvarint(e.buf, id)
+					return nil
+				}
+				e.seen[key] = e.next
+				e.next++
+				e.buf = append(e.buf, tagBytes)
+				e.buf = binary.AppendUvarint(e.buf, uint64(v.Len()))
+				e.buf = append(e.buf, v.Bytes()...)
+				return nil
+			}, func(d *decoder, v reflect.Value) error {
+				tag, err := d.byte()
+				if err != nil {
+					return err
+				}
+				if tag != tagBytes {
+					d.pos--
+					return d.decodeInto(v)
+				}
+				n, err := d.uvarint()
+				if err != nil {
+					return err
+				}
+				if n > uint64(len(d.buf)-d.pos) {
+					return d.fail("bytes of %d overruns buffer", n)
+				}
+				// Copy-on-decode: the result must not alias d.buf, which
+				// transports recycle the moment decode returns.
+				b := make([]byte, n)
+				copy(b, d.buf[d.pos:])
+				d.pos += int(n)
+				v.SetBytes(b)
+				d.objs = append(d.objs, v)
+				return nil
+			}, true
+	}
+	return func(e *encoder, v reflect.Value) error { return e.encodeElem(v) },
+		func(d *decoder, v reflect.Value) error { return d.decodeInto(v) },
+		false
+}
+
+// PlanInfo describes the generated marshaler compiled for a registered
+// type — the stub-generation report surfaced through
+// core.Kernel.RegisterWireType.
+type PlanInfo struct {
+	Name           string // registered wire name
+	Type           string // Go type
+	Generated      bool   // a generated marshaler exists (struct types)
+	FastFields     int    // fields encoded by direct scalar closures
+	FallbackFields int    // fields routed through the generic walker
+}
+
+// Plans reports the generated-marshaler plan of every registered type,
+// sorted by wire name.
+func (r *Registry) Plans() []PlanInfo {
+	if r == nil {
+		return nil
+	}
+	s := r.state.Load()
+	out := make([]PlanInfo, 0, len(s.byName))
+	for name, t := range s.byName {
+		info := PlanInfo{Name: name, Type: fmt.Sprint(t)}
+		if p := s.plansByName[name]; p != nil {
+			info.Generated = true
+			info.FastFields = p.fast
+			info.FallbackFields = len(p.fields) - p.fast
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PlanOf reports the generated-marshaler plan for sample's dynamic type.
+func (r *Registry) PlanOf(sample any) PlanInfo {
+	t := reflect.TypeOf(sample)
+	info := PlanInfo{Type: fmt.Sprint(t)}
+	if r == nil {
+		return info
+	}
+	s := r.state.Load()
+	info.Name = s.byType[t]
+	if p := s.plans[t]; p != nil {
+		info.Generated = true
+		info.FastFields = p.fast
+		info.FallbackFields = len(p.fields) - p.fast
+	}
+	return info
+}

@@ -1,0 +1,229 @@
+package seri
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fastProbe covers every kind the plan compiler handles: one field per
+// scalar fast path, aliased byte slices, and the fallback kinds (pointer,
+// element slice, map, nested struct, interface).
+type fastProbe struct {
+	B    bool
+	I8   int8
+	I    int64
+	U    uint64
+	F32  float32
+	F    float64
+	S    string
+	Raw  []byte
+	Raw2 []byte
+	Ptr  *Point
+	Seq  []string
+	M    map[string]int64 // differential fixtures keep ≤1 entry: map order is nondeterministic
+	Sub  Point
+	Any  any
+}
+
+func fastReg() *Registry {
+	r := reg()
+	r.Register("fastProbe", fastProbe{})
+	return r
+}
+
+// diffMarshal encodes v twice — generated marshalers on, then off — and
+// fails unless the streams are byte-identical.
+func diffMarshal(t *testing.T, r *Registry, v any) []byte {
+	t.Helper()
+	fast, ferr := Marshal(r, v)
+	r.SetFastpath(false)
+	slow, serr := Marshal(r, v)
+	r.SetFastpath(true)
+	if (ferr == nil) != (serr == nil) {
+		t.Fatalf("fastpath error mismatch: fast=%v slow=%v", ferr, serr)
+	}
+	if ferr != nil {
+		return nil
+	}
+	if !bytes.Equal(fast, slow) {
+		t.Fatalf("fastpath stream differs from reflect walker\nfast: %x\nslow: %x", fast, slow)
+	}
+	return fast
+}
+
+// diffUnmarshal decodes data twice — plans on, then off — and fails unless
+// both agree with each other and with want.
+func diffUnmarshal(t *testing.T, r *Registry, data []byte, want any) {
+	t.Helper()
+	fast, ferr := Unmarshal(r, data)
+	r.SetFastpath(false)
+	slow, serr := Unmarshal(r, data)
+	r.SetFastpath(true)
+	if (ferr == nil) != (serr == nil) {
+		t.Fatalf("fastpath decode error mismatch: fast=%v slow=%v", ferr, serr)
+	}
+	if ferr != nil {
+		return
+	}
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("fastpath decode differs from reflect walker\nfast: %#v\nslow: %#v", fast, slow)
+	}
+	if want != nil && !reflect.DeepEqual(fast, want) {
+		t.Fatalf("decode mismatch\ngot:  %#v\nwant: %#v", fast, want)
+	}
+}
+
+func TestFastpathDifferentialFixtures(t *testing.T) {
+	shared := []byte("shared-backing")
+	pt := &Point{X: 7, Y: -9}
+	cyc := &Node{Val: 1}
+	cyc.Next = cyc
+	cases := []any{
+		Point{X: 1, Y: 2},
+		Point{},
+		Node{Val: 5, Next: &Node{Val: 6}},
+		*cyc,
+		Doc{Title: "t", Body: []byte{1, 2, 3}, Tags: []string{"a", "b"}, Meta: map[string]int64{"k": 9}, At: pt},
+		Doc{},
+		fastProbe{
+			B: true, I8: -8, I: 1 << 40, U: 1<<63 + 3, F32: 1.5, F: -2.25,
+			S: "héllo\x00", Raw: shared, Raw2: shared, Ptr: pt,
+			Seq: []string{"x", ""}, M: map[string]int64{"one": 1},
+			Sub: Point{X: 3}, Any: int64(42),
+		},
+		fastProbe{Raw: []byte{}, Any: Point{X: 1}},
+		fastProbe{S: string(make([]byte, 300))},
+	}
+	r := fastReg()
+	for i, v := range cases {
+		data := diffMarshal(t, r, v)
+		if data == nil {
+			t.Fatalf("case %d: marshal failed", i)
+		}
+		diffUnmarshal(t, r, data, v)
+	}
+}
+
+// TestFastpathAliasingPreserved pins the alias-table contract: byte slices
+// shared between fast-path fields must still dedup through tagRef and come
+// back as one backing array.
+func TestFastpathAliasingPreserved(t *testing.T) {
+	r := fastReg()
+	shared := []byte("alias")
+	in := fastProbe{Raw: shared, Raw2: shared}
+	data, err := Marshal(r, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(r, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(fastProbe)
+	if len(got.Raw) == 0 || &got.Raw[0] != &got.Raw2[0] {
+		t.Fatalf("shared byte slices decoded to separate backings")
+	}
+	got.Raw[0] = 'X'
+	if got.Raw2[0] != 'X' {
+		t.Fatalf("alias broken after decode")
+	}
+}
+
+// TestFastpathDecodeTolerantOfForeignTags pins the rewind fallback: a fast
+// scalar slot fed a tag the fast decoder does not handle (tagNil, or a
+// dynamically typed value) must defer to the generic walker, not error.
+func TestFastpathDecodeTolerantOfForeignTags(t *testing.T) {
+	r := fastReg()
+	// tagNil in fast slots: a zero Doc encodes Body/Tags/Meta/At as tagNil.
+	data, err := Marshal(r, Doc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(r, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, Doc{}) {
+		t.Fatalf("zero Doc round-trip: %#v", out)
+	}
+}
+
+func TestPlanOf(t *testing.T) {
+	r := fastReg()
+	info := r.PlanOf(fastProbe{})
+	if !info.Generated || info.Name != "fastProbe" {
+		t.Fatalf("PlanOf(fastProbe) = %+v", info)
+	}
+	// B, I8, I, U, F32, F, S, Raw, Raw2 are fast; Ptr, Seq, M, Sub, Any fall back.
+	if info.FastFields != 9 || info.FallbackFields != 5 {
+		t.Fatalf("PlanOf(fastProbe) fields = %+v", info)
+	}
+	if got := r.PlanOf(struct{ Z int }{}); got.Generated || got.Name != "" {
+		t.Fatalf("PlanOf(unregistered) = %+v", got)
+	}
+	var nilReg *Registry
+	if got := nilReg.PlanOf(Point{}); got.Generated {
+		t.Fatalf("PlanOf on nil registry = %+v", got)
+	}
+}
+
+func TestSetFastpathToggles(t *testing.T) {
+	r := fastReg()
+	r.SetFastpath(false)
+	if p := r.planFor(reflect.TypeOf(Point{})); p != nil {
+		t.Fatal("planFor returned a plan with fastpath off")
+	}
+	r.SetFastpath(true)
+	if p := r.planFor(reflect.TypeOf(Point{})); p == nil {
+		t.Fatal("planFor returned nil with fastpath on")
+	}
+}
+
+// FuzzFastpathDifferential drives randomized fixture graphs through both
+// encoders and both decoders, asserting byte-identical streams and
+// reflect.DeepEqual results. Maps are capped at one entry (iteration order
+// would otherwise make even the reflect walker nondeterministic) and NaN is
+// excluded (NaN != NaN breaks DeepEqual, not the codec).
+func FuzzFastpathDifferential(f *testing.F) {
+	f.Add(true, int64(-5), uint64(99), 1.25, "s", []byte("raw"), uint8(3), true)
+	f.Add(false, int64(0), uint64(0), 0.0, "", []byte(nil), uint8(0), false)
+	f.Add(true, int64(1<<62), uint64(1<<63), -9.75, "κλμ", []byte{0, 255}, uint8(7), true)
+	f.Fuzz(func(t *testing.T, b bool, i int64, u uint64, fl float64, s string, raw []byte, n uint8, alias bool) {
+		if fl != fl {
+			fl = 0 // NaN
+		}
+		r := fastReg()
+		probe := fastProbe{
+			B: b, I8: int8(i), I: i, U: u, F32: float32(fl), F: fl,
+			S: s, Raw: raw, Seq: []string{s, s}, Sub: Point{X: i, Y: int64(u)},
+			Any: u,
+		}
+		if alias {
+			probe.Raw2 = raw
+		} else {
+			probe.Raw2 = append([]byte("x"), raw...)
+		}
+		if n%2 == 0 {
+			probe.M = map[string]int64{s: i}
+		}
+		// A short pointer chain, optionally cyclic, exercises the fallback
+		// closures' alias bookkeeping interleaved with fast fields.
+		head := &Node{Val: i}
+		cur := head
+		for k := 0; k < int(n%8); k++ {
+			cur.Next = &Node{Val: i + int64(k)}
+			cur = cur.Next
+		}
+		if alias {
+			cur.Next = head
+		}
+		for _, v := range []any{probe, *head, Doc{Title: s, Body: raw}} {
+			data := diffMarshal(t, r, v)
+			if data == nil {
+				continue
+			}
+			diffUnmarshal(t, r, data, nil)
+		}
+	})
+}

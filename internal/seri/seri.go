@@ -17,6 +17,7 @@ import (
 	"math"
 	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
 // Stream tags.
@@ -39,37 +40,102 @@ const (
 
 // Registry maps type names to concrete types for decoding. A nil *Registry
 // is valid and knows only primitive shapes.
+//
+// Registering a struct type also compiles a generated marshaler for it (see
+// fastpath.go): a per-type plan of closures over the precomputed field
+// layout that the encoder and decoder consult before falling back to the
+// generic reflect walker. Registration is rare and lookups are the hot
+// path, so the registry keeps its tables in an immutable snapshot swapped
+// atomically on Register — readers never lock.
 type Registry struct {
-	mu     sync.RWMutex
-	byName map[string]reflect.Type
-	byType map[reflect.Type]string
+	mu    sync.Mutex // serializes Register/SetFastpath (writers only)
+	state atomic.Pointer[regState]
+}
+
+// regState is one immutable registry snapshot.
+type regState struct {
+	fast        bool // generated marshalers enabled (default true)
+	byName      map[string]reflect.Type
+	byType      map[reflect.Type]string
+	plans       map[reflect.Type]*typePlan
+	plansByName map[string]*typePlan
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		byName: make(map[string]reflect.Type),
-		byType: make(map[reflect.Type]string),
+	r := &Registry{}
+	r.state.Store(&regState{
+		fast:        true,
+		byName:      make(map[string]reflect.Type),
+		byType:      make(map[reflect.Type]string),
+		plans:       make(map[reflect.Type]*typePlan),
+		plansByName: make(map[string]*typePlan),
+	})
+	return r
+}
+
+// clone copies s for a write; the maps are duplicated so the previous
+// snapshot stays valid for concurrent readers.
+func (s *regState) clone() *regState {
+	n := &regState{
+		fast:        s.fast,
+		byName:      make(map[string]reflect.Type, len(s.byName)+1),
+		byType:      make(map[reflect.Type]string, len(s.byType)+1),
+		plans:       make(map[reflect.Type]*typePlan, len(s.plans)+1),
+		plansByName: make(map[string]*typePlan, len(s.plansByName)+1),
 	}
+	for k, v := range s.byName {
+		n.byName[k] = v
+	}
+	for k, v := range s.byType {
+		n.byType[k] = v
+	}
+	for k, v := range s.plans {
+		n.plans[k] = v
+	}
+	for k, v := range s.plansByName {
+		n.plansByName[k] = v
+	}
+	return n
 }
 
 // Register binds name to the dynamic type of sample (a value, not a
 // pointer, for struct types; pointer types register their element too).
+// Struct types get a generated marshaler compiled here, at register time,
+// so no call ever pays the layout walk.
 func (r *Registry) Register(name string, sample any) {
 	t := reflect.TypeOf(sample)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.byName[name] = t
-	r.byType[t] = name
+	s := r.state.Load().clone()
+	s.byName[name] = t
+	s.byType[t] = name
+	if t.Kind() == reflect.Struct {
+		p := compilePlan(name, t)
+		s.plans[t] = p
+		s.plansByName[name] = p
+	}
+	r.state.Store(s)
+}
+
+// SetFastpath toggles the generated marshalers (on by default). With the
+// fast path off, every encode and decode goes through the generic reflect
+// walker — the two must produce byte-identical streams, which is what the
+// differential fuzz target holds them to.
+func (r *Registry) SetFastpath(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.state.Load().clone()
+	s.fast = on
+	r.state.Store(s)
 }
 
 func (r *Registry) nameOf(t reflect.Type) (string, bool) {
 	if r == nil {
 		return "", false
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	n, ok := r.byType[t]
+	s := r.state.Load()
+	n, ok := s.byType[t]
 	return n, ok
 }
 
@@ -77,10 +143,22 @@ func (r *Registry) typeOf(name string) (reflect.Type, bool) {
 	if r == nil {
 		return nil, false
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	t, ok := r.byName[name]
+	s := r.state.Load()
+	t, ok := s.byName[name]
 	return t, ok
+}
+
+// planFor returns the generated marshaler plan for t, or nil when t is
+// unregistered or the fast path is disabled.
+func (r *Registry) planFor(t reflect.Type) *typePlan {
+	if r == nil {
+		return nil
+	}
+	s := r.state.Load()
+	if !s.fast {
+		return nil
+	}
+	return s.plans[t]
 }
 
 // External resolves values that cross the stream by reference rather than
@@ -104,11 +182,36 @@ func Marshal(r *Registry, v any) ([]byte, error) {
 
 // MarshalExt is Marshal with an External hook for capability references.
 func MarshalExt(r *Registry, v any, ext External) ([]byte, error) {
-	e := &encoder{reg: r, ext: ext, seen: map[unsafePtr]uint64{}}
-	if err := e.encodeIface(reflect.ValueOf(v)); err != nil {
+	return AppendMarshalExt(nil, r, v, ext)
+}
+
+// encPool recycles encoders (and their alias-tracking maps) across calls;
+// the per-encode state is reset on put, and the seen map keeps its buckets
+// warm, so steady-state marshalling allocates only the output it grows.
+var encPool = sync.Pool{
+	New: func() any { return &encoder{seen: make(map[unsafePtr]uint64)} },
+}
+
+// AppendMarshalExt encodes v like MarshalExt but appends the stream to dst
+// and returns the extended slice (which may have been reallocated, exactly
+// like append). It is the zero-copy entry point for transports that encode
+// directly into a framed output buffer instead of paying an intermediate
+// byte array per payload.
+func AppendMarshalExt(dst []byte, r *Registry, v any, ext External) ([]byte, error) {
+	e := encPool.Get().(*encoder)
+	e.reg, e.ext, e.buf = r, ext, dst
+	err := e.encodeIface(reflect.ValueOf(v))
+	buf := e.buf
+	e.reg, e.ext, e.buf = nil, nil, nil
+	if e.next != 0 {
+		clear(e.seen)
+		e.next = 0
+	}
+	encPool.Put(e)
+	if err != nil {
 		return nil, err
 	}
-	return e.buf, nil
+	return buf, nil
 }
 
 // Unmarshal decodes a stream produced by Marshal.
@@ -116,17 +219,33 @@ func Unmarshal(r *Registry, data []byte) (any, error) {
 	return UnmarshalExt(r, data, nil)
 }
 
+// decPool recycles decoders. The objs table is cleared (dropping its
+// references into the decoded graph) before put, and oversized tables are
+// released so one huge decode does not pin its footprint forever.
+var decPool = sync.Pool{
+	New: func() any { return &decoder{} },
+}
+
 // UnmarshalExt is Unmarshal with an External hook for capability
 // references. A stream containing capability references fails to decode
 // without one.
 func UnmarshalExt(r *Registry, data []byte, ext External) (any, error) {
-	d := &decoder{reg: r, ext: ext, buf: data, objs: nil}
+	d := decPool.Get().(*decoder)
+	d.reg, d.ext, d.buf, d.pos, d.depth = r, ext, data, 0, 0
 	v, err := d.decodeIface()
+	if err == nil && d.pos != len(d.buf) {
+		err = fmt.Errorf("seri: %d trailing bytes", len(d.buf)-d.pos)
+	}
+	d.reg, d.ext, d.buf = nil, nil, nil
+	if cap(d.objs) > 1024 {
+		d.objs = nil
+	} else {
+		clear(d.objs)
+		d.objs = d.objs[:0]
+	}
+	decPool.Put(d)
 	if err != nil {
 		return nil, err
-	}
-	if d.pos != len(d.buf) {
-		return nil, fmt.Errorf("seri: %d trailing bytes", len(d.buf)-d.pos)
 	}
 	return v, nil
 }
@@ -198,6 +317,15 @@ func (e *encoder) encodeIface(v reflect.Value) error {
 	}
 	if done, err := e.encodeExternal(v); done || err != nil {
 		return err
+	}
+	// Registered structs take the generated marshaler: one plan lookup
+	// yields both the wire name and the compiled field appenders.
+	if v.Kind() == reflect.Struct {
+		if p := e.reg.planFor(v.Type()); p != nil {
+			e.byte(tagIface)
+			e.str(p.name)
+			return p.appendTo(e, v)
+		}
 	}
 	e.byte(tagIface)
 	name, err := e.typeName(v.Type())
@@ -349,6 +477,9 @@ func (e *encoder) encode(v reflect.Value) error {
 		e.byte(tagPtr)
 		return e.encode(v.Elem())
 	case reflect.Struct:
+		if p := e.reg.planFor(v.Type()); p != nil {
+			return p.appendTo(e, v)
+		}
 		e.byte(tagStruct)
 		t := v.Type()
 		n := 0
@@ -470,6 +601,24 @@ func (d *decoder) str() (string, error) {
 	s := string(d.buf[d.pos : d.pos+int(n)])
 	d.pos += int(n)
 	return s, nil
+}
+
+// strBytes reads a length-prefixed string as a transient byte slice
+// aliasing the input buffer — valid only until the caller advances or
+// returns. The generated decoders use it for field-name dispatch so a map
+// hit costs no allocation (a map[string]T lookup keyed by string(bytes)
+// does not materialize the string).
+func (d *decoder) strBytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, d.fail("string of %d bytes overruns buffer", n)
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
 }
 
 // decodeIface reads a dynamically typed value.
@@ -753,6 +902,9 @@ func (d *decoder) decodeInto0(v reflect.Value) error {
 	case tagStruct:
 		if v.Kind() != reflect.Struct {
 			return d.fail("struct tag for %v", v.Kind())
+		}
+		if p := d.reg.planFor(v.Type()); p != nil {
+			return p.decodeInto(d, v)
 		}
 		n, err := d.uvarint()
 		if err != nil {
