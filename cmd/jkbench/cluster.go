@@ -1,0 +1,182 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jkernel/internal/core"
+	"jkernel/internal/httpd"
+	"jkernel/internal/sched"
+	"jkernel/internal/telemetry"
+)
+
+// capacityMu serializes capacityServlet across one worker process: each
+// request holds it for capacityWork of timer sleep, modeling a worker
+// with a fixed serial request capacity (~1000 req/s). Timer-based work
+// scales with the number of worker *processes*, not host cores, so the
+// scheduled-pool speedup is measurable even on a single-core CI box.
+var capacityMu sync.Mutex
+
+const capacityWork = time.Millisecond
+
+// capacityServlet is table 13's load target.
+type capacityServlet struct{}
+
+func (capacityServlet) Service(req *httpd.Request) (*httpd.Response, error) {
+	capacityMu.Lock()
+	time.Sleep(capacityWork)
+	capacityMu.Unlock()
+	return &httpd.Response{Status: 200, Body: []byte("ok")}, nil
+}
+
+// clusterBenchWorker is the worker half of table 13, installed alongside
+// remoteBenchSetup's plain exports.
+func clusterBenchWorker(k *core.Kernel) error {
+	_, err := sched.ServeWorker(k, map[string]func() httpd.Servlet{
+		"capacity": func() httpd.Servlet { return capacityServlet{} },
+	})
+	return err
+}
+
+// table13Shards spreads the load across enough placements that every
+// worker in the largest configuration owns two.
+const table13Shards = 8
+
+// runClusterLoad starts a cluster of exactly `workers` workers, deploys
+// the capacity shards, and hammers the front server with `clients`
+// concurrent HTTP connections for `dur`. Returns sustained throughput
+// (req/s) and the p50/p99 request latency.
+func runClusterLoad(workers, clients int, dur time.Duration) (thr float64, p50, p99 time.Duration) {
+	k := core.MustNew(core.Options{})
+	bridge, err := httpd.NewBridge(k)
+	check(err)
+	s, err := sched.Start(sched.Options{
+		Kernel:     k,
+		Bridge:     bridge,
+		MinWorkers: workers,
+		Strategy:   sched.LeastLoaded(),
+		Autoscale:  sched.AutoscaleConfig{Disabled: true},
+	})
+	check(err)
+	defer s.Close()
+	for i := 0; i < table13Shards; i++ {
+		check(s.Deploy(fmt.Sprintf("cap%d", i), fmt.Sprintf("/c%d/", i),
+			sched.DeploySpec{Kind: "native", Impl: "capacity"}))
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	srv := &http.Server{Handler: bridge}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	transport := &http.Transport{
+		MaxIdleConns:        clients + 64,
+		MaxIdleConnsPerHost: clients + 64,
+	}
+	client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+	defer transport.CloseIdleConnections()
+
+	// Settle first (connections dialed, queues at steady state), then
+	// measure a fixed window.
+	var (
+		measuring atomic.Bool
+		ops       atomic.Int64
+		fails     atomic.Int64
+		hist      telemetry.Histogram
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/c%d/x", base, c%table13Shards)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					fails.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					fails.Add(1)
+					continue
+				}
+				if measuring.Load() {
+					ops.Add(1)
+					hist.Observe(int64(time.Since(t0)))
+				}
+			}
+		}(c)
+	}
+	time.Sleep(dur / 3)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(dur)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if n := fails.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "jkbench: table 13: %d failed request(s) at %d workers\n", n, workers)
+	}
+	thr = float64(ops.Load()) / elapsed.Seconds()
+	p50 = time.Duration(hist.Quantile(0.50))
+	p99 = time.Duration(hist.Quantile(0.99))
+	return thr, p50, p99
+}
+
+// table13 measures the cluster control plane end to end: the same
+// fixed-capacity servlet shards served by a scheduled 4-worker pool vs a
+// single worker, under sustained concurrent HTTP load through the real
+// bridge + wire path. The scheduled pool must deliver the pool-size
+// speedup (gate: >=3x at 4 workers) at no worse tail latency — the whole
+// point of placement.
+func table13() {
+	clients := 2000
+	dur := 3 * time.Second
+	if *quick {
+		clients = 200
+		dur = 1500 * time.Millisecond
+	}
+	fmt.Printf("Table 13. Cluster control plane: %d concurrent HTTP clients, %d capacity shards (beyond the paper)\n",
+		clients, table13Shards)
+	fmt.Printf("  %-34s %10s %10s %10s\n", "Configuration", "req/s", "p50 ms", "p99 ms")
+
+	thr1, p50a, p99a := runClusterLoad(1, clients, dur)
+	fmt.Printf("  %-34s %10.0f %10.1f %10.1f\n", "scheduled pool, 1 worker", thr1,
+		float64(p50a.Microseconds())/1e3, float64(p99a.Microseconds())/1e3)
+	thr4, p50b, p99b := runClusterLoad(4, clients, dur)
+	fmt.Printf("  %-34s %10.0f %10.1f %10.1f\n", "scheduled pool, 4 workers", thr4,
+		float64(p50b.Microseconds())/1e3, float64(p99b.Microseconds())/1e3)
+	ratio := thr4 / thr1
+	fmt.Printf("  %-34s %9.2fx\n", "4-worker / 1-worker throughput", ratio)
+	fmt.Println()
+
+	benchRows = append(benchRows,
+		benchRow{Table: 13, Name: "cluster HTTP load, 1 worker", MicrosPer: 1e6 / thr1, OpsPerSec: thr1,
+			MillisP50: float64(p50a.Microseconds()) / 1e3, MillisP99: float64(p99a.Microseconds()) / 1e3},
+		benchRow{Table: 13, Name: "cluster HTTP load, 4 workers", MicrosPer: 1e6 / thr4, OpsPerSec: thr4,
+			MillisP50: float64(p50b.Microseconds()) / 1e3, MillisP99: float64(p99b.Microseconds()) / 1e3},
+	)
+	recordRatio(13, "cluster 4-worker vs 1-worker throughput", ratio)
+	clusterRatio = ratio
+}
+
+// clusterRatio is table 13's scheduled-pool speedup, checked against
+// -cluster-gate after all tables run.
+var clusterRatio float64

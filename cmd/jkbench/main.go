@@ -12,7 +12,11 @@
 // directly-dialed baseline, and table 12 measures the wire hot path
 // itself — µs/call AND allocs/call for sync, async-batched, and
 // 1 KiB-payload invokes, with the generated marshaler toggled against the
-// reflect walker. See EXPERIMENTS.md for the recorded results.
+// reflect walker. Table 13 is the cluster load harness: thousands of
+// concurrent HTTP clients against fixed-capacity servlet shards, served
+// by a scheduled 4-worker pool vs a single worker — throughput and
+// p50/p99, with the speedup gated by -cluster-gate. See EXPERIMENTS.md
+// for the recorded results.
 //
 //	jkbench                  # all tables
 //	jkbench -table 4         # one table
@@ -47,11 +51,13 @@ import (
 )
 
 var (
-	tableFlag = flag.String("table", "", "comma-separated tables to run (1-12), e.g. 8 or 8,11,12; empty = all")
+	tableFlag = flag.String("table", "", "comma-separated tables to run (1-13), e.g. 8 or 8,11,12; empty = all")
 	quick     = flag.Bool("quick", false, "fewer iterations")
-	jsonFlag  = flag.String("json", "", "write measured rows (remote tables 7-11) as JSON to this file")
+	jsonFlag  = flag.String("json", "", "write measured rows (remote tables 7-13) as JSON to this file")
 	gateFlag  = flag.Float64("telemetry-gate", 0,
 		"fail (exit 1) if table 10's telemetry on/off ratio exceeds this (0 = no gate; CI uses 1.10)")
+	clusterGateFlag = flag.Float64("cluster-gate", 0,
+		"fail (exit 1) if table 13's 4-worker/1-worker throughput ratio falls below this (0 = no gate; CI uses 3.0)")
 )
 
 func main() {
@@ -85,12 +91,18 @@ func main() {
 	run(10, table10)
 	run(11, table11)
 	run(12, table12)
+	run(13, table13)
 	if *jsonFlag != "" {
 		writeBenchJSON(*jsonFlag)
 	}
 	if *gateFlag > 0 && telemetryRatio > *gateFlag {
 		fmt.Fprintf(os.Stderr, "jkbench: telemetry overhead gate FAILED: on/off ratio %.3f > %.3f\n",
 			telemetryRatio, *gateFlag)
+		os.Exit(1)
+	}
+	if *clusterGateFlag > 0 && clusterRatio < *clusterGateFlag {
+		fmt.Fprintf(os.Stderr, "jkbench: cluster throughput gate FAILED: 4-worker/1-worker ratio %.2f < %.2f\n",
+			clusterRatio, *clusterGateFlag)
 		os.Exit(1)
 	}
 }
@@ -105,6 +117,11 @@ type benchRow struct {
 	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
 	AllocsPer float64 `json:"allocs_per_op,omitempty"`
 	Ratio     float64 `json:"ratio,omitempty"`
+	// Load-test latency columns (table 13). Informational: tail latency
+	// under saturation is queue-shaped, so the perf gate reads the
+	// throughput column instead.
+	MillisP50 float64 `json:"p50_ms,omitempty"`
+	MillisP99 float64 `json:"p99_ms,omitempty"`
 }
 
 var benchRows []benchRow
@@ -720,7 +737,11 @@ func remoteBenchSetup(k *core.Kernel) error {
 	if err != nil {
 		return err
 	}
-	return k.Export("null", cap)
+	if err := k.Export("null", cap); err != nil {
+		return err
+	}
+	// Table 13's workers additionally carry the control plane's deployer.
+	return clusterBenchWorker(k)
 }
 
 // table7 contrasts local LRMI with remote (cross-kernel) capability

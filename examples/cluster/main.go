@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"jkernel"
+	"jkernel/servlet"
 )
 
 func main() {
@@ -247,7 +248,99 @@ func main() {
 	fmt.Printf("-- worker 0 restarted (restarts=%d): fresh counter shard at %v\n",
 		pool.Worker(0).Restarts(), res[0])
 
+	// --- Cluster control plane -------------------------------------------
+	// Everything above drives workers by hand. The scheduler automates it:
+	// a bridge fronts servlets placed across a managed pool, and a crashed
+	// worker's servlets fail over to survivors within a probe interval.
+	fmt.Println("-- starting control plane: bridge + 2 scheduled workers (consistent-hash)")
+	bridge, err := servlet.NewBridge(sup)
+	check(err)
+	cluster, err := jkernel.StartCluster(jkernel.ClusterOptions{
+		Kernel:        sup,
+		Bridge:        bridge,
+		MinWorkers:    2,
+		Strategy:      jkernel.ConsistentHash(),
+		ProbeInterval: 100 * time.Millisecond,
+		Autoscale:     jkernel.ClusterAutoscale{Disabled: true},
+	})
+	check(err)
+	defer cluster.Close()
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		check(cluster.Deploy(name, "/"+name+"/", jkernel.DeploySpec{Kind: "native", Impl: "hello"}))
+	}
+	stats := jkernel.ClusterStats(cluster)
+	for _, sv := range stats.Servlets {
+		fmt.Printf("   servlet %q placed on worker %d\n", sv.Name, sv.Worker)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	defer cln.Close()
+	go http.Serve(cln, bridge)
+	fmt.Printf("-- GET /alpha/hi: %s\n", httpGet(fmt.Sprintf("http://%s/alpha/hi", cln.Addr())))
+
+	// Failover drill: SIGKILL the worker hosting "alpha". The pool
+	// restarts the process; meanwhile the scheduler re-places alpha onto
+	// the survivor, and — the strategy being sticky — pulls it home once
+	// the restarted worker passes readiness.
+	owner := -1
+	for _, sv := range jkernel.ClusterStats(cluster).Servlets {
+		if sv.Name == "alpha" {
+			owner = sv.Worker
+		}
+	}
+	for _, w := range cluster.Pool().Workers() {
+		if w.Index == owner {
+			check(w.Kill())
+		}
+	}
+	fmt.Printf("-- killed worker %d (owner of alpha)\n", owner)
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/alpha/hi", cln.Addr()))
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				fmt.Printf("-- alpha failed over: %s\n", body)
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fail("alpha never failed over")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stats = jkernel.ClusterStats(cluster)
+	fmt.Printf("-- control plane: %d replacement(s), %d move(s); workers:\n", stats.Replaces, stats.Moves)
+	for _, w := range stats.Workers {
+		fmt.Printf("   worker %d: %s (restarts=%d, servlets=%v)\n", w.Worker, w.State, w.Restarts, w.Servlets)
+	}
+
 	fmt.Println("== cluster demo complete ==")
+}
+
+// helloServlet is the control-plane demo's native servlet: its body names
+// the worker process serving it, so failover is visible in the output.
+type helloServlet struct{}
+
+func (helloServlet) Service(req *servlet.Request) (*servlet.Response, error) {
+	return &servlet.Response{
+		Status: 200,
+		Body:   []byte(fmt.Sprintf("hello from pid %d: %s", os.Getpid(), req.Path)),
+	}, nil
+}
+
+// httpGet fetches url and returns the body, failing the demo on error.
+func httpGet(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		fail("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return string(body)
 }
 
 // workerSetup is the worker kernel body: a counter shard, plus an admin
@@ -289,7 +382,15 @@ func workerSetup(k *jkernel.Kernel) error {
 	if err != nil {
 		return err
 	}
-	return k.Export("jk.telemetry", tel)
+	if err := k.Export("jk.telemetry", tel); err != nil {
+		return err
+	}
+	// The control-plane demo's deployer: lets the scheduler place "hello"
+	// servlets on this worker.
+	_, err = jkernel.ServeClusterWorker(k, map[string]func() servlet.Servlet{
+		"hello": func() servlet.Servlet { return helloServlet{} },
+	})
+	return err
 }
 
 // holderSvc keeps a capability handed to it and calls through it later —

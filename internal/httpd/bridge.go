@@ -9,10 +9,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jkernel/internal/core"
-	"jkernel/internal/vmkit"
 )
 
 // servletIfaceSrc is the shared VM servlet interface — the contract every
@@ -24,6 +24,25 @@ const servletIfaceSrc = `
 .end
 `
 
+// Control is the hook a cluster control plane (internal/sched) installs
+// on a bridge to own the lifecycle of its servlets. Every method may be
+// called concurrently with request traffic.
+type Control interface {
+	// UploadServlet intercepts admin uploads: the control plane decides
+	// which kernel instantiates the bundle and mounts the result itself.
+	UploadServlet(name, prefix, main string, bundle map[string][]byte) error
+	// TerminateServlet intercepts admin termination. handled=false falls
+	// back to the bridge's local path.
+	TerminateServlet(name string) (handled bool, err error)
+	// ServletFault reports a remote mount the bridge just auto-unmounted
+	// after a capability fault (revocation, worker crash, lost
+	// connection) so the control plane can re-place it.
+	ServletFault(name string, err error)
+	// ObserveRequest receives the outcome of every routed request — the
+	// per-servlet load and latency signal for placement and autoscaling.
+	ObserveRequest(name string, status int, err error, dur time.Duration)
+}
+
 // Bridge is the ISAPI-extension analog: it lives in the front server's
 // process, receives requests, and forwards them through LRMI to servlet
 // domains. It also exposes the admin surface for uploading and terminating
@@ -32,9 +51,11 @@ type Bridge struct {
 	K      *core.Kernel
 	Router *Router
 
-	system    *core.Domain // hosts the bridge's own task contexts
-	www       *core.Domain // defines the shared servlet interface
-	servletSC *core.SharedClass
+	system *core.Domain // hosts the bridge's own task contexts
+	host   *ServletHost // shared servlet interface + VM instantiation
+
+	// control, when installed, owns servlet placement (see Control).
+	control atomic.Pointer[controlBox]
 
 	// taskPool recycles detached bridge tasks so per-request cost is the
 	// LRMI, not task setup ("the Java code runs in the same thread as IIS
@@ -42,34 +63,24 @@ type Bridge struct {
 	taskPool sync.Pool
 }
 
+// controlBox wraps the Control interface for atomic.Pointer.
+type controlBox struct{ c Control }
+
 // NewBridge wires a bridge into kernel k.
 func NewBridge(k *core.Kernel) (*Bridge, error) {
-	RegisterTypes(k)
 	system, err := k.NewDomain(core.DomainConfig{Name: "www-bridge"})
 	if err != nil {
 		return nil, err
 	}
-	iface, err := vmkit.AssembleBytes(servletIfaceSrc)
-	if err != nil {
-		return nil, err
-	}
-	www, err := k.NewDomain(core.DomainConfig{
-		Name:    "www-system",
-		Classes: map[string][]byte{"jk/servlet/Servlet": iface},
-	})
-	if err != nil {
-		return nil, err
-	}
-	sc, err := k.ShareClasses(www, "jk/servlet/Servlet")
+	host, err := NewServletHost(k)
 	if err != nil {
 		return nil, err
 	}
 	b := &Bridge{
-		K:         k,
-		Router:    &Router{},
-		system:    system,
-		www:       www,
-		servletSC: sc,
+		K:      k,
+		Router: &Router{},
+		system: system,
+		host:   host,
 	}
 	b.taskPool.New = func() any {
 		return k.NewDetachedTask(system, "bridge-req")
@@ -77,9 +88,29 @@ func NewBridge(k *core.Kernel) (*Bridge, error) {
 	return b, nil
 }
 
+// SetControl installs (or, with nil, removes) the cluster control plane.
+func (b *Bridge) SetControl(c Control) {
+	if c == nil {
+		b.control.Store(nil)
+		return
+	}
+	b.control.Store(&controlBox{c: c})
+}
+
+// controlPlane returns the installed Control, or nil.
+func (b *Bridge) controlPlane() Control {
+	if box := b.control.Load(); box != nil {
+		return box.c
+	}
+	return nil
+}
+
+// Host returns the bridge's servlet host (VM instantiation machinery).
+func (b *Bridge) Host() *ServletHost { return b.host }
+
 // ServletInterface returns the shared jk/servlet/Servlet group, for
 // domains created outside the bridge.
-func (b *Bridge) ServletInterface() *core.SharedClass { return b.servletSC }
+func (b *Bridge) ServletInterface() *core.SharedClass { return b.host.servletSC }
 
 // MountNative runs a Go servlet in its own domain and mounts it.
 func (b *Bridge) MountNative(name, prefix string, s Servlet) (*core.Domain, error) {
@@ -115,25 +146,9 @@ func (b *Bridge) MountRemote(name, prefix string, cap *core.Capability) error {
 // and mounts it at prefix. This is the paper's servlet upload: arbitrary
 // user bytecode, fully isolated.
 func (b *Bridge) UploadVM(name, prefix, mainClass string, bundle map[string][]byte) (*core.Domain, error) {
-	d, err := b.K.NewDomain(core.DomainConfig{
-		Name:    "servlet-" + name,
-		Classes: bundle,
-		Shared:  []*core.SharedClass{b.servletSC},
-	})
+	d, cap, err := b.host.InstantiateVM(name, mainClass, bundle)
 	if err != nil {
 		return nil, err
-	}
-	cls, err := d.NS.Resolve(mainClass)
-	if err != nil {
-		return nil, fmt.Errorf("httpd: servlet class: %w", err)
-	}
-	obj, ierr := vmkit.NewInstance(cls)
-	if ierr != nil {
-		return nil, ierr
-	}
-	cap, err := b.K.CreateVMCapability(d, obj)
-	if err != nil {
-		return nil, fmt.Errorf("httpd: servlet capability: %w", err)
 	}
 	if err := b.Router.Mount(name, prefix, cap, d, true); err != nil {
 		d.Terminate("mount failed")
@@ -149,6 +164,12 @@ func (b *Bridge) UploadVM(name, prefix, mainClass string, bundle map[string][]by
 // proxy capability is revoked instead, leaving the worker connection and
 // its other imports untouched.
 func (b *Bridge) TerminateServlet(name string) error {
+	if ctl := b.controlPlane(); ctl != nil {
+		handled, err := ctl.TerminateServlet(name)
+		if handled || err != nil {
+			return err
+		}
+	}
 	rt := b.Router.Unmount(name)
 	if rt == nil {
 		return fmt.Errorf("httpd: no servlet %q", name)
@@ -175,11 +196,21 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Per-servlet telemetry: latency and status counters under the kernel
-	// registry (free when telemetry is disabled).
+	// registry (free when telemetry is disabled), plus the control plane's
+	// load/latency observer when one is installed.
+	ctl := b.controlPlane()
 	start := time.Now()
 	status := http.StatusOK
-	if b.K.Telemetry() != nil {
-		defer func() { b.observe(rt.name, status, start) }()
+	var reqErr error
+	if b.K.Telemetry() != nil || ctl != nil {
+		defer func() {
+			if b.K.Telemetry() != nil {
+				b.observe(rt.name, status, start)
+			}
+			if ctl != nil {
+				ctl.ObserveRequest(rt.name, status, reqErr, time.Since(start))
+			}
+		}()
 	}
 
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<22))
@@ -197,6 +228,7 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if rt.isVM {
 		out, err := rt.cap.InvokeVM(task, "service", r.Method, r.URL.RequestURI(), body)
 		if err != nil {
+			reqErr = err
 			status = servletError(w, err)
 			return
 		}
@@ -216,6 +248,8 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := rt.cap.InvokeFrom(task, "Service", req)
 	if err != nil {
+		reqErr = err
+		b.maybeUnmountFaulted(rt, err)
 		status = servletError(w, err)
 		return
 	}
@@ -235,6 +269,32 @@ func (b *Bridge) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(resp.Body)))
 	w.WriteHeader(status)
 	w.Write(resp.Body)
+}
+
+// maybeUnmountFaulted observes a capability fault on a remote mount. A
+// servlet whose backing capability was revoked, or whose worker
+// connection dropped, would otherwise sit in the router returning errors
+// forever. With a control plane installed, the route stays mounted — the
+// fault is reported and the controller atomically swaps in a replacement
+// (failover reads 503→200, never 404). Without one, the route is
+// unmounted; only the exact faulted route is removed (a re-placement
+// mounted concurrently under the same name survives). Local servlets are
+// untouched: their termination is an administrative act, and the route is
+// the only record of it.
+func (b *Bridge) maybeUnmountFaulted(rt *route, err error) {
+	if rt.domain != nil || rt.isVM || !errors.Is(err, core.ErrRevoked) {
+		return
+	}
+	if ctl := b.controlPlane(); ctl != nil {
+		ctl.ServletFault(rt.name, err)
+		return
+	}
+	if !b.Router.unmountRoute(rt) {
+		return // a concurrent request already unmounted it
+	}
+	if reg := b.K.Telemetry(); reg != nil {
+		reg.Eventf("httpd: unmounted faulted remote servlet %q: %v", rt.name, err)
+	}
 }
 
 // servletError maps kernel failures onto HTTP statuses: a dead or revoked
@@ -287,7 +347,12 @@ func (b *Bridge) serveAdmin(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad bundle: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		if _, err := b.UploadVM(name, prefix, main, bundle); err != nil {
+		if ctl := b.controlPlane(); ctl != nil {
+			if err := ctl.UploadServlet(name, prefix, main, bundle); err != nil {
+				http.Error(w, "upload rejected: "+err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+		} else if _, err := b.UploadVM(name, prefix, main, bundle); err != nil {
 			http.Error(w, "upload rejected: "+err.Error(), http.StatusUnprocessableEntity)
 			return
 		}

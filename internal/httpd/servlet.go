@@ -98,6 +98,50 @@ func (r *Router) Mount(name, prefix string, cap *core.Capability, d *core.Domain
 	return nil
 }
 
+// unmountRoute removes exactly rt (identity compare), reporting whether it
+// was still mounted. Fault-driven unmounts use it so a re-placed servlet
+// mounted under the same name is never removed by a stale fault.
+func (r *Router) unmountRoute(rt *route) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, x := range r.routes {
+		if x == rt {
+			r.routes = append(r.routes[:i], r.routes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Remount atomically replaces the route mounted as name with a fresh
+// remote-backed one, or mounts it new. Lookups never observe a gap,
+// which is what keeps control-plane failover 503→200 instead of 404.
+func (r *Router) Remount(name, prefix string, cap *core.Capability) error {
+	if !strings.HasPrefix(prefix, "/") {
+		return fmt.Errorf("httpd: prefix must start with /: %q", prefix)
+	}
+	nrt := &route{name: name, prefix: prefix, cap: cap}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, rt := range r.routes {
+		if rt.name == name {
+			if rt.domain != nil || rt.isVM {
+				return fmt.Errorf("httpd: servlet %q is locally hosted; unmount it first", name)
+			}
+			r.routes[i] = nrt
+			sort.SliceStable(r.routes, func(i, j int) bool {
+				return len(r.routes[i].prefix) > len(r.routes[j].prefix)
+			})
+			return nil
+		}
+	}
+	r.routes = append(r.routes, nrt)
+	sort.SliceStable(r.routes, func(i, j int) bool {
+		return len(r.routes[i].prefix) > len(r.routes[j].prefix)
+	})
+	return nil
+}
+
 // Unmount removes a servlet by name and returns its route.
 func (r *Router) Unmount(name string) *route {
 	r.mu.Lock()

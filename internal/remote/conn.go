@@ -280,6 +280,18 @@ func (c *Conn) TableSizes() TableSizes {
 	return t
 }
 
+// PendingCalls reports how many requests are on the wire awaiting replies
+// — the per-worker queue-depth signal a placement policy or autoscaler
+// reads. Cheaper than TableSizes: one lock, no pruning.
+func (c *Conn) PendingCalls() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
 // Done is closed when the connection shuts down.
 func (c *Conn) Done() <-chan struct{} { return c.done }
 

@@ -39,14 +39,21 @@ type PoolOptions struct {
 
 // Pool supervises worker kernel processes: it spawns them, watches for
 // exits, and restarts crashed workers — the supervisor keeps running and
-// its proxies fault instead (the remote-playground failure model).
+// its proxies fault instead (the remote-playground failure model). Slots
+// can be added (Add) and removed (Remove) at runtime, which is how a
+// control plane autoscales the pool.
 type Pool struct {
-	opts    PoolOptions
-	dir     string
-	ownDir  bool
+	opts   PoolOptions
+	dir    string
+	ownDir bool
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	// mu guards the workers slice and the next slot index; slots come and
+	// go at runtime once a scheduler drives Add/Remove.
+	mu      sync.Mutex
 	workers []*PoolWorker
-	closed  atomic.Bool
-	wg      sync.WaitGroup
+	nextIdx int
 
 	// Pool telemetry. Worker restarts were once silent unless the caller
 	// wired a Log func; now every exit is counted and its reason (exit
@@ -57,12 +64,19 @@ type Pool struct {
 }
 
 // PoolWorker is one supervised worker slot. The process occupying it may
-// be restarted any number of times; the socket address is stable.
+// be restarted any number of times; the socket address is stable. Slot
+// indices are monotonic — a removed slot's index is never reused, so a
+// scheduler can key state by index without ABA confusion.
 type PoolWorker struct {
 	pool    *Pool
 	Index   int
 	network string
 	addr    string
+
+	// live counts connections Dial handed out that have not shut down;
+	// Remove is drain-aware and refuses to kill a slot that still serves.
+	live    atomic.Int64
+	removed atomic.Bool
 
 	mu       sync.Mutex
 	cmd      *exec.Cmd
@@ -107,14 +121,7 @@ func StartPool(opts PoolOptions) (*Pool, error) {
 		p.ownDir = true
 	}
 	for i := 0; i < opts.Workers; i++ {
-		w := &PoolWorker{
-			pool:    p,
-			Index:   i,
-			network: "unix",
-			addr:    filepath.Join(p.dir, fmt.Sprintf("worker-%d.sock", i)),
-		}
-		p.workers = append(p.workers, w)
-		if err := w.spawn(); err != nil {
+		if _, err := p.Add(); err != nil {
 			p.Close()
 			return nil, err
 		}
@@ -122,18 +129,106 @@ func StartPool(opts PoolOptions) (*Pool, error) {
 	return p, nil
 }
 
-// Worker returns slot i.
-func (p *Pool) Worker(i int) *PoolWorker { return p.workers[i] }
+// Add appends a fresh worker slot to the pool and spawns its process. The
+// new slot gets the next monotonic index; it is supervised exactly like
+// the initial workers. This is the scale-up primitive.
+func (p *Pool) Add() (*PoolWorker, error) {
+	if p.closed.Load() {
+		return nil, fmt.Errorf("remote: pool closed")
+	}
+	p.mu.Lock()
+	i := p.nextIdx
+	p.nextIdx++
+	w := &PoolWorker{
+		pool:    p,
+		Index:   i,
+		network: "unix",
+		addr:    filepath.Join(p.dir, fmt.Sprintf("worker-%d.sock", i)),
+	}
+	p.workers = append(p.workers, w)
+	p.mu.Unlock()
+	if err := w.spawn(); err != nil {
+		p.detach(w)
+		return nil, err
+	}
+	return w, nil
+}
+
+// Remove drains and deletes a worker slot: it stops future respawns, waits
+// up to wait for connections handed out by Dial to shut down, and only
+// then kills the process. A slot that still serves live connections after
+// the wait is NOT killed — Remove re-arms the slot and returns an error,
+// so a control plane cannot yank a worker out from under in-flight calls
+// by accident. Callers drain first (close their conns), then Remove.
+func (p *Pool) Remove(w *PoolWorker, wait time.Duration) error {
+	if w.pool != p {
+		return fmt.Errorf("remote: worker %d is not from this pool", w.Index)
+	}
+	w.removed.Store(true) // monitor stops respawning
+	deadline := time.Now().Add(wait)
+	for w.live.Load() > 0 {
+		if time.Now().After(deadline) {
+			w.removed.Store(false)
+			return fmt.Errorf("remote: worker %d still has %d live connection(s)", w.Index, w.live.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.mu.Lock()
+	if w.cmd != nil && w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+	w.mu.Unlock()
+	p.detach(w)
+	if w.network == "unix" {
+		os.Remove(w.addr)
+	}
+	p.opts.Telemetry.Eventf("pool worker %d removed", w.Index)
+	p.opts.Log("worker %d: removed", w.Index)
+	return nil
+}
+
+// detach forgets a slot without touching its process.
+func (p *Pool) detach(w *PoolWorker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, x := range p.workers {
+		if x == w {
+			p.workers = append(p.workers[:i], p.workers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Worker returns slot i (by position, not index; see Workers for slots of
+// a dynamic pool).
+func (p *Pool) Worker(i int) *PoolWorker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers[i]
+}
+
+// Workers snapshots the current slots.
+func (p *Pool) Workers() []*PoolWorker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*PoolWorker, len(p.workers))
+	copy(out, p.workers)
+	return out
+}
 
 // Size returns the number of worker slots.
-func (p *Pool) Size() int { return len(p.workers) }
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
 
 // Close kills every worker and stops supervision.
 func (p *Pool) Close() {
 	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
-	for _, w := range p.workers {
+	for _, w := range p.Workers() {
 		w.mu.Lock()
 		if w.cmd != nil && w.cmd.Process != nil {
 			w.cmd.Process.Kill()
@@ -156,6 +251,10 @@ func (w *PoolWorker) Restarts() int {
 	defer w.mu.Unlock()
 	return w.restarts
 }
+
+// LiveConns reports how many connections handed out by Dial are still up —
+// the drain signal Remove waits on.
+func (w *PoolWorker) LiveConns() int { return int(w.live.Load()) }
 
 // Kill terminates the current worker process (the supervisor will restart
 // it). Used by failure drills and tests.
@@ -209,6 +308,13 @@ func (w *PoolWorker) Dial(k *core.Kernel, timeout time.Duration) (*Conn, error) 
 			// Dial latency covers spawn-to-readiness retries, so it is the
 			// observed worker warm-up time, not one TCP connect.
 			dialLat.ObserveSince(start)
+			// Track the connection for drain-aware Remove: the slot counts
+			// as serving until every conn Dial handed out has shut down.
+			w.live.Add(1)
+			go func() {
+				<-conn.Done()
+				w.live.Add(-1)
+			}()
 			return conn, nil
 		}
 		lastErr = err
@@ -263,7 +369,7 @@ func (w *PoolWorker) spawn() error {
 // store share the mutex with Pool.Close's kill loop, so a respawn cannot
 // slip past a concurrent Close and leak an orphan process.
 func (w *PoolWorker) spawnLocked() error {
-	if w.pool.closed.Load() {
+	if w.pool.closed.Load() || w.removed.Load() {
 		return nil
 	}
 	if w.network == "unix" {
@@ -293,7 +399,7 @@ func (w *PoolWorker) spawnLocked() error {
 func (w *PoolWorker) monitor(cmd *exec.Cmd) {
 	defer w.pool.wg.Done()
 	err := cmd.Wait()
-	if w.pool.closed.Load() {
+	if w.pool.closed.Load() || w.removed.Load() {
 		return
 	}
 	reason := exitReason(cmd, err)
@@ -304,7 +410,7 @@ func (w *PoolWorker) monitor(cmd *exec.Cmd) {
 	time.Sleep(w.pool.opts.RestartDelay)
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.pool.closed.Load() {
+	if w.pool.closed.Load() || w.removed.Load() {
 		return
 	}
 	w.restarts++

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jkernel/internal/telemetry"
+)
+
+// AutoscaleConfig tunes the pool-sizing feedback loop. The two signals
+// are the mean wire queue depth per ready worker (calls sent but not yet
+// answered) and the worst per-worker p99 request latency over the last
+// evaluation window. Hysteresis comes from three places: the gap between
+// UpQueue and DownQueue, the DownTicks consecutive-low requirement, and
+// the Cooldown after any size change.
+type AutoscaleConfig struct {
+	// Disabled pins the pool at MinWorkers.
+	Disabled bool
+	// Interval paces evaluations (default 1s).
+	Interval time.Duration
+	// Cooldown is the minimum gap between size changes (default 5s).
+	Cooldown time.Duration
+	// UpQueue scales up when mean queue depth per ready worker reaches it
+	// (default 16). DownQueue arms scale-down when depth falls to it or
+	// below (default 2); keep a wide gap or the pool flaps.
+	UpQueue, DownQueue float64
+	// UpP99 optionally scales up when any worker's windowed p99 request
+	// latency reaches it, even with short queues (0 = off).
+	UpP99 time.Duration
+	// DownTicks is how many consecutive low evaluations arm a scale-down
+	// (default 5).
+	DownTicks int
+}
+
+func (c *AutoscaleConfig) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.UpQueue <= 0 {
+		c.UpQueue = 16
+	}
+	if c.DownQueue <= 0 {
+		c.DownQueue = 2
+	}
+	if c.DownTicks <= 0 {
+		c.DownTicks = 5
+	}
+}
+
+// autoscale is one feedback-loop evaluation; the control loop calls it
+// every probe tick and it self-paces to AutoscaleConfig.Interval.
+func (s *Scheduler) autoscale() {
+	cfg := &s.opts.Autoscale
+	if cfg.Disabled {
+		return
+	}
+	now := time.Now()
+	if now.Sub(s.lastScaleEval) < cfg.Interval {
+		return
+	}
+	s.lastScaleEval = now
+
+	s.mu.Lock()
+	active := 0 // slots we own and are not tearing down
+	ready := 0
+	totalPending := 0
+	var worstP99 time.Duration
+	for _, m := range s.members {
+		if !m.removing {
+			active++
+		}
+		if !m.placeable() {
+			continue
+		}
+		ready++
+		totalPending += m.conn.PendingCalls()
+		// Swap in a fresh histogram: p99 is over the last window only.
+		h := m.lat.Swap(&telemetry.Histogram{})
+		if q := time.Duration(h.Quantile(0.99)); q > worstP99 {
+			worstP99 = q
+		}
+	}
+	s.mu.Unlock()
+	if ready == 0 {
+		return
+	}
+	depth := float64(totalPending) / float64(ready)
+	cooled := now.Sub(s.lastScale) >= cfg.Cooldown
+
+	hot := depth >= cfg.UpQueue || (cfg.UpP99 > 0 && worstP99 >= cfg.UpP99)
+	cold := depth <= cfg.DownQueue && (cfg.UpP99 == 0 || worstP99 < cfg.UpP99/2)
+
+	switch {
+	case hot:
+		s.lowTicks = 0
+		if active < s.opts.MaxWorkers && cooled {
+			s.scaleUp(fmt.Sprintf("queue depth %.1f, p99 %v", depth, worstP99))
+			s.lastScale = now
+		}
+	case cold:
+		s.lowTicks++
+		if s.lowTicks >= cfg.DownTicks && active > s.opts.MinWorkers && cooled {
+			if s.scaleDown(fmt.Sprintf("queue depth %.1f for %d ticks", depth, s.lowTicks)) {
+				s.lastScale = now
+			}
+			s.lowTicks = 0
+		}
+	default:
+		s.lowTicks = 0
+	}
+}
+
+// scaleUp adds a pool slot; the reconnect pass brings it to ready and
+// rebalance then spreads servlets onto it.
+func (s *Scheduler) scaleUp(reason string) {
+	w, err := s.pool.Add()
+	if err != nil {
+		s.eventf("scale-up failed: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.addMemberLocked(w)
+	s.mu.Unlock()
+	s.cUp.Inc()
+	s.eventf("scale-up: worker %d added (%s)", w.Index, reason)
+	s.kick()
+}
+
+// scaleDown picks the placeable worker with the fewest servlets (highest
+// index breaks ties, so the newest worker leaves first) and marks it for
+// removal; evacuation and reaping happen over the following ticks.
+func (s *Scheduler) scaleDown(reason string) bool {
+	s.mu.Lock()
+	counts := map[int]int{}
+	for _, p := range s.placements {
+		if p.worker >= 0 {
+			counts[p.worker]++
+		}
+	}
+	idxs := make([]int, 0, len(s.members))
+	for i, m := range s.members {
+		if m.placeable() {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) < 2 {
+		s.mu.Unlock()
+		return false // never drain the only serving worker
+	}
+	sort.Slice(idxs, func(a, b int) bool {
+		if counts[idxs[a]] != counts[idxs[b]] {
+			return counts[idxs[a]] < counts[idxs[b]]
+		}
+		return idxs[a] > idxs[b]
+	})
+	victim := s.members[idxs[0]]
+	victim.adminDrain = true
+	victim.removing = true
+	s.mu.Unlock()
+	s.cDown.Inc()
+	s.eventf("scale-down: worker %d draining for removal (%s)", victim.w.Index, reason)
+	s.kick()
+	return true
+}

@@ -35,8 +35,10 @@ import (
 	"jkernel/internal/account"
 	"jkernel/internal/core"
 	"jkernel/internal/remote"
+	"jkernel/internal/sched"
 	"jkernel/internal/telemetry"
 	"jkernel/internal/vmkit"
+	"jkernel/servlet"
 )
 
 // Core types, re-exported from the implementation. The aliases keep one
@@ -233,6 +235,72 @@ func RunWorker(cfg WorkerConfig) error {
 // otherwise. Call it first thing in main.
 func MaybeRunWorker(setup func(k *Kernel) error) {
 	remote.MaybeRunWorker(setup)
+}
+
+// Cluster control plane. A Cluster schedules servlets across a
+// supervised worker pool: pluggable placement (least-loaded,
+// consistent-hash, round-robin), queue-depth/latency autoscaling between
+// Min/Max workers, and health-driven draining with automatic failover —
+// a crashed worker's servlets are re-placed onto survivors within a
+// probe interval, and a sticky strategy pulls them home when the worker
+// returns. Pair StartCluster in the supervisor with ServeClusterWorker
+// in the worker setup passed to MaybeRunWorker. See examples/cluster and
+// cmd/jkhttpd -workers.
+
+type (
+	// Cluster is a running control plane (internal/sched.Scheduler).
+	Cluster = sched.Scheduler
+	// ClusterOptions configures StartCluster.
+	ClusterOptions = sched.Options
+	// ClusterAutoscale tunes the pool-sizing feedback loop.
+	ClusterAutoscale = sched.AutoscaleConfig
+	// ClusterSnapshot is the control plane's point-in-time state.
+	ClusterSnapshot = sched.Snapshot
+	// PlacementStrategy decides which worker hosts a servlet.
+	PlacementStrategy = sched.Strategy
+	// DeploySpec is the portable unit of placement.
+	DeploySpec = sched.DeploySpec
+	// ClusterDeployer is the worker-side servlet factory.
+	ClusterDeployer = sched.Deployer
+)
+
+// Placement strategies.
+var (
+	// LeastLoaded places on the worker with the fewest in-flight calls.
+	LeastLoaded = sched.LeastLoaded
+	// RoundRobin cycles placements across workers (the baseline).
+	RoundRobin = sched.RoundRobin
+	// ConsistentHash binds each servlet name to a ring position: stable
+	// across restarts, sticky after failover.
+	ConsistentHash = sched.ConsistentHash
+)
+
+// StrategyByName resolves a PlacementStrategy from its name — the flag
+// surface of cmd/jkhttpd and cmd/jkbench.
+func StrategyByName(name string) (PlacementStrategy, error) {
+	return sched.ByName(name)
+}
+
+// StartCluster launches a control plane over opts.Bridge: it spawns the
+// worker pool, installs itself as the bridge's admin control (uploads
+// shard across workers), and runs the health/autoscale loop until Close.
+func StartCluster(opts ClusterOptions) (*Cluster, error) {
+	return sched.Start(opts)
+}
+
+// ClusterStats snapshots a cluster: workers with drain states, servlet
+// placements, and scale/replacement counters. The same data is live in
+// /debug/jk (gauges sched.* plus the event log).
+func ClusterStats(c *Cluster) ClusterSnapshot {
+	return c.Snapshot()
+}
+
+// ServeClusterWorker installs the worker half on kernel k: a deployer the
+// control plane drives over the wire. natives maps factory names to Go
+// servlet constructors; VM bundles deploy with no registration. Call it
+// from the setup function passed to MaybeRunWorker.
+func ServeClusterWorker(k *Kernel, natives map[string]func() servlet.Servlet) (*ClusterDeployer, error) {
+	return sched.ServeWorker(k, natives)
 }
 
 // Observability. Every kernel carries a metrics registry and a tracer
