@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+
+	"jkernel/internal/analysis/atest"
+)
+
+// TestRepoIsCleanUnderAllPasses is the meta-test: the whole repository
+// must be jkvet-clean, so a regression fails `go test ./...` on any
+// machine, not just the CI jkvet step. New violations are either fixed
+// or suppressed with `//jk:allow(pass) justification`.
+func TestRepoIsCleanUnderAllPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short mode")
+	}
+	atest.NoFindings(t, "../..", allPasses, "./...")
+}

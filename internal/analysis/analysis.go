@@ -1,0 +1,453 @@
+// Package analysis is the frame jkvet's passes hang on: a loaded program
+// view (every package with syntax and types, plus a cross-package
+// directive index), findings with a uniform report format, and the
+// //jk:allow suppression contract.
+//
+// The passes machine-check the invariants the paper's design rests on —
+// capabilities are the only legal cross-domain references, everything
+// else crosses by deep copy, and the wire hot path's buffer ownership
+// contract holds on every control-flow path. See the package docs of
+// bufown, capleak, lockhold, and faultpath for the individual rules.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"jkernel/internal/analysis/load"
+)
+
+// A Finding is one rule violation, addressed by position so the reporter
+// can print it and the suppression layer can match //jk:allow comments.
+type Finding struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d %s: %s", f.Pos.Filename, f.Pos.Line, f.Pass, f.Message)
+}
+
+// A Pass is one analyzer. Run inspects a single package but may consult
+// program-wide facts (directives, wire registrations) through prog.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, pkg *load.Package, report ReportFunc)
+}
+
+// ReportFunc records one finding at pos.
+type ReportFunc func(pos token.Pos, format string, args ...any)
+
+// Program is the whole loaded package set plus the cross-package
+// directive index passes key their rules on.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*load.Package
+
+	directives map[string][]Directive // symbol key -> directives
+	pkgMarks   map[string][]Directive // package path -> package-clause directives
+	allows     map[string][]allowMark // filename -> suppression comments
+}
+
+// Directive is one //jk:name arg comment attached to a declaration.
+type Directive struct {
+	Name string // e.g. "acquire", "blocking", "gate-target"
+	Args string // raw argument text after the name
+	Pos  token.Pos
+}
+
+// allowMark is one //jk:allow(pass) comment with its justification.
+type allowMark struct {
+	pass          string
+	justification string
+	line          int
+	pos           token.Pos
+}
+
+// NewProgram indexes the loaded packages: declaration directives keyed
+// by stable symbol strings (so a directive on a function in one package
+// is visible when another package calls it) and //jk:allow suppressions
+// keyed by file and line.
+func NewProgram(pkgs []*load.Package) *Program {
+	p := &Program{
+		directives: map[string][]Directive{},
+		pkgMarks:   map[string][]Directive{},
+		allows:     map[string][]allowMark{},
+	}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	p.Pkgs = pkgs
+	for _, pkg := range pkgs {
+		p.indexPackage(pkg)
+	}
+	return p
+}
+
+// SymbolKey is the stable cross-package name of a function or method:
+// "path.Func" for package functions, "(path.Type).Method" for methods
+// (pointer receivers normalized away). Directives are stored and looked
+// up under these keys, so identity survives the boundary between a
+// package loaded from source and the same package seen through export
+// data.
+func SymbolKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		if fn.Pkg() == nil {
+			return fn.Name()
+		}
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return "(" + namedKey(sig.Recv().Type()) + ")." + fn.Name()
+}
+
+// FieldKey names a struct field: "(path.Type).field".
+func FieldKey(owner types.Type, field string) string {
+	return "(" + namedKey(owner) + ")." + field
+}
+
+// namedKey prints the defining named type of t, pointers stripped.
+func namedKey(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch n := t.(type) {
+	case *types.Named:
+		obj := n.Obj()
+		if obj.Pkg() == nil {
+			return obj.Name()
+		}
+		return obj.Pkg().Path() + "." + obj.Name()
+	case *types.Alias:
+		return namedKey(types.Unalias(t))
+	}
+	return t.String()
+}
+
+// NamedTypeKey names a (possibly pointer-wrapped) named type:
+// "path.Type", or "" when t has no defining name.
+func NamedTypeKey(t types.Type) string {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() == nil {
+			return obj.Name()
+		}
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return ""
+}
+
+// DirectivesFor returns the directives attached to the declaration of
+// fn, wherever it was declared.
+func (p *Program) DirectivesFor(fn *types.Func) []Directive {
+	if fn == nil {
+		return nil
+	}
+	return p.directives[SymbolKey(fn)]
+}
+
+// HasDirective reports whether fn carries //jk:<name>.
+func (p *Program) HasDirective(fn *types.Func, name string) bool {
+	for _, d := range p.DirectivesFor(fn) {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldHasDirective reports whether the field named field of owner's
+// struct type carries //jk:<name>.
+func (p *Program) FieldHasDirective(owner types.Type, field, name string) bool {
+	for _, d := range p.directives[FieldKey(owner, field)] {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeHasDirective reports whether the declaration of t's named type
+// (pointers stripped) carries //jk:<name>.
+func (p *Program) TypeHasDirective(t types.Type, name string) bool {
+	key := NamedTypeKey(t)
+	if key == "" {
+		return false
+	}
+	for _, d := range p.directives[key] {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PackageMarked reports whether any file of package path carries the
+// package-clause directive //jk:<name>.
+func (p *Program) PackageMarked(path, name string) bool {
+	for _, d := range p.pkgMarks[path] {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// --- directive indexing -----------------------------------------------------
+
+// parseDirective recognizes "//jk:name args". Directive comments use the
+// no-space machine-comment form, so godoc drops them like //go: lines.
+func parseDirective(text string, pos token.Pos) (Directive, bool) {
+	if !strings.HasPrefix(text, "//jk:") {
+		return Directive{}, false
+	}
+	body := strings.TrimPrefix(text, "//jk:")
+	name, args, _ := strings.Cut(body, " ")
+	return Directive{Name: strings.TrimSpace(name), Args: strings.TrimSpace(args), Pos: pos}, true
+}
+
+func (p *Program) indexPackage(pkg *load.Package) {
+	for _, file := range pkg.Files {
+		filename := pkg.Fset.Position(file.Pos()).Filename
+
+		// Package-clause directives mark whole-package scopes
+		// (e.g. //jk:faultpath on internal/remote).
+		if file.Doc != nil {
+			for _, c := range file.Doc.List {
+				if d, ok := parseDirective(c.Text, c.Pos()); ok {
+					p.pkgMarks[pkg.Path] = append(p.pkgMarks[pkg.Path], d)
+				}
+			}
+		}
+
+		// Every comment in the file is scanned for //jk:allow — the
+		// suppression must work on the same line as the finding or the
+		// line above, wherever that comment syntactically attaches.
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				p.indexAllow(pkg.Fset, filename, c)
+			}
+		}
+
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Doc == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[d.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := SymbolKey(obj)
+				for _, c := range d.Doc.List {
+					if dir, ok := parseDirective(c.Text, c.Pos()); ok {
+						p.directives[key] = append(p.directives[key], dir)
+					}
+				}
+			case *ast.GenDecl:
+				p.indexTypeDirectives(pkg, d)
+			}
+		}
+	}
+}
+
+// indexTypeDirectives picks up //jk: comments on type declarations
+// (keyed "path.Type") and on struct fields (doc or trailing, keyed
+// "(path.Type).field").
+func (p *Program) indexTypeDirectives(pkg *load.Package, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		obj := pkg.Info.Defs[ts.Name]
+		if obj == nil {
+			continue
+		}
+		typeDocs := ts.Doc
+		if typeDocs == nil && len(d.Specs) == 1 {
+			typeDocs = d.Doc
+		}
+		if typeDocs != nil {
+			key := NamedTypeKey(obj.Type())
+			for _, c := range typeDocs.List {
+				if dir, ok := parseDirective(c.Text, c.Pos()); ok {
+					p.directives[key] = append(p.directives[key], dir)
+				}
+			}
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			var groups []*ast.CommentGroup
+			if field.Doc != nil {
+				groups = append(groups, field.Doc)
+			}
+			if field.Comment != nil {
+				groups = append(groups, field.Comment)
+			}
+			for _, g := range groups {
+				for _, c := range g.List {
+					dir, ok := parseDirective(c.Text, c.Pos())
+					if !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						key := FieldKey(obj.Type(), name.Name)
+						p.directives[key] = append(p.directives[key], dir)
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- //jk:allow suppression -------------------------------------------------
+
+// indexAllow records "//jk:allow(pass) justification" comments. The
+// justification is mandatory: a suppression that does not say why is
+// itself reported (see Apply).
+func (p *Program) indexAllow(fset *token.FileSet, filename string, c *ast.Comment) {
+	d, ok := parseDirective(c.Text, c.Pos())
+	if !ok || d.Name != "allow" && !strings.HasPrefix(d.Name, "allow(") {
+		return
+	}
+	// The pass name rides in parentheses glued to the directive name:
+	// jk:allow(bufown).
+	rest := strings.TrimPrefix(d.Name, "allow")
+	if d.Args != "" {
+		rest += " " + d.Args
+	}
+	if !strings.HasPrefix(rest, "(") {
+		p.allows[filename] = append(p.allows[filename], allowMark{
+			pass: "", line: fset.Position(c.Pos()).Line, pos: c.Pos(),
+		})
+		return
+	}
+	passName, justification, found := strings.Cut(rest[1:], ")")
+	if !found {
+		passName = rest[1:]
+	}
+	p.allows[filename] = append(p.allows[filename], allowMark{
+		pass:          strings.TrimSpace(passName),
+		justification: strings.TrimSpace(justification),
+		line:          fset.Position(c.Pos()).Line,
+		pos:           c.Pos(),
+	})
+}
+
+// knownPasses is filled by the driver so malformed suppressions can name
+// the valid options.
+var knownPasses = map[string]bool{}
+
+// RegisterPassNames teaches the suppression checker the valid pass set.
+func RegisterPassNames(names ...string) {
+	for _, n := range names {
+		knownPasses[n] = true
+	}
+}
+
+// Apply filters findings through the //jk:allow marks: a finding is
+// suppressed when a matching mark sits on its line or the line above.
+// Malformed marks — no pass name, an unknown pass, or a missing
+// justification — surface as findings themselves, so a suppression can
+// never silently rot.
+func (p *Program) Apply(findings []Finding) []Finding {
+	var out []Finding
+	used := map[*allowMark]bool{}
+	for _, f := range findings {
+		if mark := p.allowFor(f); mark != nil {
+			used[mark] = true
+			continue
+		}
+		out = append(out, f)
+	}
+	// Validate every mark, used or not: a stale allow with no finding is
+	// fine (the code got fixed), but a malformed one is not.
+	for file, marks := range p.allows {
+		for i := range marks {
+			m := &marks[i]
+			switch {
+			case m.pass == "":
+				out = append(out, Finding{
+					Pos:  token.Position{Filename: file, Line: m.line},
+					Pass: "jkvet", Message: "jk:allow needs a pass name: //jk:allow(pass) justification",
+				})
+			case !knownPasses[m.pass]:
+				out = append(out, Finding{
+					Pos:  token.Position{Filename: file, Line: m.line},
+					Pass: "jkvet", Message: fmt.Sprintf("jk:allow names unknown pass %q", m.pass),
+				})
+			case m.justification == "":
+				out = append(out, Finding{
+					Pos:  token.Position{Filename: file, Line: m.line},
+					Pass: "jkvet", Message: fmt.Sprintf("jk:allow(%s) needs a justification explaining why the invariant holds here", m.pass),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+func (p *Program) allowFor(f Finding) *allowMark {
+	marks := p.allows[f.Pos.Filename]
+	for i := range marks {
+		m := &marks[i]
+		if m.pass != f.Pass || m.justification == "" || !knownPasses[m.pass] {
+			continue
+		}
+		if m.line == f.Pos.Line || m.line == f.Pos.Line-1 {
+			return m
+		}
+	}
+	return nil
+}
+
+// --- driver ------------------------------------------------------------------
+
+// Run executes the passes over every package and returns the surviving
+// findings, sorted, with suppressions applied.
+func Run(prog *Program, passes []*Pass) []Finding {
+	var names []string
+	for _, pass := range passes {
+		names = append(names, pass.Name)
+	}
+	RegisterPassNames(names...)
+	var findings []Finding
+	for _, pass := range passes {
+		for _, pkg := range prog.Pkgs {
+			report := func(pos token.Pos, format string, args ...any) {
+				findings = append(findings, Finding{
+					Pos:     prog.Fset.Position(pos),
+					Pass:    pass.Name,
+					Message: fmt.Sprintf(format, args...),
+				})
+			}
+			pass.Run(prog, pkg, report)
+		}
+	}
+	return prog.Apply(findings)
+}

@@ -1,0 +1,65 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"jkernel/internal/analysis"
+	"jkernel/internal/analysis/load"
+)
+
+// testPass flags every function whose name starts with "Flagged" — a
+// minimal pass to drive the suppression machinery.
+var testPass = &analysis.Pass{
+	Name: "testpass",
+	Doc:  "flags Flagged* functions",
+	Run: func(prog *analysis.Program, pkg *load.Package, report analysis.ReportFunc) {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Flagged") {
+					report(fd.Pos(), "function %s is flagged", fd.Name.Name)
+				}
+			}
+		}
+	},
+}
+
+func TestAllowContract(t *testing.T) {
+	pkgs, err := load.Load(".", "./testdata/src/allowcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := analysis.NewProgram(pkgs)
+	findings := analysis.Run(prog, []*analysis.Pass{testPass})
+
+	wantSubstrings := []string{
+		"needs a pass name",                        // bare //jk:allow
+		`unknown pass "nosuchpass"`,                // wrong pass name
+		"jk:allow(testpass) needs a justification", // no reason given
+		"function FlaggedUnsuppressed is flagged",  // the pass still fires where unsuppressed
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding contains %q", want)
+		}
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Message, "function Flagged is flagged") {
+			t.Errorf("suppressed finding leaked through: %s", f)
+		}
+	}
+	if len(findings) != len(wantSubstrings) {
+		t.Errorf("got %d findings, want %d:", len(findings), len(wantSubstrings))
+		for _, f := range findings {
+			t.Logf("  %s", f)
+		}
+	}
+}

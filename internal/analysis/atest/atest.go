@@ -1,0 +1,141 @@
+// Package atest is the self-test harness for jkvet passes: it loads a
+// fixture package from the calling pass's testdata tree, runs one pass
+// over it, and matches the findings against `// want "regexp"`
+// expectation comments in the fixture source.
+//
+// Fixture packages live under <pass>/testdata/src/<name>. The go tool
+// ignores testdata directories when expanding ./... — so deliberately
+// broken fixtures never trip the repo's own build, vet, or jkvet runs —
+// but an explicit relative pattern still loads them, which is exactly
+// how this harness reaches in.
+//
+// A want comment asserts a finding on its own line; several quoted
+// regexps on one comment assert several findings. The match is strict
+// both ways: an unmatched want fails the test (the pass went blind),
+// and an unexpected finding fails the test (the pass misfired).
+package atest
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"jkernel/internal/analysis"
+	"jkernel/internal/analysis/load"
+)
+
+// wantRe pulls the quoted regexps off a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads ./testdata/src/<fixture> relative to the test's working
+// directory (go test runs in the pass's package directory), executes the
+// pass, and enforces the want expectations.
+func Run(t *testing.T, fixture string, pass *analysis.Pass) {
+	t.Helper()
+	pkgs, err := load.Load(".", "./testdata/src/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", fixture)
+	}
+	prog := analysis.NewProgram(pkgs)
+	findings := analysis.Run(prog, []*analysis.Pass{pass})
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			filename := pkg.Fset.Position(file.Pos()).Filename
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					// Only comments of the exact form `// want "..."` are
+					// expectations; prose mentioning the word is not.
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(rest, "want ") {
+						continue
+					}
+					for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", filename, pkg.Fset.Position(c.Pos()).Line, m[1], err)
+						}
+						wants = append(wants, &expectation{
+							file:    filename,
+							line:    pkg.Fset.Position(c.Pos()).Line,
+							pattern: re,
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+
+	var unexpected []string
+	for _, f := range findings {
+		if !claim(wants, f) {
+			unexpected = append(unexpected, f.String())
+		}
+	}
+	for _, u := range unexpected {
+		t.Errorf("unexpected finding: %s", u)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+	if t.Failed() {
+		var all []string
+		for _, f := range findings {
+			all = append(all, "  "+f.String())
+		}
+		t.Logf("all findings:\n%s", strings.Join(all, "\n"))
+	}
+}
+
+// claim marks the first unmatched expectation this finding satisfies.
+func claim(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// NoFindings loads the given patterns from dir and asserts the passes
+// report nothing — the meta-test that keeps the repository itself
+// violation-free via go test, not just CI.
+func NoFindings(t *testing.T, dir string, passes []*analysis.Pass, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	prog := analysis.NewProgram(pkgs)
+	findings := analysis.Run(prog, passes)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("%d finding(s); the tree must be jkvet-clean (fix or //jk:allow with justification)", len(findings))
+	}
+}

@@ -1,0 +1,1073 @@
+// Package bufown checks the pooled frame-buffer ownership contract of
+// the zero-copy wire hot path: every buffer obtained from an acquire
+// function (marked //jk:acquire) is released exactly once on every
+// control-flow path — including early-return error paths — and the
+// buffer's aliased data (fields marked //jk:data, or methods named
+// Data) is neither read after the last reference is dropped nor stored
+// anywhere that outlives the buffer without the buffer riding along.
+//
+// Ownership transfers the analysis understands, and stops tracking at:
+//
+//   - returning the buffer (the caller now owns the reference);
+//   - storing the buffer into a struct field, composite literal, map,
+//     slice, or channel (the holder owns it; a composite that also
+//     carries the buffer's data is the sanctioned replyFrame pattern);
+//   - passing the release method as a value, or capturing the buffer in
+//     a function literal that calls release (the argsDone pattern);
+//   - //jk:retain calls add a reference, requiring one more release.
+//
+// Passing the buffer (or its data) as an ordinary call argument is a
+// borrow: the callee may use it for the duration of the call only, so
+// ownership stays with the caller.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"jkernel/internal/analysis"
+	"jkernel/internal/analysis/load"
+)
+
+// Pass is the bufown analyzer.
+var Pass = &analysis.Pass{
+	Name: "bufown",
+	Doc:  "pooled buffers are released exactly once on every path; frame data never outlives its buffer",
+	Run:  run,
+}
+
+func run(prog *analysis.Program, pkg *load.Package, report analysis.ReportFunc) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				// Function literals are analyzed as functions in their
+				// own right; the enclosing function's walk treats them
+				// as opaque (capture is an ownership transfer).
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				a := &analyzer{prog: prog, pkg: pkg, report: report}
+				a.analyze(body)
+			}
+			return true
+		})
+	}
+}
+
+// bufVal is one tracked buffer's per-path state.
+type bufVal struct {
+	owned       int  // references this function still owes a release for
+	deferredRel int  // releases registered with defer (run at return)
+	dead        bool // refcount reached zero by explicit release
+	acquireLn   int
+}
+
+func (b *bufVal) clone() *bufVal { c := *b; return &c }
+
+// state maps tracked buffer variables to their path state.
+type state map[*types.Var]*bufVal
+
+func (s state) clone() state {
+	n := make(state, len(s))
+	for k, v := range s {
+		n[k] = v.clone()
+	}
+	return n
+}
+
+// join merges two reachable paths. A buffer owned on either side stays
+// owned (a leak on some path is a leak); dead only survives if dead on
+// both.
+func join(a, b state) state {
+	out := make(state, len(a))
+	for v, av := range a {
+		if bv, ok := b[v]; ok {
+			m := av.clone()
+			if bv.owned > m.owned {
+				m.owned = bv.owned
+			}
+			if bv.deferredRel < m.deferredRel {
+				m.deferredRel = bv.deferredRel
+			}
+			m.dead = av.dead && bv.dead
+			out[v] = m
+		} else if av.owned > 0 {
+			out[v] = av.clone() // acquired on one path only: maybe-owned
+		}
+	}
+	for v, bv := range b {
+		if _, ok := a[v]; !ok && bv.owned > 0 {
+			out[v] = bv.clone()
+		}
+	}
+	return out
+}
+
+// loopCtx collects the states flowing out of a breakable construct.
+type loopCtx struct {
+	isLoop    bool // for/range: continue targets it
+	breaks    []state
+	continues []state
+}
+
+type analyzer struct {
+	prog   *analysis.Program
+	pkg    *load.Package
+	report analysis.ReportFunc
+
+	// aliases maps local data variables (x := buf.b) to their buffer.
+	// Flow-insensitive: an alias is an alias for the whole function.
+	aliases map[*types.Var]*types.Var
+	loops   []*loopCtx
+	hasGoto bool
+}
+
+func (a *analyzer) analyze(body *ast.BlockStmt) {
+	// A goto can stitch arbitrary flow; rather than risk wrong reports,
+	// functions using one are out of scope.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+			a.hasGoto = true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return true
+	})
+	if a.hasGoto {
+		return
+	}
+	a.aliases = map[*types.Var]*types.Var{}
+	st, term := a.walkStmt(body, state{})
+	if !term {
+		a.checkExit(st, body.Rbrace)
+	}
+}
+
+// --- directive queries -------------------------------------------------------
+
+func (a *analyzer) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fe := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := a.pkg.Info.Uses[fe].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := a.pkg.Info.Uses[fe.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func (a *analyzer) isAcquire(call *ast.CallExpr) bool {
+	fn := a.calleeFunc(call)
+	return fn != nil && a.prog.HasDirective(fn, "acquire")
+}
+
+// bufMethod reports whether call is v.<release|retain>() on a tracked
+// variable, returning the variable and which directive the method holds.
+func (a *analyzer) bufMethod(st state, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	v := a.trackedIdent(st, sel.X)
+	if v == nil {
+		return nil, ""
+	}
+	fn, _ := a.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return nil, ""
+	}
+	for _, d := range []string{"release", "retain"} {
+		if a.prog.HasDirective(fn, d) {
+			return v, d
+		}
+	}
+	return nil, ""
+}
+
+// trackedIdent resolves e to a tracked buffer variable, or nil.
+func (a *analyzer) trackedIdent(st state, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := a.pkg.Info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = a.pkg.Info.Defs[id].(*types.Var)
+	}
+	if v == nil {
+		return nil
+	}
+	if _, ok := st[v]; ok {
+		return v
+	}
+	return nil
+}
+
+// dataOf resolves e to the buffer whose data it aliases: buf.b (a field
+// marked //jk:data), buf.Data() (a method marked //jk:data), or a local
+// alias variable recorded earlier. Returns nil when e is not frame data.
+func (a *analyzer) dataOf(st state, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := a.pkg.Info.Uses[x].(*types.Var)
+		if v == nil {
+			return nil
+		}
+		if buf, ok := a.aliases[v]; ok {
+			if _, tracked := st[buf]; tracked {
+				return buf
+			}
+		}
+	case *ast.SelectorExpr:
+		v := a.trackedIdent(st, x.X)
+		if v == nil {
+			return nil
+		}
+		if a.prog.FieldHasDirective(v.Type(), x.Sel.Name, "data") {
+			return v
+		}
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		v := a.trackedIdent(st, sel.X)
+		if v == nil {
+			return nil
+		}
+		if fn, _ := a.pkg.Info.Uses[sel.Sel].(*types.Func); fn != nil && a.prog.HasDirective(fn, "data") {
+			return v
+		}
+	case *ast.SliceExpr:
+		return a.dataOf(st, x.X)
+	}
+	return nil
+}
+
+// --- effects -----------------------------------------------------------------
+
+func (a *analyzer) releaseAt(st state, v *types.Var, pos token.Pos) {
+	s := st[v]
+	if s == nil {
+		return
+	}
+	if s.dead {
+		a.report(pos, "buffer acquired at line %d is released again after its last reference was dropped (double release)", s.acquireLn)
+		return
+	}
+	s.owned--
+	if s.owned <= 0 {
+		s.owned = 0
+		s.dead = true
+	}
+}
+
+func (a *analyzer) retainAt(st state, v *types.Var, pos token.Pos) {
+	s := st[v]
+	if s == nil {
+		return
+	}
+	if s.dead {
+		a.report(pos, "buffer acquired at line %d is retained after release", s.acquireLn)
+		s.dead = false
+	}
+	s.owned++
+}
+
+// transfer hands ownership of v to whatever now holds it; the variable
+// stops being tracked on this path.
+func (a *analyzer) transfer(st state, v *types.Var, pos token.Pos) {
+	s := st[v]
+	if s == nil {
+		return
+	}
+	if s.dead {
+		a.report(pos, "buffer acquired at line %d is used after release", s.acquireLn)
+	}
+	delete(st, v)
+}
+
+func (a *analyzer) useCheck(st state, v *types.Var, pos token.Pos) {
+	if s := st[v]; s != nil && s.dead {
+		a.report(pos, "buffer acquired at line %d is used after release", s.acquireLn)
+		s.dead = false // one report per incident, not per subsequent use
+	}
+}
+
+// checkExit reports buffers still owned when a path leaves the function.
+func (a *analyzer) checkExit(st state, pos token.Pos) {
+	for _, s := range st {
+		if s.owned > 0 {
+			a.report(pos, "pooled buffer acquired at line %d is not released on this path (release exactly once on every path, including early returns)", s.acquireLn)
+		}
+	}
+}
+
+// --- statement walk ----------------------------------------------------------
+
+// walkStmt interprets stmt over st, returning the out-state and whether
+// every path through stmt terminates the function.
+func (a *analyzer) walkStmt(stmt ast.Stmt, st state) (state, bool) {
+	switch s := stmt.(type) {
+	case nil:
+		return st, false
+	case *ast.BlockStmt:
+		cur := st
+		for _, inner := range s.List {
+			var term bool
+			cur, term = a.walkStmt(inner, cur)
+			if term {
+				return cur, true
+			}
+		}
+		return cur, false
+
+	case *ast.AssignStmt:
+		return a.walkAssign(s, st), false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						a.scanExpr(val, st, false)
+					}
+				}
+			}
+		}
+		return st, false
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				for _, arg := range call.Args {
+					a.scanExpr(arg, st, false)
+				}
+				return st, true // unwinding; pool misses on panic are not leaks
+			}
+			if v, kind := a.bufMethod(st, call); v != nil {
+				if kind == "release" {
+					a.releaseAt(st, v, call.Pos())
+				} else {
+					a.retainAt(st, v, call.Pos())
+				}
+				return st, false
+			}
+			if a.isAcquire(call) {
+				a.report(call.Pos(), "acquired buffer is discarded immediately (assign it and release it, or do not acquire)")
+				return st, false
+			}
+		}
+		a.scanExpr(s.X, st, false)
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			a.scanReturnExpr(res, st)
+		}
+		a.checkExit(st, s.Pos())
+		return st, true
+
+	case *ast.DeferStmt:
+		a.walkDefer(s, st)
+		return st, false
+
+	case *ast.GoStmt:
+		a.scanExpr(s.Call, st, false)
+		return st, false
+
+	case *ast.SendStmt:
+		if v := a.trackedIdent(st, s.Value); v != nil {
+			a.transfer(st, v, s.Value.Pos())
+		} else {
+			a.scanExpr(s.Value, st, true)
+		}
+		a.scanExpr(s.Chan, st, false)
+		return st, false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = a.walkStmt(s.Init, st)
+		}
+		a.scanExpr(s.Cond, st, false)
+		thenSt, elseSt := st.clone(), st.clone()
+		a.refine(s.Cond, thenSt, elseSt)
+		thenOut, thenTerm := a.walkStmt(s.Body, thenSt)
+		elseOut, elseTerm := elseSt, false
+		if s.Else != nil {
+			elseOut, elseTerm = a.walkStmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return thenOut, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return join(thenOut, elseOut), false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = a.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			a.scanExpr(s.Cond, st, false)
+		}
+		return a.walkLoop(s.Body, s.Post, st, s.Cond == nil), false
+
+	case *ast.RangeStmt:
+		a.scanExpr(s.X, st, false)
+		return a.walkLoop(s.Body, nil, st, false), false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return a.walkSwitch(stmt, st)
+
+	case *ast.BranchStmt:
+		// break/continue end this path within the enclosing construct;
+		// goto was excluded up front.
+		if len(a.loops) > 0 {
+			ctx := a.targetCtx(s.Tok)
+			if ctx != nil {
+				if s.Tok == token.CONTINUE {
+					ctx.continues = append(ctx.continues, st.clone())
+				} else {
+					ctx.breaks = append(ctx.breaks, st.clone())
+				}
+			}
+		}
+		return st, true
+
+	case *ast.LabeledStmt:
+		return a.walkStmt(s.Stmt, st)
+
+	case *ast.IncDecStmt:
+		a.scanExpr(s.X, st, false)
+		return st, false
+
+	case *ast.EmptyStmt:
+		return st, false
+	}
+	// Unmodeled statement kinds: scan embedded expressions for uses.
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			a.scanExpr(e, st, false)
+			return false
+		}
+		return true
+	})
+	return st, false
+}
+
+// targetCtx finds the construct a break/continue targets: continue wants
+// the innermost loop, break the innermost breakable.
+func (a *analyzer) targetCtx(tok token.Token) *loopCtx {
+	for i := len(a.loops) - 1; i >= 0; i-- {
+		if tok == token.BREAK || a.loops[i].isLoop {
+			return a.loops[i]
+		}
+	}
+	return nil
+}
+
+// walkLoop interprets one loop body. The body is walked once from the
+// entry state (the canonical pattern acquires and releases within an
+// iteration); buffers acquired inside the body must not be owned at the
+// back edge, and the loop's out-state joins the zero-iteration path with
+// every break.
+func (a *analyzer) walkLoop(body *ast.BlockStmt, post ast.Stmt, st state, infinite bool) state {
+	ctx := &loopCtx{isLoop: true}
+	a.loops = append(a.loops, ctx)
+	bodyOut, bodyTerm := a.walkStmt(body, st.clone())
+	a.loops = a.loops[:len(a.loops)-1]
+
+	backEdges := ctx.continues
+	if !bodyTerm {
+		backEdges = append(backEdges, bodyOut)
+	}
+	for _, be := range backEdges {
+		if post != nil {
+			be, _ = a.walkStmt(post, be)
+		}
+		for v, s := range be {
+			if s.owned > 0 && v.Pos() > body.Pos() && v.Pos() < body.End() {
+				a.report(v.Pos(), "buffer acquired each loop iteration is not released by the end of the iteration on some path")
+			}
+		}
+	}
+
+	var out state
+	if !infinite {
+		out = st // zero-iteration path
+	}
+	for _, bs := range ctx.breaks {
+		// Iteration-local buffers do not survive the loop.
+		filtered := state{}
+		for v, s := range bs {
+			if v.Pos() > body.Pos() && v.Pos() < body.End() {
+				continue
+			}
+			filtered[v] = s
+		}
+		if out == nil {
+			out = filtered
+		} else {
+			out = join(out, filtered)
+		}
+	}
+	if out == nil {
+		// An infinite loop with no break: code after it is unreachable,
+		// but returning the entry state keeps the walk total.
+		out = st
+	}
+	return out
+}
+
+// walkSwitch interprets switch/type-switch/select uniformly: every case
+// body starts from the entry state and the out-state joins the
+// non-terminated ones (plus the entry state if no default exists).
+func (a *analyzer) walkSwitch(stmt ast.Stmt, st state) (state, bool) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = a.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			a.scanExpr(s.Tag, st, false)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = a.walkStmt(s.Init, st)
+		}
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	ctx := &loopCtx{isLoop: false}
+	a.loops = append(a.loops, ctx)
+	var outs []state
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				a.scanExpr(e, st, false)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			body = c.Body
+			if c.Comm != nil {
+				var term bool
+				cst := st.clone()
+				cst, term = a.walkStmt(c.Comm, cst)
+				if !term {
+					cur, term := a.walkBody(body, cst)
+					if !term {
+						outs = append(outs, cur)
+					}
+				}
+				continue
+			}
+		}
+		cur, term := a.walkBody(body, st.clone())
+		if !term {
+			outs = append(outs, cur)
+		}
+	}
+	a.loops = a.loops[:len(a.loops)-1]
+	outs = append(outs, ctx.breaks...)
+	if !hasDefault {
+		outs = append(outs, st)
+	}
+	if len(outs) == 0 {
+		return st, true // every case terminates and a default exists
+	}
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out = join(out, o)
+	}
+	return out, false
+}
+
+func (a *analyzer) walkBody(body []ast.Stmt, st state) (state, bool) {
+	cur := st
+	for _, inner := range body {
+		var term bool
+		cur, term = a.walkStmt(inner, cur)
+		if term {
+			return cur, true
+		}
+	}
+	return cur, false
+}
+
+// walkDefer models `defer v.release()` (and closures that release): the
+// obligation is met at every later exit, but the data stays live until
+// the function actually returns, so later reads are fine while returning
+// the data to a caller is not.
+func (a *analyzer) walkDefer(s *ast.DeferStmt, st state) {
+	if v, kind := a.bufMethod(st, s.Call); v != nil && kind == "release" {
+		if sv := st[v]; sv != nil {
+			sv.owned--
+			if sv.owned < 0 {
+				sv.owned = 0
+			}
+			sv.deferredRel++
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		a.scanFuncLit(lit, st)
+		return
+	}
+	a.scanExpr(s.Call, st, false)
+}
+
+// --- assignment --------------------------------------------------------------
+
+func (a *analyzer) walkAssign(s *ast.AssignStmt, st state) state {
+	paired := len(s.Lhs) == len(s.Rhs)
+	for i, rhs := range s.Rhs {
+		var lhs ast.Expr
+		if paired {
+			lhs = s.Lhs[i]
+		}
+
+		// Acquire: fb := getFrame(n).
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && a.isAcquire(call) {
+			for _, arg := range call.Args {
+				a.scanExpr(arg, st, false)
+			}
+			if lhs == nil {
+				a.report(call.Pos(), "acquired buffer is lost in a multi-value assignment")
+				continue
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				a.report(call.Pos(), "acquired buffer is discarded (assign it to a variable so it can be released)")
+				continue
+			}
+			v, _ := a.pkg.Info.Defs[id].(*types.Var)
+			if v == nil {
+				v, _ = a.pkg.Info.Uses[id].(*types.Var)
+			}
+			if v == nil {
+				continue
+			}
+			if old := st[v]; old != nil && old.owned > 0 {
+				a.report(call.Pos(), "buffer acquired at line %d is still owned when this acquire overwrites it (missed release)", old.acquireLn)
+			}
+			st[v] = &bufVal{owned: 1, acquireLn: a.pkg.Fset.Position(call.Pos()).Line}
+			continue
+		}
+
+		// Data alias: argBytes := fb.b (or a composite assigned to a
+		// local, like w := wbuf{b: fb.b}, which carries the data on).
+		if lhs != nil {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				lv, _ := a.pkg.Info.Defs[id].(*types.Var)
+				if lv == nil {
+					lv, _ = a.pkg.Info.Uses[id].(*types.Var)
+				}
+				if lv != nil {
+					if buf := a.dataOf(st, rhs); buf != nil {
+						a.useCheck(st, buf, rhs.Pos())
+						a.aliases[lv] = buf
+						continue
+					}
+					if lit := compositeOf(rhs); lit != nil {
+						if buf := a.compositeDataOnly(lit, st); buf != nil {
+							a.useCheck(st, buf, rhs.Pos())
+							a.aliases[lv] = buf
+							a.scanExpr(rhs, st, false)
+							continue
+						}
+					}
+					if v := a.trackedIdent(st, rhs); v != nil {
+						// A second name for the buffer: ownership follows
+						// the new name.
+						a.transfer(st, v, rhs.Pos())
+						st[lv] = &bufVal{owned: 1, acquireLn: a.pkg.Fset.Position(rhs.Pos()).Line}
+						continue
+					}
+				}
+			}
+		}
+
+		// Storing into a field, index, or dereference: the destination
+		// outlives this frame of reference.
+		if lhs != nil && !isIdent(lhs) {
+			if v := a.trackedIdent(st, rhs); v != nil {
+				if !a.ownBufferWrite(st, lhs) {
+					a.transfer(st, v, rhs.Pos())
+				}
+				continue
+			}
+			if buf := a.dataOf(st, rhs); buf != nil && !a.ownBufferWrite(st, lhs) {
+				a.report(rhs.Pos(), "frame data is stored into %s without its buffer (retain the buffer alongside it, or copy the bytes)", exprString(lhs))
+				continue
+			}
+		}
+
+		a.scanExpr(rhs, st, true)
+	}
+	// Reads embedded in left-hand sides (index expressions etc).
+	for _, lhs := range s.Lhs {
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			a.scanExpr(ix.Index, st, false)
+			a.scanExpr(ix.X, st, false)
+		}
+	}
+	return st
+}
+
+// ownBufferWrite reports whether lhs writes the buffer's own data field
+// (fb.b = ... — growing or re-slicing your own buffer is not an escape).
+func (a *analyzer) ownBufferWrite(st state, lhs ast.Expr) bool {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v := a.trackedIdent(st, sel.X)
+	return v != nil && a.prog.FieldHasDirective(v.Type(), sel.Sel.Name, "data")
+}
+
+func isIdent(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.Ident)
+	return ok
+}
+
+// --- expression scan ---------------------------------------------------------
+
+// scanExpr walks an expression for buffer uses. escaping controls how a
+// composite literal carrying the buffer's data (without the buffer) is
+// treated: in an escaping position it is a violation; assigned to a
+// local it just propagates the alias (handled by walkAssign).
+func (a *analyzer) scanExpr(e ast.Expr, st state, escaping bool) {
+	if e == nil {
+		return
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := a.trackedIdent(st, x); v != nil {
+			a.useCheck(st, v, x.Pos())
+		}
+
+	case *ast.SelectorExpr:
+		// A release/retain method value passed around transfers one
+		// reference (c.exec.submit(... fb.release ...)).
+		if v := a.trackedIdent(st, x.X); v != nil {
+			if fn, _ := a.pkg.Info.Uses[x.Sel].(*types.Func); fn != nil && a.prog.HasDirective(fn, "release") {
+				a.releaseAt(st, v, x.Pos())
+				// The release happens later, when the holder invokes it:
+				// the data stays valid until then.
+				if sv := st[v]; sv != nil {
+					sv.dead = false
+				}
+				return
+			}
+			a.useCheck(st, v, x.Pos())
+			return
+		}
+		a.scanExpr(x.X, st, false)
+
+	case *ast.CallExpr:
+		if v, kind := a.bufMethod(st, x); v != nil {
+			if kind == "release" {
+				a.releaseAt(st, v, x.Pos())
+			} else {
+				a.retainAt(st, v, x.Pos())
+			}
+			return
+		}
+		a.scanExpr(x.Fun, st, false)
+		for _, arg := range x.Args {
+			if v := a.trackedIdent(st, arg); v != nil {
+				a.useCheck(st, v, arg.Pos()) // borrow for the call
+				continue
+			}
+			if buf := a.dataOf(st, arg); buf != nil {
+				a.useCheck(st, buf, arg.Pos()) // borrowed data
+				continue
+			}
+			a.scanExpr(arg, st, true)
+		}
+
+	case *ast.CompositeLit:
+		a.compositeEffect(x, st, escaping)
+
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if v := a.trackedIdent(st, x.X); v != nil {
+				a.transfer(st, v, x.Pos()) // address taken: out of our hands
+				return
+			}
+		}
+		a.scanExpr(x.X, st, escaping)
+
+	case *ast.FuncLit:
+		a.scanFuncLit(x, st)
+
+	case *ast.BinaryExpr:
+		a.scanExpr(x.X, st, false)
+		a.scanExpr(x.Y, st, false)
+
+	case *ast.IndexExpr:
+		a.scanExpr(x.X, st, false)
+		a.scanExpr(x.Index, st, false)
+
+	case *ast.SliceExpr:
+		if buf := a.dataOf(st, x); buf != nil {
+			a.useCheck(st, buf, x.Pos())
+			return
+		}
+		a.scanExpr(x.X, st, false)
+
+	case *ast.StarExpr:
+		a.scanExpr(x.X, st, escaping)
+
+	case *ast.TypeAssertExpr:
+		a.scanExpr(x.X, st, escaping)
+
+	case *ast.KeyValueExpr:
+		a.scanExpr(x.Value, st, escaping)
+	}
+}
+
+// scanReturnExpr handles one returned expression: returning the buffer
+// is the canonical ownership transfer to the caller; returning its data
+// while a deferred release is pending hands the caller bytes the pool is
+// about to reclaim.
+func (a *analyzer) scanReturnExpr(res ast.Expr, st state) {
+	if v := a.trackedIdent(st, res); v != nil {
+		a.transfer(st, v, res.Pos())
+		return
+	}
+	if buf := a.dataOf(st, res); buf != nil {
+		s := st[buf]
+		if s != nil && s.deferredRel > 0 {
+			a.report(res.Pos(), "returned frame data is reclaimed by the deferred release of its buffer (acquired at line %d)", s.acquireLn)
+			return
+		}
+		a.useCheck(st, buf, res.Pos())
+		if s != nil && s.owned > 0 {
+			a.report(res.Pos(), "frame data is returned while this function still owns the buffer (acquired at line %d): transfer the buffer or copy the bytes", s.acquireLn)
+		}
+		return
+	}
+	if lit := compositeOf(res); lit != nil {
+		a.compositeEffect(lit, st, true)
+		return
+	}
+	a.scanExpr(res, st, true)
+}
+
+// compositeOf unwraps &T{...} and (T{...}) down to the literal.
+func compositeOf(e ast.Expr) *ast.CompositeLit {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	lit, _ := e.(*ast.CompositeLit)
+	return lit
+}
+
+// compositeDataOnly reports the buffer whose data a composite literal
+// carries when the literal holds data (and no tracked buffer) of exactly
+// one buffer — the local scratch-builder pattern `w := wbuf{b: fb.b}`.
+func (a *analyzer) compositeDataOnly(lit *ast.CompositeLit, st state) *types.Var {
+	var buf *types.Var
+	for _, el := range lit.Elts {
+		val := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if a.trackedIdent(st, val) != nil {
+			return nil // carries the buffer itself: not a bare data alias
+		}
+		if b := a.dataOf(st, val); b != nil {
+			if buf != nil && buf != b {
+				return nil
+			}
+			buf = b
+		}
+	}
+	return buf
+}
+
+// compositeEffect applies a composite literal's ownership semantics:
+// every tracked buffer stored in it transfers; data stored without its
+// buffer in an escaping literal is flagged.
+func (a *analyzer) compositeEffect(lit *ast.CompositeLit, st state, escaping bool) {
+	buffers := map[*types.Var]bool{}
+	type dataUse struct {
+		buf *types.Var
+		pos token.Pos
+	}
+	var data []dataUse
+	for _, el := range lit.Elts {
+		val := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if v := a.trackedIdent(st, val); v != nil {
+			buffers[v] = true
+			continue
+		}
+		if buf := a.dataOf(st, val); buf != nil {
+			data = append(data, dataUse{buf, val.Pos()})
+			continue
+		}
+		a.scanExpr(val, st, false)
+	}
+	for _, d := range data {
+		a.useCheck(st, d.buf, d.pos)
+		if escaping && !buffers[d.buf] {
+			if s := st[d.buf]; s != nil {
+				a.report(d.pos, "frame data escapes in a composite literal without its buffer (acquired at line %d): store the buffer alongside it or copy the bytes", s.acquireLn)
+			}
+		}
+	}
+	for v := range buffers {
+		for _, el := range lit.Elts {
+			val := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			if a.trackedIdent(st, val) == v {
+				a.transfer(st, v, val.Pos())
+				break
+			}
+		}
+	}
+}
+
+// scanFuncLit resolves a closure capturing tracked buffers: a closure
+// that calls release owns the reference it will drop (the argsDone
+// pattern); any other capture is an opaque transfer.
+func (a *analyzer) scanFuncLit(lit *ast.FuncLit, st state) {
+	captured := map[*types.Var]bool{}
+	releases := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, _ := a.pkg.Info.Uses[id].(*types.Var)
+		if v == nil {
+			return true
+		}
+		if _, tracked := st[v]; tracked {
+			captured[v] = true
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if v, kind := a.bufMethod(st, call); v != nil && kind == "release" {
+			releases[v] = true
+		}
+		return true
+	})
+	for v := range captured {
+		if releases[v] {
+			a.releaseAt(st, v, lit.Pos())
+			if sv := st[v]; sv != nil {
+				sv.dead = false // runs later; data stays valid meanwhile
+			}
+		} else {
+			a.transfer(st, v, lit.Pos())
+		}
+	}
+}
+
+// --- condition refinement ----------------------------------------------------
+
+// refine narrows branch states on nil checks: in the branch where a
+// maybe-acquired buffer is known nil, there is nothing to release.
+func (a *analyzer) refine(cond ast.Expr, thenSt, elseSt state) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			a.refine(c.X, thenSt, state{})
+			a.refine(c.Y, thenSt, state{})
+		case token.LOR:
+			a.refine(c.X, state{}, elseSt)
+			a.refine(c.Y, state{}, elseSt)
+		case token.EQL, token.NEQ:
+			v, isNil := a.nilCompare(thenSt, elseSt, c)
+			if v == nil {
+				return
+			}
+			if (c.Op == token.EQL) == isNil {
+				delete(thenSt, v) // v == nil holds: no buffer in this branch
+			} else {
+				delete(elseSt, v)
+			}
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			a.refine(c.X, elseSt, thenSt)
+		}
+	}
+}
+
+// nilCompare matches `v == nil` / `nil == v` for a buffer tracked in
+// either branch state.
+func (a *analyzer) nilCompare(thenSt, elseSt state, c *ast.BinaryExpr) (*types.Var, bool) {
+	operand := func(e ast.Expr) *types.Var {
+		if v := a.trackedIdent(thenSt, e); v != nil {
+			return v
+		}
+		return a.trackedIdent(elseSt, e)
+	}
+	if isNilIdent(c.Y) {
+		return operand(c.X), true
+	}
+	if isNilIdent(c.X) {
+		return operand(c.Y), true
+	}
+	return nil, false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	}
+	return "the destination"
+}

@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"jkernel/internal/analysis/atest"
+	"jkernel/internal/analysis/bufown"
+)
+
+func TestFixture(t *testing.T) {
+	atest.Run(t, "fixture", bufown.Pass)
+}

@@ -1,0 +1,168 @@
+// Package fixture exercises the bufown pass: a miniature of
+// internal/remote's pooled frameBuf contract, with the same directives
+// (//jk:acquire, //jk:release, //jk:retain, //jk:data) driving the
+// analysis. Lines marked `// want "..."` must be reported; everything
+// else must stay silent.
+package fixture
+
+// buf mirrors remote.frameBuf.
+type buf struct {
+	b    []byte //jk:data
+	refs int
+}
+
+// acquire mirrors remote.getFrame.
+//
+//jk:acquire
+func acquire(n int) *buf { return &buf{b: make([]byte, 0, n), refs: 1} }
+
+// release mirrors frameBuf.release.
+//
+//jk:release
+func (b *buf) release() { b.refs-- }
+
+// retain mirrors frameBuf.retain.
+//
+//jk:retain
+func (b *buf) retain() { b.refs++ }
+
+func send(p []byte) error { return nil }
+
+func submit(f func()) {}
+
+// frame mirrors replyFrame: data plus the buffer that owns it.
+type frame struct {
+	body []byte
+	bb   *buf
+}
+
+type holder struct {
+	data []byte
+}
+
+// --- clean shapes: no findings ----------------------------------------------
+
+func clean() error {
+	fb := acquire(64)
+	err := send(fb.b)
+	fb.release()
+	return err
+}
+
+func transferByReturn() *buf {
+	fb := acquire(64)
+	return fb
+}
+
+func packWithBuffer() frame {
+	fb := acquire(64)
+	return frame{body: fb.b, bb: fb}
+}
+
+func conditionalNil(use bool) {
+	var fb *buf
+	if use {
+		fb = acquire(64)
+	}
+	if fb != nil {
+		fb.release()
+	}
+}
+
+func closureRelease() {
+	fb := acquire(64)
+	submit(func() { fb.release() })
+}
+
+func methodValueRelease() {
+	fb := acquire(64)
+	submit(fb.release)
+}
+
+func loopClean(n int) {
+	for i := 0; i < n; i++ {
+		fb := acquire(64)
+		_ = send(fb.b)
+		fb.release()
+	}
+}
+
+func localScratch() error {
+	fb := acquire(64)
+	f := frame{body: fb.b} // local alias, not an escape
+	err := send(f.body)
+	fb.release()
+	return err
+}
+
+// --- violations --------------------------------------------------------------
+
+func leakOnError() error {
+	fb := acquire(64)
+	if err := send(fb.b); err != nil {
+		return err // want "not released on this path"
+	}
+	fb.release()
+	return nil
+}
+
+func doubleRelease() {
+	fb := acquire(64)
+	fb.release()
+	fb.release() // want "double release"
+}
+
+func useAfterRelease() []byte {
+	fb := acquire(64)
+	fb.release()
+	return fb.b // want "used after release"
+}
+
+func discard() {
+	acquire(64) // want "discarded"
+}
+
+func reacquire() {
+	fb := acquire(64)
+	fb = acquire(64) // want "still owned when this acquire overwrites it"
+	fb.release()
+}
+
+func storeDataWithoutBuffer(h *holder) {
+	fb := acquire(64)
+	h.data = fb.b // want "without its buffer"
+	fb.release()
+}
+
+func packWithoutBuffer() frame {
+	fb := acquire(64)
+	defer fb.release()
+	return frame{body: fb.b} // want "composite literal without its buffer"
+}
+
+func returnDeferredData() []byte {
+	fb := acquire(64)
+	defer fb.release()
+	return fb.b // want "reclaimed by the deferred release"
+}
+
+func retainLeak() {
+	fb := acquire(64)
+	fb.retain()
+	fb.release()
+} // want "not released on this path"
+
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		fb := acquire(64) // want "not released by the end of the iteration"
+		_ = send(fb.b)
+	}
+}
+
+// --- suppression -------------------------------------------------------------
+
+func allowedLeak() {
+	fb := acquire(64)
+	_ = send(fb.b)
+	//jk:allow(bufown) fixture: demonstrates the suppression contract — this leak is the point
+}

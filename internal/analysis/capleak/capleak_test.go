@@ -1,0 +1,12 @@
+package capleak_test
+
+import (
+	"testing"
+
+	"jkernel/internal/analysis/atest"
+	"jkernel/internal/analysis/capleak"
+)
+
+func TestFixture(t *testing.T) {
+	atest.Run(t, "fixture", capleak.Pass)
+}

@@ -1,0 +1,207 @@
+// Package faultpath checks that frame handlers do not discard errors.
+// PR 8 fixed, by hand, a family of bugs where a reply's write error
+// vanished (`_ = c.send(w.b)`) and the connection kept running on a
+// broken socket instead of faulting its imported capabilities; this
+// pass makes that fix permanent.
+//
+// Scope: packages whose package clause carries //jk:faultpath (the
+// remote wire layer), functions and methods named handle*, serve*, or
+// reply* — the inbound frame dispatch surface. Within scope, any call
+// returning an error must not lose it: not evaluated as a bare
+// statement, not assigned to the blank identifier, not parked in a
+// variable that is never read. Returning the error, branching on it, or
+// passing it on (to the connection-fault path) all count as handling —
+// the pass checks that the error escapes the handler's hands, the
+// connection-fault routing itself is enforced by the handler signatures.
+//
+// Deferred calls are exempt (the `defer nc.Close()` idiom), as are
+// calls carrying //jk:allow(faultpath) with a justification.
+package faultpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"jkernel/internal/analysis"
+	"jkernel/internal/analysis/load"
+)
+
+// Pass is the faultpath analyzer.
+var Pass = &analysis.Pass{
+	Name: "faultpath",
+	Doc:  "frame handlers must not discard errors; failures must reach the connection-fault path",
+	Run:  run,
+}
+
+func run(prog *analysis.Program, pkg *load.Package, report analysis.ReportFunc) {
+	if !prog.PackageMarked(pkg.Path, "faultpath") {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !inScope(fd.Name.Name) {
+				continue
+			}
+			checkHandler(prog, pkg, fd, report)
+		}
+	}
+}
+
+// inScope reports whether name belongs to the inbound dispatch surface.
+func inScope(name string) bool {
+	for _, prefix := range []string{"handle", "serve", "reply"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHandler(prog *analysis.Program, pkg *load.Package, fd *ast.FuncDecl, report analysis.ReportFunc) {
+	errType := types.Universe.Lookup("error").Type()
+
+	// First sweep: which variables are ever read? An error assigned to a
+	// variable that no expression consumes is as lost as a blank assign.
+	reads := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pkg.Info.Uses[id].(*types.Var); ok && !isAssignTarget(fd.Body, id) {
+			reads[v] = true
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			return false // defer nc.Close() et al: conventional discard
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := callErrResult(pkg, call, errType); ok {
+				report(call.Pos(), "%s returns an error that is discarded in frame handler %s: route it to the connection-fault path", name, fd.Name.Name)
+			}
+			return true
+		case *ast.AssignStmt:
+			checkAssign(pkg, s, fd.Name.Name, errType, reads, report)
+			return true
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkAssign flags error results dropped through an assignment: either
+// an explicit blank in the error slot or a variable nothing ever reads.
+func checkAssign(pkg *load.Package, s *ast.AssignStmt, handler string, errType types.Type, reads map[*types.Var]bool, report analysis.ReportFunc) {
+	// Only call results matter: `_ = someVar` is a deliberate no-op.
+	if len(s.Rhs) == 1 && len(s.Lhs) >= 1 {
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, hasErr := callErrResult(pkg, call, errType)
+		if !hasErr {
+			return
+		}
+		// Map each lhs slot to its result type position.
+		tv := pkg.Info.Types[call]
+		var resultAt func(i int) types.Type
+		if tuple, ok := tv.Type.(*types.Tuple); ok {
+			resultAt = func(i int) types.Type {
+				if i < tuple.Len() {
+					return tuple.At(i).Type()
+				}
+				return nil
+			}
+		} else {
+			resultAt = func(i int) types.Type { return tv.Type }
+		}
+		for i, lhs := range s.Lhs {
+			rt := resultAt(i)
+			if rt == nil || !types.Identical(rt, errType) {
+				continue
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if id.Name == "_" {
+				report(id.Pos(), "%s returns an error that is assigned to _ in frame handler %s: route it to the connection-fault path", name, handler)
+				continue
+			}
+			v, _ := pkg.Info.Defs[id].(*types.Var)
+			if v == nil {
+				v, _ = pkg.Info.Uses[id].(*types.Var)
+			}
+			if v != nil && !reads[v] {
+				report(id.Pos(), "error from %s is stored in %s but never checked in frame handler %s", name, id.Name, handler)
+			}
+		}
+	}
+}
+
+// callErrResult reports whether call returns an error (alone or as part
+// of a tuple), along with a printable callee name.
+func callErrResult(pkg *load.Package, call *ast.CallExpr, errType types.Type) (string, bool) {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	has := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				has = true
+			}
+		}
+	default:
+		has = types.Identical(t, errType)
+	}
+	if !has {
+		return "", false
+	}
+	return calleeName(call), true
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fe := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fe.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fe.X).(*ast.Ident); ok {
+			return id.Name + "." + fe.Sel.Name
+		}
+		return fe.Sel.Name
+	}
+	return "call"
+}
+
+// isAssignTarget reports whether this identifier occurrence is a plain
+// assignment destination (x = ...), which does not count as a read.
+// Compound destinations like x[i] do read x and are not filtered.
+func isAssignTarget(body *ast.BlockStmt, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if lhs == id {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

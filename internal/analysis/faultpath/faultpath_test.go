@@ -1,0 +1,16 @@
+package faultpath_test
+
+import (
+	"testing"
+
+	"jkernel/internal/analysis/atest"
+	"jkernel/internal/analysis/faultpath"
+)
+
+func TestFixture(t *testing.T) {
+	atest.Run(t, "fixture", faultpath.Pass)
+}
+
+func TestUnmarkedPackageOutOfScope(t *testing.T) {
+	atest.Run(t, "unmarked", faultpath.Pass)
+}

@@ -1,0 +1,74 @@
+// Package fixture exercises the faultpath pass on a miniature frame
+// handler surface: in-scope functions (handle*/serve*/reply*, in a
+// package marked //jk:faultpath) must not lose errors.
+//
+//jk:faultpath
+package fixture
+
+import "errors"
+
+type conn struct{ nc closer }
+
+type closer interface{ Close() error }
+
+func (c *conn) send(b []byte) error { return errors.New("broken pipe") }
+
+func (c *conn) fault(err error) {}
+
+// lastErr exists so the never-read case compiles: Go rejects an unread
+// local, but not an unread package variable.
+var lastErr error
+
+// --- violations --------------------------------------------------------------
+
+func (c *conn) handleDiscard(b []byte) {
+	c.send(b) // want "returns an error that is discarded"
+}
+
+func (c *conn) replyBlank(b []byte) {
+	_ = c.send(b) // want "assigned to _"
+}
+
+func (c *conn) serveBlankInTuple(m map[string]int) {
+	_ = c.send(nil) // want "assigned to _"
+}
+
+func (c *conn) handleParked(b []byte) {
+	lastErr = c.send(b) // want "stored in lastErr but never checked"
+}
+
+// --- clean shapes: no findings ----------------------------------------------
+
+func (c *conn) handleChecked(b []byte) {
+	if err := c.send(b); err != nil {
+		c.fault(err)
+	}
+}
+
+func (c *conn) handleReturned(b []byte) error {
+	return c.send(b)
+}
+
+func (c *conn) handleDeferredClose() {
+	defer c.nc.Close() // conventional teardown discard: exempt
+}
+
+func (c *conn) handleLaterCheck(b []byte) {
+	err := c.send(b)
+	if err != nil {
+		c.fault(err)
+	}
+}
+
+// notAHandler is out of scope: the rule binds the dispatch surface, not
+// every function in the package.
+func (c *conn) notAHandler(b []byte) {
+	c.send(b)
+}
+
+// --- suppression -------------------------------------------------------------
+
+func (c *conn) handleAllowed(b []byte) {
+	//jk:allow(faultpath) fixture: demonstrates the suppression contract — this discard is the point
+	c.send(b)
+}

@@ -1,0 +1,13 @@
+// Package unmarked has no //jk:faultpath mark: even a handle* function
+// discarding errors stays out of the pass's scope, so this package must
+// produce no findings.
+package unmarked
+
+import "errors"
+
+func send() error { return errors.New("x") }
+
+func handleOutOfScope() {
+	send()
+	_ = send()
+}

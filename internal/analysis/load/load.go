@@ -1,0 +1,187 @@
+// Package load is jkvet's package loader: the bridge from Go source on
+// disk to typed ASTs the analysis passes walk. It is deliberately built
+// from the standard library alone — `go list -json` for package and
+// dependency metadata, go/parser for syntax, go/types for checking, and a
+// file-based importer that feeds go/types the compiler's export data for
+// every dependency — so the analyzer keeps the repository's
+// zero-dependency constraint (no golang.org/x/tools).
+//
+// The shape mirrors what x/tools' go/packages would do in LoadSyntax
+// mode, reduced to what the passes need: full syntax and type
+// information for the packages named on the command line, and export
+// data (types only, no syntax) for everything they import.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully loaded package: parsed files plus type
+// information, sharing the load's FileSet.
+type Package struct {
+	Path  string // import path, e.g. jkernel/internal/remote
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Error      *listErr
+}
+
+type listErr struct {
+	Err string
+}
+
+// Load lists patterns (relative to dir, "" for the working directory),
+// parses every matched package, and type-checks it against export data
+// for its dependencies. Patterns follow the go tool: import paths,
+// ./relative/dirs, and /... wildcards. Test files are not loaded: the
+// invariants jkvet enforces are about the production wire and capability
+// surface.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listPkg, len(metas))
+	var targets []*listPkg
+	for _, m := range metas {
+		byPath[m.ImportPath] = m
+		if !m.DepOnly {
+			targets = append(targets, m)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	// The importer resolves every import — stdlib or module-local — from
+	// the export file `go list -export` reported, so type-checking one
+	// package never re-checks its dependency graph from source.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		m := byPath[path]
+		if m == nil || m.Export == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(m.Export)
+	})
+
+	var pkgs []*Package
+	var errs []string
+	for _, t := range targets {
+		if t.Error != nil {
+			errs = append(errs, fmt.Sprintf("%s: %s", t.ImportPath, t.Error.Err))
+			continue
+		}
+		if len(t.CgoFiles) > 0 {
+			errs = append(errs, fmt.Sprintf("%s: cgo packages are not supported", t.ImportPath))
+			continue
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		p, err := check(fset, imp, t)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(errs) > 0 {
+		return pkgs, fmt.Errorf("load: %s", strings.Join(errs, "; "))
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, t *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var terrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if len(terrs) < 10 {
+				terrs = append(terrs, err.Error())
+			}
+		},
+	}
+	tpkg, _ := conf.Check(t.ImportPath, fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("%s: type errors: %s", t.ImportPath, strings.Join(terrs, "; "))
+	}
+	return &Package{Path: t.ImportPath, Dir: t.Dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goList shells out to the go tool for package metadata. -export makes
+// the tool materialize (or reuse from the build cache) each dependency's
+// compiled export data; -deps pulls the whole graph so the importer can
+// resolve transitively; -e defers per-package errors to us.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// cgo off: every package resolves to pure-Go files, so export data
+	// exists for the whole graph without a C toolchain.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var metas []*listPkg
+	for {
+		m := new(listPkg)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}

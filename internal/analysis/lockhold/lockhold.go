@@ -1,0 +1,429 @@
+// Package lockhold checks that no sync.Mutex or sync.RWMutex is held
+// across a blocking wire or LRMI operation — the standing deadlock
+// hazard of the remote layer: a lock held across Invoke/Flush/WriteTo
+// can deadlock against the peer's reply needing the same lock, and at
+// minimum serializes the connection behind network latency.
+//
+// Blocking operations are: functions and methods marked //jk:blocking
+// (the core Invoke/InvokeAsync/Flush family carries the mark), a small
+// built-in list of stdlib operations that park the goroutine on I/O or
+// another goroutine (net dials, net.Buffers.WriteTo, time.Sleep,
+// WaitGroup.Wait), channel sends and receives, and select statements
+// without a default. sync.Cond.Wait is deliberately absent: it releases
+// the mutex while parked.
+//
+// A deferred Unlock keeps the lock held for the remainder of the
+// function — that is precisely the pattern that turns a later blocking
+// call into a held-across-blocking violation.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"jkernel/internal/analysis"
+	"jkernel/internal/analysis/load"
+)
+
+// Pass is the lockhold analyzer.
+var Pass = &analysis.Pass{
+	Name: "lockhold",
+	Doc:  "no mutex held across blocking wire/LRMI operations",
+	Run:  run,
+}
+
+// stdlibBlocking is the built-in blocking set, keyed by analysis.SymbolKey.
+var stdlibBlocking = map[string]bool{
+	"net.Dial":                 true,
+	"net.DialTimeout":          true,
+	"(net.Dialer).Dial":        true,
+	"(net.Dialer).DialContext": true,
+	"(net.Buffers).WriteTo":    true,
+	"time.Sleep":               true,
+	"(sync.WaitGroup).Wait":    true,
+	"(net.TCPConn).ReadFrom":   true,
+	"(io.PipeReader).Read":     true,
+	"(io.PipeWriter).Write":    true,
+	"(os/exec.Cmd).Run":        true,
+	"(os/exec.Cmd).Wait":       true,
+	"(net/http.Client).Do":     true,
+	"(net/http.Client).Get":    true,
+	"(net/http.Client).Post":   true,
+}
+
+func run(prog *analysis.Program, pkg *load.Package, report analysis.ReportFunc) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				// Closures run on their own goroutine or schedule; each
+				// body is checked as its own function.
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				w := &walker{prog: prog, pkg: pkg, report: report}
+				w.walkStmt(body, held{})
+			}
+			return true
+		})
+	}
+}
+
+// lockInfo records where a held lock was taken.
+type lockInfo struct {
+	line int
+}
+
+// held maps lock keys (the receiver expression, e.g. "c.mu") to where
+// they were locked on this path.
+type held map[string]lockInfo
+
+func (h held) clone() held {
+	n := make(held, len(h))
+	for k, v := range h {
+		n[k] = v
+	}
+	return n
+}
+
+func joinHeld(a, b held) held {
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v // held on either path: maybe-held, still a hazard
+		}
+	}
+	return out
+}
+
+type walker struct {
+	prog   *analysis.Program
+	pkg    *load.Package
+	report analysis.ReportFunc
+
+	// muteChan suppresses channel-op reports while walking a select comm
+	// clause: the comm op never blocks by itself there — the select does,
+	// and a select without default is reported as one unit.
+	muteChan bool
+}
+
+// walkStmt interprets stmt over the held-lock set, returning the
+// out-state and whether every path terminates the function.
+func (w *walker) walkStmt(stmt ast.Stmt, h held) (held, bool) {
+	switch s := stmt.(type) {
+	case nil:
+		return h, false
+	case *ast.BlockStmt:
+		cur := h
+		for _, inner := range s.List {
+			var term bool
+			cur, term = w.walkStmt(inner, cur)
+			if term {
+				return cur, true
+			}
+		}
+		return cur, false
+
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, h)
+		return h, false
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, h)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, h)
+		}
+		return h, false
+
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.scanExpr(e, h)
+				return false
+			}
+			return true
+		})
+		return h, false
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, h)
+		}
+		return h, true
+
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return: the lock stays held for
+		// the rest of this function, so nothing to remove here. A defer
+		// of a blocking call runs after the function's own locks would
+		// normally be released by the same defer stack — out of scope.
+		if key, op := w.lockOp(s.Call, h); op == "lock" {
+			// defer mu.Lock() is nonsense but harmless to model as a no-op.
+			_ = key
+		}
+		return h, false
+
+	case *ast.GoStmt:
+		// The goroutine runs with its own (empty) lock context; its body,
+		// if a literal, is analyzed independently by run.
+		for _, arg := range s.Call.Args {
+			w.scanExpr(arg, h)
+		}
+		return h, false
+
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, h)
+		w.scanExpr(s.Value, h)
+		if !w.muteChan {
+			w.blockingOp(s.Arrow, "channel send", h)
+		}
+		return h, false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			h, _ = w.walkStmt(s.Init, h)
+		}
+		w.scanExpr(s.Cond, h)
+		thenOut, thenTerm := w.walkStmt(s.Body, h.clone())
+		elseOut, elseTerm := h.clone(), false
+		if s.Else != nil {
+			elseOut, elseTerm = w.walkStmt(s.Else, h.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return thenOut, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return joinHeld(thenOut, elseOut), false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			h, _ = w.walkStmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, h)
+		}
+		bodyOut, term := w.walkStmt(s.Body, h.clone())
+		if s.Post != nil {
+			w.walkStmt(s.Post, bodyOut)
+		}
+		if term {
+			return h, false
+		}
+		return joinHeld(h, bodyOut), false
+
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, h)
+		if t := w.pkg.Info.Types[s.X]; t.Type != nil {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				w.blockingOp(s.X.Pos(), "channel receive (range)", h)
+			}
+		}
+		bodyOut, term := w.walkStmt(s.Body, h.clone())
+		if term {
+			return h, false
+		}
+		return joinHeld(h, bodyOut), false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkSwitch(stmt, h)
+
+	case *ast.BranchStmt:
+		return h, true
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, h)
+
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, h)
+		return h, false
+	}
+	return h, false
+}
+
+func (w *walker) walkSwitch(stmt ast.Stmt, h held) (held, bool) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	isSelect := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			h, _ = w.walkStmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, h)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			h, _ = w.walkStmt(s.Init, h)
+		}
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+		isSelect = true
+	}
+	for _, cl := range clauses {
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	if isSelect && !hasDefault {
+		w.blockingOp(stmt.Pos(), "select without default", h)
+	}
+	var outs []held
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		ch := h.clone()
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, ch)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.muteChan = true
+				ch, _ = w.walkStmt(c.Comm, ch)
+				w.muteChan = false
+			}
+			body = c.Body
+		}
+		cur, term := ch, false
+		for _, inner := range body {
+			cur, term = w.walkStmt(inner, cur)
+			if term {
+				break
+			}
+		}
+		if !term {
+			outs = append(outs, cur)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, h)
+	}
+	if len(outs) == 0 {
+		return h, true
+	}
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out = joinHeld(out, o)
+	}
+	return out, false
+}
+
+// scanExpr looks for lock transitions and blocking operations inside an
+// expression, mutating h in place (expressions evaluate on one path).
+func (w *walker) scanExpr(e ast.Expr, h held) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed independently
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !w.muteChan {
+				w.blockingOp(x.Pos(), "channel receive", h)
+			}
+		case *ast.CallExpr:
+			if key, op := w.lockOp(x, h); op != "" {
+				switch op {
+				case "lock":
+					h[key] = lockInfo{line: w.pkg.Fset.Position(x.Pos()).Line}
+				case "unlock":
+					delete(h, key)
+				}
+				return false
+			}
+			if fn := calleeFunc(w.pkg, x); fn != nil {
+				if w.prog.HasDirective(fn, "blocking") || stdlibBlocking[analysis.SymbolKey(fn)] {
+					w.blockingOp(x.Pos(), "call to "+fn.Name(), h)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// blockingOp reports op happening while any lock is held.
+func (w *walker) blockingOp(pos token.Pos, op string, h held) {
+	for key, info := range h {
+		w.report(pos, "%s while holding %s (locked at line %d): release the lock before blocking wire/LRMI operations", op, key, info.line)
+	}
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on sync.Mutex/RWMutex,
+// returning the lock's key and "lock"/"unlock".
+func (w *walker) lockOp(call *ast.CallExpr, h held) (string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, _ := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", ""
+	}
+	var op string
+	switch analysis.SymbolKey(fn) {
+	case "(sync.Mutex).Lock", "(sync.RWMutex).Lock", "(sync.RWMutex).RLock":
+		op = "lock"
+	case "(sync.Mutex).Unlock", "(sync.RWMutex).Unlock", "(sync.RWMutex).RUnlock":
+		op = "unlock"
+	case "(sync.Mutex).TryLock", "(sync.RWMutex).TryLock", "(sync.RWMutex).TryRLock":
+		// The result may be false; treating it as held would be wrong
+		// more often than right, and TryLock call sites check the bool.
+		return "", ""
+	default:
+		return "", ""
+	}
+	return exprKey(sel.X), op
+}
+
+func calleeFunc(pkg *load.Package, call *ast.CallExpr) *types.Func {
+	switch fe := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fe].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fe.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// exprKey renders a lock receiver as a stable string ("c.mu", "s.pool.mu").
+func exprKey(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	case *ast.IndexExpr:
+		return exprKey(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprKey(x.Fun) + "()"
+	}
+	return "<lock>"
+}

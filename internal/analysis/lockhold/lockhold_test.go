@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"jkernel/internal/analysis/atest"
+	"jkernel/internal/analysis/lockhold"
+)
+
+func TestFixture(t *testing.T) {
+	atest.Run(t, "fixture", lockhold.Pass)
+}

@@ -1,0 +1,124 @@
+// Package fixture exercises the lockhold pass: locks held across
+// blocking operations (marked //jk:blocking or on the stdlib built-in
+// list) must be reported; lock-release-then-block and poll-style
+// selects must stay silent.
+package fixture
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// invoke stands in for core.Capability.Invoke.
+//
+//jk:blocking
+func invoke() error { return nil }
+
+type srv struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+// --- violations --------------------------------------------------------------
+
+func (s *srv) holdAcrossInvoke() {
+	s.mu.Lock()
+	invoke() // want "call to invoke while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *srv) deferredUnlockStillHolds() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return invoke() // want "call to invoke while holding s.mu"
+}
+
+func (s *srv) readLockAcrossSleep() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want "call to Sleep while holding s.rw"
+	s.rw.RUnlock()
+}
+
+func (s *srv) holdAcrossDial() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	net.Dial("tcp", "nowhere:0") // want "call to Dial while holding s.mu"
+}
+
+func (s *srv) holdAcrossChannelOps(ch chan int) {
+	s.mu.Lock()
+	<-ch    // want "channel receive while holding s.mu"
+	ch <- 1 // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *srv) holdAcrossSelect(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without default while holding s.mu"
+	case <-ch:
+	}
+}
+
+func (s *srv) branchLeak(ready bool, ch chan int) {
+	s.mu.Lock()
+	if ready {
+		s.mu.Unlock()
+	}
+	invoke() // want "call to invoke while holding s.mu"
+	if !ready {
+		s.mu.Unlock()
+	}
+}
+
+// --- clean shapes: no findings ----------------------------------------------
+
+func (s *srv) releaseThenBlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	invoke()
+}
+
+func (s *srv) pollSelect(ch chan int) {
+	s.mu.Lock()
+	select {
+	case <-ch:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *srv) branchesBothRelease(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		invoke()
+		return
+	}
+	s.mu.Unlock()
+	invoke()
+}
+
+func (s *srv) condWaitIsFine(c *sync.Cond) {
+	s.mu.Lock()
+	c.Wait() // Cond.Wait releases the mutex while parked: not blocking-under-lock
+	s.mu.Unlock()
+}
+
+func (s *srv) goroutineHasOwnContext() {
+	s.mu.Lock()
+	go func() {
+		invoke() // runs without the parent's locks
+	}()
+	s.mu.Unlock()
+}
+
+// --- suppression -------------------------------------------------------------
+
+func (s *srv) allowedHold() {
+	s.mu.Lock()
+	//jk:allow(lockhold) fixture: the lock is the simulated fixed capacity; holding it across the sleep is the point
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}

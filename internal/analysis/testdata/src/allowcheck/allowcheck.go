@@ -1,0 +1,22 @@
+// Package allowcheck exercises the //jk:allow contract: a suppression
+// must name a known pass and carry a justification, or it becomes a
+// finding itself; a well-formed one silences exactly the findings on its
+// line and the line below.
+package allowcheck
+
+func missingPassName() {
+	//jk:allow
+}
+
+func unknownPass() {
+	//jk:allow(nosuchpass) a justification that cannot save an unknown pass
+}
+
+func missingJustification() {
+	//jk:allow(testpass)
+}
+
+//jk:allow(testpass) the test pass flags this function; the mark proves suppression works
+func Flagged() {}
+
+func FlaggedUnsuppressed() {}

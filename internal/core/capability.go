@@ -186,6 +186,8 @@ func (g *Gate) failureReason() error {
 // Capability is the Go-facing handle on a capability. For VM capabilities
 // Stub is the generated stub object that VM code receives; for native
 // capabilities Stub is nil and Invoke/Bind are the entry points.
+//
+//jk:cap
 type Capability struct {
 	g    *Gate
 	Stub *vmkit.Object

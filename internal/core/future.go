@@ -131,6 +131,8 @@ func (f *Future) Resolved() bool {
 // Wait blocks until the future resolves and returns its results and
 // error, following the same conventions as Invoke. It is idempotent:
 // every call returns the same outcome.
+//
+//jk:blocking
 func (f *Future) Wait() ([]any, error) {
 	f.mu.Lock()
 	if f.resolved {
@@ -189,6 +191,8 @@ func (f *Future) CompleteWire(results []any, copied int64, err error) {
 
 // WaitAll joins a fan-out: it waits for every future and returns the
 // first error encountered (by argument order), or nil.
+//
+//jk:blocking
 func WaitAll(futures ...*Future) error {
 	var first error
 	for _, f := range futures {

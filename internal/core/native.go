@@ -117,6 +117,8 @@ func compileThunk(fn reflect.Value) func([]any) ([]any, error) {
 // CreateNativeCapability creates a capability, owned by d, for a Go target
 // object. The target's remote surface is its exported methods whose final
 // result is error; there must be at least one.
+//
+//jk:gate-target 1
 func (k *Kernel) CreateNativeCapability(d *Domain, target any) (*Capability, error) {
 	if d.Terminated() {
 		return nil, ErrDomainTerminated
@@ -175,6 +177,8 @@ func (c *Capability) Methods() []string {
 // Invoke performs a cross-domain call on a native capability from the
 // calling goroutine's task. Results exclude the trailing error, which is
 // returned separately (copied — callee errors never leak callee objects).
+//
+//jk:blocking
 func (c *Capability) Invoke(name string, args ...any) ([]any, error) {
 	k := c.g.k
 
@@ -188,6 +192,8 @@ func (c *Capability) Invoke(name string, args ...any) ([]any, error) {
 
 // InvokeFrom performs the call with an explicit task, the "optimized"
 // variant that skips the goroutine-id lookup (benchmarked as an ablation).
+//
+//jk:blocking
 func (c *Capability) InvokeFrom(task *Task, name string, args ...any) ([]any, error) {
 	return c.invokeFrom(task, name, args)
 }

@@ -51,7 +51,7 @@ func SetBufferPoison(on bool) { poisonPut.Store(on) }
 // content; writers append to it (marshalVectorInto may grow and replace
 // the backing array — release re-classes by final capacity).
 type frameBuf struct {
-	b    []byte
+	b    []byte //jk:data
 	refs atomic.Int32
 }
 
@@ -67,6 +67,8 @@ func bufClass(n int) int {
 // getFrame returns a buffer with len(b) == 0 and cap(b) >= n, holding one
 // reference. n beyond maxFrame is the caller's protocol error; the buffer
 // is still served (unpooled) so the size check can fail gracefully.
+//
+//jk:acquire
 func getFrame(n int) *frameBuf {
 	c := bufClass(n)
 	if c > maxBufClass {
@@ -87,12 +89,16 @@ func getFrame(n int) *frameBuf {
 
 // retain adds one reference (dispatch handing an invoke frame to an
 // off-reader handler).
+//
+//jk:retain
 func (fb *frameBuf) retain() { fb.refs.Add(1) }
 
 // release drops one reference; the last one returns the buffer to its
 // size-class pool. A buffer that grew past its class (append moved the
 // backing array) is re-homed by its final capacity, so pool classes keep
 // their >= 1<<class invariant.
+//
+//jk:release
 func (fb *frameBuf) release() {
 	n := fb.refs.Add(-1)
 	if n > 0 {

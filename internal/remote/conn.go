@@ -195,12 +195,16 @@ func (e *executor) worker(job execJob) {
 // the background flusher was mid-write on. The flusher already drains the
 // queues whenever it is idle, so Flush is only needed when the caller
 // wants a hard everything-is-sent point (end of a fan-out wave, say).
+//
+//jk:blocking
 func (c *Conn) Flush() {
 	c.batch.flush()
 }
 
 // Dial connects kernel k to a remote kernel listening on network/addr
 // ("tcp" or "unix").
+//
+//jk:blocking
 func Dial(k *core.Kernel, network, addr string) (*Conn, error) {
 	nc, err := net.Dial(network, addr)
 	if err != nil {
@@ -310,8 +314,24 @@ func (c *Conn) Close() error {
 }
 
 // send frames and writes one message.
+//
+//jk:blocking
 func (c *Conn) send(payload []byte) error {
 	return c.sendSegments(payload)
+}
+
+// sendOrFault writes one frame and routes a failed write to the
+// connection-fault path. It is the send for frame handlers with nobody
+// to hand an error back to (replies, manifests, lookup answers): a reply
+// that cannot reach the peer means the socket is broken, and the
+// connection must fault its imports rather than keep running silently —
+// the same policy sendReleases applies.
+//
+//jk:blocking
+func (c *Conn) sendOrFault(payload []byte) {
+	if err := c.send(payload); err != nil {
+		c.shutdown(fmt.Errorf("remote: reply write failed: %w", err))
+	}
 }
 
 // sendSegments frames and writes one message whose payload is the
@@ -319,6 +339,8 @@ func (c *Conn) send(payload []byte) error {
 // header and every segment go down in one writev-style syscall
 // (net.Buffers), with no copy into an intermediate contiguous buffer. The
 // first byte of the first segment is the message type.
+//
+//jk:blocking
 func (c *Conn) sendSegments(segs ...[]byte) error {
 	total := 0
 	for _, s := range segs {
@@ -343,6 +365,7 @@ func (c *Conn) sendSegments(segs ...[]byte) error {
 	// slice header; the scratch itself is cleared after the write so it
 	// does not pin payload buffers between frames.
 	vec := c.wvec
+	//jk:allow(lockhold) wmu is the frame-write serializer: it exists to be held across this one vectored write so frames never interleave, and nothing else ever blocks under it
 	_, err := vec.WriteTo(c.nc)
 	clear(c.wvec)
 	c.wvec = c.wvec[:0]
@@ -353,6 +376,8 @@ func (c *Conn) sendSegments(segs ...[]byte) error {
 // and serving. Dial-with-retry loops use it as a readiness probe: a
 // connection can land in the listen backlog of a process that is already
 // dying, and only an answered ping distinguishes the two.
+//
+//jk:blocking
 func (c *Conn) Ping(timeout time.Duration) error {
 	reqID, ch, err := c.newPending()
 	if err != nil {
@@ -1187,10 +1212,14 @@ func (p *proxyTarget) invokeAsync(method string, args []any, tc telemetry.TraceC
 		argBytes = argsBuf.b
 		if len(argBytes)+len(method)+64 > maxFrame {
 			rollback()
+			// Read the length out before release: argBytes aliases the
+			// buffer, and released bytes are the pool's (poisoned under
+			// test).
+			n := len(argBytes)
 			argsBuf.release()
 			return fail(&core.CopyError{
 				What: "remote arguments of " + method,
-				Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", len(argBytes), maxFrame),
+				Err:  fmt.Errorf("%d bytes exceeds the %d-byte frame limit", n, maxFrame),
 			})
 		}
 	}
@@ -1509,9 +1538,12 @@ func (c *Conn) serveInvoke(f invokeFrame, argsDone func()) replyFrame {
 	}
 	if len(resFb.b)+32 > maxFrame {
 		rollback()
+		// Read the length out before release: released bytes are the
+		// pool's (poisoned under test).
+		n := len(resFb.b)
 		resFb.release()
 		return errRep(errKindProtocol, "",
-			fmt.Sprintf("results of %d bytes exceed the frame limit", len(resFb.b)))
+			fmt.Sprintf("results of %d bytes exceed the frame limit", n))
 	}
 	return replyFrame{reqID: f.reqID, status: statusOK, body: resFb.b, bodyBuf: resFb}
 }
@@ -1657,7 +1689,7 @@ func (c *Conn) replyErr(reqID uint64, kind byte, class, msg string) {
 	w.u8(kind)
 	w.str(class)
 	w.str(msg)
-	_ = c.send(w.b)
+	c.sendOrFault(w.b)
 }
 
 // parkedRevoke is a pushed revocation waiting for its import: the frame
@@ -1787,7 +1819,7 @@ func (c *Conn) handleManifest(f manifestFrame) {
 			w.str(m)
 		}
 	}
-	_ = c.send(w.b)
+	c.sendOrFault(w.b)
 }
 
 func (c *Conn) handleManifestReply(f manifestReplyFrame) {
@@ -1819,7 +1851,7 @@ func (c *Conn) handleLookup(reqID uint64, name string) {
 	for _, m := range methods {
 		w.str(m)
 	}
-	_ = c.send(w.b)
+	c.sendOrFault(w.b)
 }
 
 func (c *Conn) replyLookupErr(reqID uint64, kind byte, msg string) {
@@ -1830,7 +1862,7 @@ func (c *Conn) replyLookupErr(reqID uint64, kind byte, msg string) {
 	w.u8(kind)
 	w.str("")
 	w.str(msg)
-	_ = c.send(w.b)
+	c.sendOrFault(w.b)
 }
 
 func (c *Conn) handleLookupReply(f lookupReplyFrame) {

@@ -201,6 +201,7 @@ func (ks *kernelState) originConn(k *core.Kernel, network, addr string) (*Conn, 
 			return s.conn, nil
 		}
 	}
+	//jk:allow(lockhold) the slot mutex is a deliberate per-origin singleflight: concurrent redeemers must park on the one dial rather than each dialing the origin themselves
 	conn, err := dialHandshake(k, network, addr, redeemDialTimeout)
 	if err != nil {
 		return nil, err
@@ -399,7 +400,7 @@ func (c *Conn) handleRedeem(f redeemFrame) {
 		w.u8(kind)
 		w.str("")
 		w.str(msg)
-		_ = c.send(w.b)
+		c.sendOrFault(w.b)
 	}
 	t, ok := stateOf(c.k).takeTicket(f.nonce)
 	if !ok || t.exportID != f.exportID {
@@ -429,7 +430,7 @@ func (c *Conn) handleRedeem(f redeemFrame) {
 	for _, m := range methods {
 		w.str(m)
 	}
-	_ = c.send(w.b)
+	c.sendOrFault(w.b)
 }
 
 // exportFreshHandle exports cap under a brand-new id, bypassing the

@@ -331,6 +331,8 @@ func (w *PoolWorker) Dial(k *core.Kernel, timeout time.Duration) (*Conn, error) 
 // dialHandshake performs one connect-and-ping handshake within budget.
 // Both phases share the budget: the connect may consume most of it, and
 // the readiness ping gets what is left (capped at pingProbeMax).
+//
+//jk:blocking
 func dialHandshake(k *core.Kernel, network, addr string, budget time.Duration) (*Conn, error) {
 	deadline := time.Now().Add(budget)
 	nc, err := net.DialTimeout(network, addr, budget)

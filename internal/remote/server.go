@@ -68,6 +68,7 @@ func (l *Listener) serve() error {
 		delay = 0
 		conn, cerr := NewConn(l.k, nc)
 		if cerr != nil {
+			//jk:allow(faultpath) the handshake failed before a connection existed: dropping the socket is the whole fault path, and Close's error has no one left to inform
 			nc.Close()
 			continue
 		}

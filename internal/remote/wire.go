@@ -16,6 +16,12 @@
 // termination — is pushed eagerly so proxies fail fast, and a lost
 // connection faults every proxy imported over it ("worker died" surfaces
 // as a capability fault, never as a supervisor crash).
+//
+// The //jk:faultpath mark below puts this package's handle*/serve*/reply*
+// frame handlers in scope of jkvet's faultpath pass: an error a handler
+// drops is a connection silently running on a broken socket.
+//
+//jk:faultpath
 package remote
 
 import (

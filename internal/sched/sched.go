@@ -673,6 +673,8 @@ func (s *Scheduler) place(p *placementRec) error {
 
 // deployOn runs one Deploy RPC against a member, bounded by
 // DeployTimeout so a wedged worker cannot stall the control plane.
+//
+//jk:blocking
 func (s *Scheduler) deployOn(m *member, spec DeploySpec) (*core.Capability, error) {
 	s.mu.Lock()
 	conn, dep := m.conn, m.deployer
@@ -706,6 +708,8 @@ func (s *Scheduler) deployOn(m *member, spec DeploySpec) (*core.Capability, erro
 
 // undeployOn is the best-effort inverse: terminate the servlet's domain
 // on its (possibly dying) worker.
+//
+//jk:blocking
 func (s *Scheduler) undeployOn(m *member, name string) {
 	s.mu.Lock()
 	conn, dep := m.conn, m.deployer

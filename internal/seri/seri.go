@@ -103,6 +103,8 @@ func (s *regState) clone() *regState {
 // pointer, for struct types; pointer types register their element too).
 // Struct types get a generated marshaler compiled here, at register time,
 // so no call ever pays the layout walk.
+//
+//jk:wire-register 1
 func (r *Registry) Register(name string, sample any) {
 	t := reflect.TypeOf(sample)
 	r.mu.Lock()
